@@ -1,0 +1,120 @@
+"""Figure 7 — Achieved sampling speed (#Tokens/sec) per iteration.
+
+Two panels (NYTimes, PubMed), four curves each (Titan, Pascal, Volta,
+WarpLDA).  Shapes to reproduce:
+
+- throughput ramps up over the first iterations then flattens (theta
+  sparsifies as the model converges — the paper's Section 7.1
+  explanation, which emerges from the cost model here because costs are
+  functions of the *measured* Kd);
+- PubMed's ramp is flatter than NYTimes' (shorter documents start
+  sparse);
+- curve ordering Volta > Pascal > Titan > WarpLDA at steady state.
+"""
+
+import numpy as np
+
+from repro.analysis.replay import replay_throughput_series
+from repro.analysis.reporting import render_series, render_sparkline
+from repro.gpusim.platform import TITAN_X_MAXWELL, TITAN_XP_PASCAL, V100_VOLTA
+
+PLATFORM_SPECS = [
+    ("Titan", TITAN_X_MAXWELL),
+    ("Pascal", TITAN_XP_PASCAL),
+    ("Volta", V100_VOLTA),
+]
+
+
+def curves_for(run, warplda, corpus):
+    cfg, trainer = run
+    out = {}
+    for name, spec in PLATFORM_SPECS:
+        out[name] = replay_throughput_series(
+            trainer.outcomes, cfg, spec, corpus.num_tokens
+        )
+    out["WarpLDA"] = np.array([r.tokens_per_sec for r in warplda.history])
+    return out
+
+
+def warmup_ratio(series, head=3):
+    return float(series[-head:].mean() / series[:head].mean())
+
+
+def _report(capsys, dataset, curves):
+    with capsys.disabled():
+        print(f"\nFigure 7 ({dataset}): Milli Tokens/sec per iteration")
+        for name, series in curves.items():
+            spark = render_sparkline(series / 1e6)
+            print(
+                f"  {name:8s} {spark}  "
+                f"start={series[0] / 1e6:7.1f}M  end={series[-1] / 1e6:7.1f}M"
+            )
+        print(
+            render_series(
+                np.arange(len(curves["Volta"])),
+                curves["Volta"] / 1e6,
+                x_label="iteration",
+                y_label="Volta MTokens/s",
+                max_points=10,
+            )
+        )
+
+
+def test_fig7_nytimes(benchmark, capsys, nyt_run, nyt_warplda, nyt_corpus):
+    curves = benchmark.pedantic(
+        curves_for, args=(nyt_run, nyt_warplda, nyt_corpus), rounds=1, iterations=1
+    )
+    _report(capsys, "NYTimes", curves)
+
+    # Ramp-up: NYTimes throughput grows over early iterations.
+    for name, _ in PLATFORM_SPECS:
+        assert warmup_ratio(curves[name]) > 1.15, name
+        # And flattens: last 5 iterations vary by < 10%.
+        tail = curves[name][-5:]
+        assert tail.std() / tail.mean() < 0.10
+    # Steady-state ordering.
+    steady = {k: float(v[-5:].mean()) for k, v in curves.items()}
+    assert steady["Volta"] > steady["Pascal"] > steady["Titan"] > steady["WarpLDA"]
+
+
+def test_fig7_pubmed(benchmark, capsys, pubmed_run, pubmed_warplda, pubmed_corpus):
+    curves = benchmark.pedantic(
+        curves_for,
+        args=(pubmed_run, pubmed_warplda, pubmed_corpus),
+        rounds=1,
+        iterations=1,
+    )
+    _report(capsys, "PubMed", curves)
+
+    steady = {k: float(v[-5:].mean()) for k, v in curves.items()}
+    assert steady["Volta"] > steady["Pascal"] > steady["Titan"] > steady["WarpLDA"]
+
+
+def test_fig7_pubmed_ramps_less_than_nytimes(
+    benchmark, capsys, nyt_run, pubmed_run, nyt_corpus, pubmed_corpus
+):
+    """Section 7.1: 'the performance variable of PubMed is smaller than
+    NYTimes ... the initial model sparsity rate of PubMed is higher'."""
+
+    def run():
+        nyt = replay_throughput_series(
+            nyt_run[1].outcomes, nyt_run[0], V100_VOLTA, nyt_corpus.num_tokens
+        )
+        pm = replay_throughput_series(
+            pubmed_run[1].outcomes, pubmed_run[0], V100_VOLTA, pubmed_corpus.num_tokens
+        )
+        return warmup_ratio(nyt), warmup_ratio(pm)
+
+    nyt_ramp, pm_ramp = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print(
+            f"\nwarm-up ratio (steady/initial): NYTimes {nyt_ramp:.2f} "
+            f"vs PubMed {pm_ramp:.2f} (paper: NYTimes ramps more)\n"
+        )
+    assert nyt_ramp > pm_ramp
+
+    # Initial-sparsity mechanism: PubMed's mean Kd starts lower relative
+    # to its steady state.
+    nyt_kd = [r.mean_kd for r in nyt_run[1].history]
+    pm_kd = [r.mean_kd for r in pubmed_run[1].history]
+    assert nyt_kd[0] / nyt_kd[-1] > pm_kd[0] / pm_kd[-1]

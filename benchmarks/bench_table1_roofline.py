@@ -1,0 +1,56 @@
+"""Table 1 — Flops/Byte of each step of one LDA sampling.
+
+Regenerates the roofline characterization of Section 3.1 and checks the
+published values: {0.33, 0.25, 0.30, 0.19}, average ~0.27, against every
+Table 2 processor's machine balance.
+
+Run with ``pytest benchmarks/bench_table1_roofline.py --benchmark-only -s``.
+"""
+
+import pytest
+
+from repro.analysis.reporting import render_table
+from repro.analysis.roofline import (
+    average_intensity,
+    is_memory_bound,
+    table1_rows,
+)
+from repro.gpusim.platform import (
+    TITAN_X_MAXWELL,
+    TITAN_XP_PASCAL,
+    V100_VOLTA,
+    XEON_E5_2690_V4,
+)
+
+
+def run_table1():
+    rows = table1_rows(num_topics=1024, kd=128)
+    return rows, average_intensity(rows)
+
+
+def test_table1_flops_per_byte(benchmark, capsys):
+    rows, avg = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+
+    table = render_table(
+        ["Step", "Formula", "Flops/Byte"],
+        [[r.step, r.formula, round(r.flops_per_byte, 2)] for r in rows],
+        title="Table 1: Flops/Byte of each step of one LDA sampling",
+    )
+    verdicts = render_table(
+        ["Processor", "Machine balance (F/B)", "LDA memory bound?"],
+        [
+            [p.name, round(p.machine_balance, 1), is_memory_bound(p)]
+            for p in (XEON_E5_2690_V4, TITAN_X_MAXWELL, TITAN_XP_PASCAL, V100_VOLTA)
+        ],
+    )
+    with capsys.disabled():
+        print("\n" + table)
+        print(f"\nAverage Flops/Byte: {avg:.2f}  (paper: 0.27)\n")
+        print(verdicts + "\n")
+
+    # Paper values, exactly.
+    got = [round(r.flops_per_byte, 2) for r in rows]
+    assert got == [0.33, 0.25, 0.30, 0.19]
+    assert avg == pytest.approx(0.27, abs=0.008)
+    for p in (XEON_E5_2690_V4, TITAN_X_MAXWELL, TITAN_XP_PASCAL, V100_VOLTA):
+        assert is_memory_bound(p)

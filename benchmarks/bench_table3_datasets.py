@@ -1,0 +1,68 @@
+"""Table 3 — Details of workload data sets.
+
+Prints the full-scale Table 3 presets next to the bench-scale stand-ins
+actually used by the other benches, and verifies the stand-ins preserve
+the properties the paper's analysis depends on (D:V ratio, document
+length contrast between NYTimes and PubMed).
+"""
+
+import pytest
+
+from benchmarks.conftest import NYT_BENCH_SPEC, PUBMED_BENCH_SPEC
+from repro.analysis.reporting import render_table
+from repro.corpus.stats import corpus_stats
+from repro.corpus.synthetic import NYTIMES_LIKE, PUBMED_LIKE
+
+
+def run_table3(nyt_corpus, pubmed_corpus):
+    return corpus_stats(nyt_corpus), corpus_stats(pubmed_corpus)
+
+
+def test_table3_dataset_stats(benchmark, capsys, nyt_corpus, pubmed_corpus):
+    nyt, pm = benchmark.pedantic(
+        run_table3, args=(nyt_corpus, pubmed_corpus), rounds=1, iterations=1
+    )
+
+    rows = [
+        ["NYTimes (paper)", 99_542_125, 299_752, 101_636, 332.0],
+        [
+            "NYTimes-like (bench)",
+            nyt.num_tokens, nyt.num_docs, nyt.num_words,
+            round(nyt.mean_doc_len, 1),
+        ],
+        ["PubMed (paper)", 737_869_083, 8_200_000, 141_043, 90.0],
+        [
+            "PubMed-like (bench)",
+            pm.num_tokens, pm.num_docs, pm.num_words,
+            round(pm.mean_doc_len, 1),
+        ],
+    ]
+    with capsys.disabled():
+        print(
+            "\n"
+            + render_table(
+                ["Dataset", "#Tokens(T)", "#Documents(D)", "#Words(V)", "MeanLen"],
+                rows,
+                title="Table 3: Details of workload data sets (paper vs bench stand-in)",
+            )
+            + "\n"
+        )
+
+    # Shape preservation: the length contrast that explains Figure 7's
+    # warm-up difference (332 vs ~92).
+    assert nyt.mean_doc_len > 2.2 * pm.mean_doc_len
+    # D:V ratios within 2x of the full-scale datasets.
+    paper_nyt_ratio = NYTIMES_LIKE.num_docs / NYTIMES_LIKE.num_words
+    bench_nyt_ratio = nyt.num_docs / nyt.num_words
+    assert 0.2 < bench_nyt_ratio / paper_nyt_ratio < 5
+    paper_pm_ratio = PUBMED_LIKE.num_docs / PUBMED_LIKE.num_words
+    bench_pm_ratio = pm.num_docs / pm.num_words
+    assert bench_pm_ratio / paper_pm_ratio == pytest.approx(1.0, abs=0.99)
+    # PubMed has more, shorter documents in both worlds.
+    assert pm.num_docs > 2 * nyt.num_docs
+    assert NYT_BENCH_SPEC.mean_doc_len == pytest.approx(
+        NYTIMES_LIKE.mean_doc_len, rel=0.3
+    )
+    assert PUBMED_BENCH_SPEC.mean_doc_len == pytest.approx(
+        PUBMED_LIKE.mean_doc_len, rel=0.3
+    )

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Out-of-core training: WorkSchedule2 with transfer/compute overlap.
+
+Models the paper's Section 5.1 scenario: the corpus does not fit in GPU
+memory, so it is split into M chunks per GPU that stream through two
+staging buffers each iteration, with chunk m+1's PCIe transfer pipelined
+under chunk m's sampling.  Shows (a) the capacity enforcement that forces
+M > 1, and (b) what the overlap buys.
+
+    python examples/out_of_core_training.py
+"""
+
+from dataclasses import replace
+
+from repro import CuLdaTrainer, TrainerConfig
+from repro.analysis.reporting import render_table
+from repro.corpus.synthetic import SyntheticSpec, generate_synthetic_corpus
+from repro.gpusim.memory import DeviceOutOfMemoryError
+from repro.gpusim.platform import TITAN_XP_PASCAL
+
+
+def main() -> None:
+    spec = SyntheticSpec(
+        name="ooc-demo", num_docs=4000, num_words=1500,
+        mean_doc_len=90.0, doc_len_sigma=0.5, num_topics=32,
+    )
+    corpus = generate_synthetic_corpus(spec, seed=2)
+    print(f"corpus: D={corpus.num_docs} T={corpus.num_tokens}")
+
+    # A deliberately tiny GPU: the resident schedule (M=1) cannot hold
+    # the whole corpus.
+    chunk_budget_gb = 0.004
+    tiny_gpu = replace(TITAN_XP_PASCAL, name="Titan Xp (4MB cut)",
+                       memory_gb=chunk_budget_gb)
+
+    try:
+        CuLdaTrainer(corpus, TrainerConfig(num_topics=64, seed=0),
+                     device_spec=tiny_gpu)
+        raise SystemExit("expected the resident schedule to exhaust memory")
+    except DeviceOutOfMemoryError as e:
+        print(f"\nM=1 (resident) fails as expected:\n  {e}")
+
+    # Raising M streams the chunks through two staging slots instead.
+    rows = []
+    for m, overlap in [(8, True), (8, False)]:
+        config = TrainerConfig(
+            num_topics=64, seed=0, chunks_per_gpu=m, overlap_transfers=overlap,
+        )
+        trainer = CuLdaTrainer(corpus, config, device_spec=tiny_gpu)
+        trainer.train(5, compute_likelihood_every=0)
+        dur = sum(r.sim_seconds for r in trainer.history) / len(trainer.history)
+        used = trainer.devices[0].gpu.memory.used_bytes
+        rows.append([
+            m,
+            "on" if overlap else "off",
+            f"{used / 1e6:.2f}MB",
+            f"{dur * 1e3:.2f}ms",
+            f"{trainer.average_tokens_per_sec() / 1e6:.0f}M",
+        ])
+        trainer.state.validate()
+
+    print(
+        "\n"
+        + render_table(
+            ["M", "overlap", "device mem used", "iter time", "tokens/s"],
+            rows,
+            title="WorkSchedule2 on a memory-starved GPU (Section 5.1)",
+        )
+    )
+    print(
+        "\nWith overlap the H2D copies of chunk m+1 ride under chunk m's "
+        "sampling, recovering most of the streaming penalty — the paper's "
+        "pipelined loop (Algorithm 1, lines 25-30)."
+    )
+
+
+if __name__ == "__main__":
+    main()

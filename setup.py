@@ -1,0 +1,6 @@
+"""Setup shim: enables legacy editable installs in offline environments
+(where the `wheel` package needed by PEP 660 editable installs is absent).
+Prefer `pip install -e .` when a full toolchain is available."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""repro — reproduction of *CuLDA_CGS: Solving Large-scale LDA Problems
+on GPUs* (Xie, Liang, Li, Tan; PPoPP 2019).
+
+A multi-GPU (simulated) sparsity-aware Collapsed Gibbs Sampling system
+for Latent Dirichlet Allocation, plus the baselines and the benchmark
+harness that regenerate every table and figure of the paper's
+evaluation.  See DESIGN.md for the system inventory and EXPERIMENTS.md
+for the paper-vs-measured record.
+
+Quick start::
+
+    from repro import CuLdaTrainer, TrainerConfig
+    from repro.corpus.synthetic import small_spec, generate_synthetic_corpus
+
+    corpus = generate_synthetic_corpus(small_spec(), seed=0)
+    trainer = CuLdaTrainer(corpus, TrainerConfig(num_topics=64))
+    history = trainer.train(num_iterations=50)
+"""
+
+from repro.core import (
+    CuLdaTrainer,
+    IterationRecord,
+    LdaState,
+    TrainerConfig,
+    log_likelihood_per_token,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CuLdaTrainer",
+    "TrainerConfig",
+    "IterationRecord",
+    "LdaState",
+    "log_likelihood_per_token",
+    "__version__",
+]

@@ -1,0 +1,77 @@
+"""Analysis layer: roofline characterization, metrics, breakdowns, reports."""
+
+from repro.analysis.heldout import HeldOutResult, document_completion, split_documents
+from repro.analysis.replay import (
+    replay_cumulative_seconds,
+    replay_iteration_seconds,
+    replay_kernel_seconds,
+    replay_throughput_series,
+)
+from repro.analysis.topics import (
+    effective_topics,
+    top_words_matrix,
+    topic_diversity,
+    topic_shares,
+    umass_coherence,
+    word_distribution,
+)
+from repro.analysis.breakdown import (
+    TABLE5_KERNELS,
+    full_fractions,
+    sampling_dominates,
+    table5_fractions,
+)
+from repro.analysis.metrics import (
+    ScalingPoint,
+    average_throughput,
+    convergence_series,
+    scaling_table,
+    throughput_series,
+    time_to_quality,
+    warmup_ratio,
+)
+from repro.analysis.roofline import (
+    StepIntensity,
+    attainable_gflops,
+    average_intensity,
+    is_memory_bound,
+    table1_rows,
+    tokens_per_sec_bound,
+)
+from repro.analysis.reporting import render_series, render_sparkline, render_table
+
+__all__ = [
+    "table1_rows",
+    "average_intensity",
+    "is_memory_bound",
+    "attainable_gflops",
+    "tokens_per_sec_bound",
+    "StepIntensity",
+    "throughput_series",
+    "convergence_series",
+    "average_throughput",
+    "warmup_ratio",
+    "scaling_table",
+    "ScalingPoint",
+    "time_to_quality",
+    "table5_fractions",
+    "full_fractions",
+    "sampling_dominates",
+    "TABLE5_KERNELS",
+    "render_table",
+    "render_series",
+    "render_sparkline",
+    "HeldOutResult",
+    "document_completion",
+    "split_documents",
+    "replay_iteration_seconds",
+    "replay_throughput_series",
+    "replay_kernel_seconds",
+    "replay_cumulative_seconds",
+    "top_words_matrix",
+    "umass_coherence",
+    "topic_diversity",
+    "topic_shares",
+    "effective_topics",
+    "word_distribution",
+]

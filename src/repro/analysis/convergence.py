@@ -1,0 +1,106 @@
+"""Convergence diagnostics for Gibbs chains.
+
+The paper trains "until the model converges" with a fixed iteration
+budget; deciding *when* a chain has plateaued is left to the user.  These
+diagnostics operate on the per-iteration log-likelihood series every
+trainer in this repo records:
+
+- :func:`plateau_iteration` — first iteration after which the series
+  stays within a relative band of its final value;
+- :func:`geweke_score` — the classic Geweke z-score comparing the means
+  of an early and a late window (|z| < 2 ~ stationary);
+- :func:`improvement_rate` — smoothed per-iteration LL gain, the
+  practical stopping signal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_series(values) -> np.ndarray:
+    s = np.asarray(list(values), dtype=np.float64)
+    if s.ndim != 1 or s.size == 0:
+        raise ValueError("need a non-empty 1-D series")
+    if not np.all(np.isfinite(s)):
+        raise ValueError("series contains non-finite values")
+    return s
+
+
+def plateau_iteration(values, tolerance: float = 0.01) -> int | None:
+    """First index from which the series stays within ``tolerance`` of the
+    final value (relative to the total climb).  None if never.
+
+    For a log-likelihood trace this answers "after which iteration was the
+    model effectively converged?" — the quantity Figures 7/8 eyeball.
+    """
+    s = _as_series(values)
+    if not (0 < tolerance < 1):
+        raise ValueError("tolerance must be in (0, 1)")
+    climb = s[-1] - s[0]
+    if climb == 0:
+        return 0
+    band = abs(climb) * tolerance
+    ok = np.abs(s - s[-1]) <= band
+    # last False, +1
+    bad = np.nonzero(~ok)[0]
+    if bad.size == 0:
+        return 0
+    idx = int(bad[-1]) + 1
+    return idx if idx < s.size else None
+
+
+def geweke_score(
+    values, first_fraction: float = 0.2, last_fraction: float = 0.5
+) -> float:
+    """Geweke (1992) z-score between early and late window means.
+
+    |z| below ~2 is consistent with stationarity.  Windows must not
+    overlap.
+    """
+    s = _as_series(values)
+    if not (0 < first_fraction < 1 and 0 < last_fraction < 1):
+        raise ValueError("window fractions must be in (0, 1)")
+    if first_fraction + last_fraction > 1:
+        raise ValueError("windows overlap")
+    n = s.size
+    a = s[: max(1, int(n * first_fraction))]
+    b = s[n - max(1, int(n * last_fraction)) :]
+    var = a.var(ddof=1) / a.size + b.var(ddof=1) / b.size if min(a.size, b.size) > 1 else 0.0
+    if var == 0:
+        return 0.0 if a.mean() == b.mean() else float("inf")
+    return float((a.mean() - b.mean()) / np.sqrt(var))
+
+
+def improvement_rate(values, window: int = 5) -> float:
+    """Mean per-iteration gain over the trailing ``window`` iterations."""
+    s = _as_series(values)
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    if s.size < 2:
+        return 0.0
+    w = min(window, s.size - 1)
+    return float((s[-1] - s[-1 - w]) / w)
+
+
+def has_converged(
+    values,
+    min_iterations: int = 10,
+    rate_threshold: float = 1e-3,
+    geweke_threshold: float = 2.0,
+) -> bool:
+    """Combined stopping rule: enough iterations, flat rate, stationary.
+
+    The Geweke test is applied to the second half of the series only —
+    standard practice is to discard burn-in first, otherwise the initial
+    climb dominates the early window and no converged chain ever passes.
+    """
+    s = _as_series(values)
+    if s.size < min_iterations:
+        return False
+    if abs(improvement_rate(s)) > rate_threshold:
+        return False
+    tail = s[s.size // 2 :]
+    if tail.size < 4:
+        return True
+    return abs(geweke_score(tail)) < geweke_threshold

@@ -1,0 +1,137 @@
+"""Cross-platform replay: price a recorded run on a different GPU.
+
+The functional trajectory of a CuLDA run — every topic draw, every theta
+row length, every bucket decision — depends only on (corpus, config,
+seed).  The device spec enters *only* through the clock.  So the Figure 7
+/ Table 4 benches train once, keep the per-chunk
+:class:`~repro.core.scheduler.ChunkRecord`s, and re-price them on each
+Table 2 platform with the exact same cost formulas the trainer itself
+uses.  ``tests/test_replay.py`` proves replay equals a direct run.
+
+Replay covers the single-GPU, M=1 configuration (what Figures 7/8 and
+Table 4 measure); multi-GPU timing involves cross-device overlap, so the
+Figure 9 bench runs the real scheduler instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import TrainerConfig
+from repro.core.costs import (
+    int_bytes,
+    sampling_cost,
+    update_phi_cost,
+    update_theta_cost,
+)
+from repro.core.scheduler import IterationOutcome
+from repro.gpusim.cache import gpu_l1_index_factor
+from repro.gpusim.clock import gpu_kernel_time
+from repro.gpusim.spec import DeviceSpec
+
+
+def replay_iteration_seconds(
+    outcome: IterationOutcome,
+    config: TrainerConfig,
+    spec: DeviceSpec,
+) -> float:
+    """Simulated duration of one recorded iteration on ``spec``.
+
+    Mirrors :func:`repro.core.scheduler.run_chunk_kernels` kernel-for-
+    kernel: sampling, update-phi, update-theta, serialized on one device.
+    """
+    if config.num_gpus != 1 or config.chunks_per_gpu != 1:
+        raise ValueError(
+            "replay covers the single-GPU resident configuration; "
+            "run the real scheduler for multi-GPU or streamed runs"
+        )
+    if not outcome.chunk_records:
+        raise ValueError("outcome has no chunk records to replay")
+    total = 0.0
+    for rec in outcome.chunk_records:
+        if config.use_l1_for_indices:
+            index_ws = rec.theta_nnz_pre * int_bytes(config.compress) / spec.num_sms
+            l1f = gpu_l1_index_factor(spec, index_ws)
+        else:
+            l1f = 1.0
+        total += gpu_kernel_time(
+            spec,
+            sampling_cost(rec.stats, config.compress, config.share_p2_tree, l1f),
+        )
+        total += gpu_kernel_time(
+            spec, update_phi_cost(rec.stats.num_tokens, config.compress)
+        )
+        total += gpu_kernel_time(
+            spec,
+            update_theta_cost(
+                rec.stats.num_tokens,
+                rec.num_local_docs,
+                config.num_topics,
+                rec.theta_nnz_post,
+                config.compress,
+            ),
+        )
+    return total
+
+
+def replay_throughput_series(
+    outcomes: list[IterationOutcome],
+    config: TrainerConfig,
+    spec: DeviceSpec,
+    total_tokens: int,
+) -> np.ndarray:
+    """Per-iteration tokens/sec of a recorded run on ``spec`` (Figure 7)."""
+    if total_tokens <= 0:
+        raise ValueError("total_tokens must be positive")
+    out = np.empty(len(outcomes), dtype=np.float64)
+    for i, oc in enumerate(outcomes):
+        out[i] = total_tokens / replay_iteration_seconds(oc, config, spec)
+    return out
+
+
+def replay_kernel_seconds(
+    outcomes: list[IterationOutcome],
+    config: TrainerConfig,
+    spec: DeviceSpec,
+) -> dict[str, float]:
+    """Per-kernel simulated seconds of a recorded run on ``spec`` (Table 5)."""
+    if config.num_gpus != 1 or config.chunks_per_gpu != 1:
+        raise ValueError("replay covers the single-GPU resident configuration")
+    out = {"sampling": 0.0, "update_phi": 0.0, "update_theta": 0.0}
+    for oc in outcomes:
+        for rec in oc.chunk_records:
+            if config.use_l1_for_indices:
+                index_ws = (
+                    rec.theta_nnz_pre * int_bytes(config.compress) / spec.num_sms
+                )
+                l1f = gpu_l1_index_factor(spec, index_ws)
+            else:
+                l1f = 1.0
+            out["sampling"] += gpu_kernel_time(
+                spec,
+                sampling_cost(rec.stats, config.compress, config.share_p2_tree, l1f),
+            )
+            out["update_phi"] += gpu_kernel_time(
+                spec, update_phi_cost(rec.stats.num_tokens, config.compress)
+            )
+            out["update_theta"] += gpu_kernel_time(
+                spec,
+                update_theta_cost(
+                    rec.stats.num_tokens,
+                    rec.num_local_docs,
+                    config.num_topics,
+                    rec.theta_nnz_post,
+                    config.compress,
+                ),
+            )
+    return out
+
+
+def replay_cumulative_seconds(
+    outcomes: list[IterationOutcome],
+    config: TrainerConfig,
+    spec: DeviceSpec,
+) -> np.ndarray:
+    """Cumulative simulated time per iteration on ``spec`` (Figure 8 x-axis)."""
+    durs = [replay_iteration_seconds(oc, config, spec) for oc in outcomes]
+    return np.cumsum(durs)

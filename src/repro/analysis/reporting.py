@@ -1,0 +1,84 @@
+"""ASCII rendering of the paper's tables and figure series.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep the formatting in one place and the benches thin.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width table with a header rule, like the paper's tables."""
+    if not headers:
+        raise ValueError("headers must be non-empty")
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    for r in str_rows:
+        if len(r) != len(headers):
+            raise ValueError("row width does not match headers")
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x: Sequence[float],
+    y: Sequence[float],
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str | None = None,
+    max_points: int = 25,
+) -> str:
+    """A figure's data series as aligned (x, y) pairs, down-sampled."""
+    x = list(x)
+    y = list(y)
+    if len(x) != len(y):
+        raise ValueError("x and y must have the same length")
+    if not x:
+        raise ValueError("empty series")
+    if max_points < 2:
+        raise ValueError("max_points must be >= 2")
+    idx = np.unique(np.linspace(0, len(x) - 1, max_points).astype(int))
+    rows = [(x[i], y[i]) for i in idx]
+    return render_table([x_label, y_label], rows, title=title)
+
+
+def render_sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A one-line unicode trend view of a series (for bench logs)."""
+    v = np.asarray(list(values), dtype=np.float64)
+    if v.size == 0:
+        raise ValueError("empty series")
+    blocks = "▁▂▃▄▅▆▇█"
+    idx = np.unique(np.linspace(0, v.size - 1, min(width, v.size)).astype(int))
+    v = v[idx]
+    lo, hi = float(v.min()), float(v.max())
+    if hi == lo:
+        return blocks[0] * v.size
+    scaled = ((v - lo) / (hi - lo) * (len(blocks) - 1)).astype(int)
+    return "".join(blocks[s] for s in scaled)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1e5 or abs(cell) < 1e-3:
+            return f"{cell:.3g}"
+        return f"{cell:.3f}".rstrip("0").rstrip(".")
+    return str(cell)

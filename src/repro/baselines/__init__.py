@@ -1,0 +1,31 @@
+"""Baseline LDA systems the paper compares against (Section 7.2).
+
+- :mod:`~repro.baselines.plain_cgs` — exact sequential CGS (oracle);
+- :mod:`~repro.baselines.sparselda` — Yao et al. S/Q sequential sampler;
+- :mod:`~repro.baselines.alias` — Vose alias tables (MH substrate);
+- :mod:`~repro.baselines.warplda` — WarpLDA-style CPU MH baseline;
+- :mod:`~repro.baselines.saberlda` — SaberLDA-style GPU baseline;
+- :mod:`~repro.baselines.ldastar` — LDA*-style distributed baseline.
+"""
+
+from repro.baselines.alias import AliasTable, build_alias_columns
+from repro.baselines.ldastar import LdaStarTrainer
+from repro.baselines.lightlda import LightLdaTrainer
+from repro.baselines.plain_cgs import PlainCgsModel, PlainCgsSampler
+from repro.baselines.saberlda import SaberLdaTrainer, saberlda_config
+from repro.baselines.sparselda import SparseLdaSampler
+from repro.baselines.warplda import WarpLdaConfig, WarpLdaTrainer
+
+__all__ = [
+    "AliasTable",
+    "build_alias_columns",
+    "PlainCgsSampler",
+    "PlainCgsModel",
+    "SparseLdaSampler",
+    "WarpLdaTrainer",
+    "WarpLdaConfig",
+    "SaberLdaTrainer",
+    "saberlda_config",
+    "LdaStarTrainer",
+    "LightLdaTrainer",
+]

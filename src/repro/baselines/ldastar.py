@@ -1,0 +1,174 @@
+"""LDA*-style distributed baseline (Yu et al. [34]).
+
+LDA* is the paper's distributed comparison point: CPU workers behind a
+parameter server, connected by 10 Gb/s Ethernet.  The paper's argument
+(Sections 3.2, 7.2) is that such systems are **network bound**: every
+iteration the workers must push their model deltas to the parameter
+server and pull the merged model back, and 10 GbE is two orders of
+magnitude slower than on-node interconnects.
+
+The simulation runs the *same functional CGS kernel* as the core system
+partitioned over ``num_workers`` chunks (so convergence is genuine), and
+charges per iteration:
+
+- compute: the Table 1 roofline cost on each worker's CPU, with the
+  cache-factor degradation of Section 3.2;
+- network: sparse delta push + dense model pull through the parameter
+  server's shared link — the serialisation point that caps scaling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import TrainerConfig
+from repro.core.costs import SamplingStats, int_bytes, sampling_cost, tree_depth_for
+from repro.core.likelihood import log_likelihood_per_token
+from repro.core.model import LdaState
+from repro.core.rng import RngPool
+from repro.core.sampler import sample_chunk
+from repro.core.trainer import IterationRecord
+from repro.core.updates import apply_phi_update
+from repro.corpus.document import Corpus
+from repro.corpus.partition import partition_by_tokens
+from repro.gpusim.cache import cpu_cache_bandwidth_factor
+from repro.gpusim.clock import cpu_kernel_time
+from repro.gpusim.interconnect import ETHERNET_10G, Link
+from repro.gpusim.platform import XEON_E5_2650_V3
+from repro.gpusim.spec import CpuSpec
+
+
+class LdaStarTrainer:
+    """Parameter-server distributed LDA simulation.
+
+    Parameters
+    ----------
+    num_workers:
+        Machines in the cluster (the paper's PubMed comparison uses 20).
+    network:
+        The shared link to the parameter server (default 10 GbE).
+    """
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        num_topics: int,
+        num_workers: int = 20,
+        cpu: CpuSpec = XEON_E5_2650_V3,
+        network: Link = ETHERNET_10G,
+        alpha: float | None = None,
+        beta: float | None = None,
+        seed: int = 0,
+    ):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.corpus = corpus
+        self.num_workers = num_workers
+        self.cpu = cpu
+        self.network = network
+        # Reuse the core chunked state: one chunk per worker.
+        self.config = TrainerConfig(
+            num_topics=num_topics,
+            alpha=alpha,
+            beta=beta,
+            num_gpus=num_workers,  # worker count plays the role of G
+            chunks_per_gpu=1,
+            compress=False,  # workers use plain 32-bit data
+            seed=seed,
+        )
+        specs = partition_by_tokens(corpus, num_workers)
+        self.state = LdaState.initialize(corpus, self.config, specs)
+        self.pool = RngPool(seed)
+        self.history: list[IterationRecord] = []
+        self._sim_time = 0.0
+        self._iterations_done = 0
+
+    def _worker_seconds(self, stats: SamplingStats) -> float:
+        """Roofline time of one worker's chunk pass on its CPU."""
+        working_set = (
+            self.state.phi.nbytes
+            + stats.sum_kd * 3 * int_bytes(False)
+            + stats.num_tokens * 8
+        )
+        factor = cpu_cache_bandwidth_factor(self.cpu, working_set)
+        cost = sampling_cost(stats, compress=False, share_p2_tree=False)
+        return cpu_kernel_time(self.cpu, cost.scaled(1.0 / min(factor, 8.0)))
+
+    def _network_seconds(self, changed_tokens: int) -> float:
+        """PS sync: sparse delta pushes + dense model pulls, shared link.
+
+        Every changed token contributes two (k, v, delta) triples; every
+        worker also pulls the merged dense phi.  All of it serialises
+        through the parameter server's link.
+        """
+        delta_bytes = changed_tokens * 2 * 12  # (int32 k, int32 v, int32 d)
+        pull_bytes = self.num_workers * self.state.phi.nbytes
+        return self.network.transfer_time(delta_bytes + pull_bytes)
+
+    def train(
+        self, num_iterations: int, compute_likelihood_every: int = 1
+    ) -> list[IterationRecord]:
+        """Run iterations on the simulated cluster clock."""
+        if num_iterations < 0:
+            raise ValueError("num_iterations must be non-negative")
+        total_tokens = self.state.num_tokens
+        for _ in range(num_iterations):
+            it = self._iterations_done
+            phi_ref = self.state.phi.copy()
+            totals_ref = self.state.topic_totals.copy()
+            worker_times = []
+            changed_total = 0
+            sum_kd = 0
+            deltas = np.zeros_like(self.state.phi, dtype=np.int64)
+            for w, cs in enumerate(self.state.chunks):
+                phi_w = phi_ref.copy()
+                totals_w = totals_ref.copy()
+                rng = self.pool.chunk_stream(it, w)
+                result = sample_chunk(
+                    cs.chunk, cs.topics, cs.theta, phi_w, totals_w,
+                    self.config.effective_alpha, self.config.effective_beta, rng,
+                )
+                changed = apply_phi_update(
+                    phi_w, totals_w, cs.chunk.token_words, cs.topics,
+                    result.new_topics,
+                )
+                cs.topics = result.new_topics
+                cs.rebuild_theta(self.config.num_topics, compress=False)
+                deltas += phi_w.astype(np.int64) - phi_ref.astype(np.int64)
+                worker_times.append(self._worker_seconds(result.stats))
+                changed_total += changed
+                sum_kd += result.stats.sum_kd
+            self.state.phi[...] = (phi_ref.astype(np.int64) + deltas).astype(
+                self.state.phi.dtype
+            )
+            self.state.topic_totals[...] = self.state.phi.sum(axis=1, dtype=np.int64)
+
+            dur = max(worker_times) + self._network_seconds(changed_total)
+            self._sim_time += dur
+            ll = None
+            if compute_likelihood_every and (it + 1) % compute_likelihood_every == 0:
+                ll = log_likelihood_per_token(self.state)
+            self.history.append(
+                IterationRecord(
+                    iteration=it,
+                    sim_seconds=dur,
+                    cumulative_seconds=self._sim_time,
+                    tokens_per_sec=total_tokens / dur,
+                    log_likelihood_per_token=ll,
+                    mean_kd=sum_kd / total_tokens if total_tokens else 0.0,
+                    p1_fraction=0.0,
+                    changed_fraction=changed_total / total_tokens if total_tokens else 0.0,
+                )
+            )
+            self._iterations_done += 1
+        return self.history
+
+    def average_tokens_per_sec(self, first_n: int | None = None) -> float:
+        records = self.history if first_n is None else self.history[:first_n]
+        if not records:
+            raise ValueError("no iterations recorded yet")
+        return float(np.mean([r.tokens_per_sec for r in records]))
+
+    @property
+    def tree_depth(self) -> int:  # pragma: no cover - convenience
+        return tree_depth_for(self.config.num_topics)

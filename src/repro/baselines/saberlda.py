@@ -1,0 +1,59 @@
+"""SaberLDA-style single-GPU baseline (Li et al. [20]).
+
+SaberLDA is the paper's GPU comparison point.  Its code is not public;
+the paper cites its reported numbers (120 M tokens/s on NYTimes, GTX
+1080).  Section 7.2 attributes CuLDA_CGS's advantage to: block-shared
+p*(k) trees with shared-memory reuse, 16-bit data compression, and the
+L1 routing of sparse-index loads — optimizations SaberLDA's published
+design lacks in this combination.
+
+The reproduction therefore models SaberLDA as the *same functional
+sampler* (it is also sparsity-aware CGS) with those cost-model levers
+turned off, on the GTX 1080 spec, single GPU only ("SaberLDA lacks
+multi-GPU support").
+"""
+
+from __future__ import annotations
+
+from repro.core.config import TrainerConfig
+from repro.core.trainer import CuLdaTrainer
+from repro.corpus.document import Corpus
+from repro.gpusim.platform import GTX_1080_PASCAL
+from repro.gpusim.spec import DeviceSpec
+
+
+def saberlda_config(num_topics: int, seed: int = 0, **overrides) -> TrainerConfig:
+    """A TrainerConfig expressing SaberLDA's design point.
+
+    Single GPU, 32-bit model data (no Section 6.1.3 compression), no L1
+    index routing.  The block-level word grouping (their "PWS" layout) is
+    kept — SaberLDA does sort by word.
+    """
+    params = dict(
+        num_topics=num_topics,
+        num_gpus=1,
+        chunks_per_gpu=1,
+        compress=False,
+        share_p2_tree=True,
+        use_l1_for_indices=False,
+        seed=seed,
+    )
+    params.update(overrides)
+    if params["num_gpus"] != 1:
+        raise ValueError("SaberLDA is single-GPU only (Section 7.2)")
+    return TrainerConfig(**params)
+
+
+class SaberLdaTrainer(CuLdaTrainer):
+    """Single-GPU SaberLDA model: shared functional core, degraded costs."""
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        num_topics: int,
+        device_spec: DeviceSpec = GTX_1080_PASCAL,
+        seed: int = 0,
+        **config_overrides,
+    ):
+        config = saberlda_config(num_topics, seed=seed, **config_overrides)
+        super().__init__(corpus, config, device_spec=device_spec)

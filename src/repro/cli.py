@@ -1,0 +1,174 @@
+"""Command-line interface: train, inspect, and evaluate LDA models.
+
+    python -m repro train --preset nytimes --scale 0.003 --topics 128 \
+        --iterations 30 --platform volta --output model.npz
+    python -m repro train --docword docword.txt --vocab vocab.txt ...
+    python -m repro topics --model model.npz --vocab vocab.txt --top 10
+    python -m repro benchmark --platform volta --topics 256
+
+Kept dependency-free beyond the library itself; every command prints the
+same metrics the paper reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.analysis.reporting import render_table
+from repro.core import CuLdaTrainer, TrainerConfig
+from repro.core.snapshot import load_model, save_checkpoint, save_model
+from repro.corpus.document import Corpus
+from repro.corpus.io import read_uci_bow
+from repro.corpus.stats import corpus_stats
+from repro.corpus.synthetic import (
+    NYTIMES_LIKE,
+    PUBMED_LIKE,
+    generate_synthetic_corpus,
+    small_spec,
+)
+from repro.gpusim.platform import platform_by_name
+
+PRESETS = {"nytimes": NYTIMES_LIKE, "pubmed": PUBMED_LIKE}
+
+
+def _load_corpus(args: argparse.Namespace) -> Corpus:
+    if args.docword:
+        return read_uci_bow(args.docword, args.vocab)
+    if args.preset:
+        spec = PRESETS[args.preset].scaled(args.scale)
+        return generate_synthetic_corpus(spec, seed=args.seed)
+    return generate_synthetic_corpus(small_spec(), seed=args.seed)
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    corpus = _load_corpus(args)
+    st = corpus_stats(corpus)
+    print(f"corpus: D={st.num_docs} V={st.num_words} T={st.num_tokens}")
+    config = TrainerConfig(
+        num_topics=args.topics,
+        num_gpus=args.gpus,
+        chunks_per_gpu=args.chunks_per_gpu,
+        seed=args.seed,
+    )
+    trainer = CuLdaTrainer(corpus, config, platform=platform_by_name(args.platform))
+    history = trainer.train(
+        args.iterations, compute_likelihood_every=args.likelihood_every
+    )
+    last = history[-1]
+    print(
+        f"done: {len(history)} iterations, "
+        f"{trainer.average_tokens_per_sec() / 1e6:.1f}M tokens/s (simulated), "
+        f"LL/token {last.log_likelihood_per_token}"
+    )
+    if args.output:
+        save_model(trainer.state, args.output)
+        print(f"model written to {args.output}")
+    if args.checkpoint:
+        save_checkpoint(trainer.state, args.checkpoint)
+        print(f"checkpoint written to {args.checkpoint}")
+    return 0
+
+
+def cmd_topics(args: argparse.Namespace) -> int:
+    model = load_model(args.model)
+    phi = model["phi"]
+    terms = None
+    if args.vocab:
+        from pathlib import Path
+
+        terms = [t for t in Path(args.vocab).read_text().splitlines() if t]
+        if len(terms) != model["num_words"]:
+            print(
+                f"error: vocab has {len(terms)} terms, model expects "
+                f"{model['num_words']}",
+                file=sys.stderr,
+            )
+            return 2
+    totals = model["topic_totals"]
+    order = np.argsort(totals)[::-1][: args.num_topics]
+    rows = []
+    for k in order:
+        top = np.argsort(phi[k])[::-1][: args.top]
+        words = [terms[i] if terms else f"w{i}" for i in top]
+        rows.append([int(k), int(totals[k]), " ".join(words)])
+    print(render_table(["topic", "#tokens", "top words"], rows))
+    return 0
+
+
+def cmd_benchmark(args: argparse.Namespace) -> int:
+    corpus = _load_corpus(args)
+    config = TrainerConfig(num_topics=args.topics, num_gpus=args.gpus, seed=args.seed)
+    trainer = CuLdaTrainer(corpus, config, platform=platform_by_name(args.platform))
+    trainer.train(args.iterations, compute_likelihood_every=0)
+    shares = trainer.kernel_breakdown()
+    total = sum(shares.values())
+    print(
+        f"{args.platform}: {trainer.average_tokens_per_sec() / 1e6:.1f}M tokens/s "
+        f"(simulated, {args.iterations} iterations)"
+    )
+    rows = [[k, f"{100 * v / total:.1f}%"] for k, v in sorted(shares.items())]
+    print(render_table(["kernel", "share"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CuLDA_CGS reproduction: LDA training on simulated GPUs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_corpus_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--docword", help="UCI bag-of-words file")
+        p.add_argument("--vocab", help="vocabulary file (one term per line)")
+        p.add_argument("--preset", choices=sorted(PRESETS))
+        p.add_argument("--scale", type=float, default=0.003,
+                       help="scale factor for --preset shapes")
+        p.add_argument("--seed", type=int, default=0)
+
+    p_train = sub.add_parser("train", help="train a model")
+    add_corpus_args(p_train)
+    p_train.add_argument("--topics", type=int, default=128)
+    p_train.add_argument("--iterations", type=int, default=30)
+    p_train.add_argument("--gpus", type=int, default=1)
+    p_train.add_argument("--chunks-per-gpu", type=int, default=1)
+    p_train.add_argument("--platform", default="Volta")
+    p_train.add_argument("--likelihood-every", type=int, default=5)
+    p_train.add_argument("--output", help="write model .npz here")
+    p_train.add_argument("--checkpoint", help="write resumable checkpoint here")
+    p_train.set_defaults(func=cmd_train)
+
+    p_topics = sub.add_parser("topics", help="inspect a saved model")
+    p_topics.add_argument("--model", required=True)
+    p_topics.add_argument("--vocab")
+    p_topics.add_argument("--top", type=int, default=10)
+    p_topics.add_argument("--num-topics", type=int, default=10,
+                          help="how many topics to print")
+    p_topics.set_defaults(func=cmd_topics)
+
+    p_bench = sub.add_parser("benchmark", help="quick throughput check")
+    add_corpus_args(p_bench)
+    p_bench.add_argument("--topics", type=int, default=256)
+    p_bench.add_argument("--iterations", type=int, default=10)
+    p_bench.add_argument("--gpus", type=int, default=1)
+    p_bench.add_argument("--platform", default="Volta")
+    p_bench.set_defaults(func=cmd_benchmark)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, KeyError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,43 @@
+"""Core CuLDA_CGS implementation: the paper's primary contribution.
+
+Public surface:
+
+- :class:`~repro.core.config.TrainerConfig` — run configuration;
+- :class:`~repro.core.trainer.CuLdaTrainer` — end-to-end training;
+- :class:`~repro.core.model.LdaState` — model state and invariants;
+- :class:`~repro.core.tree.IndexTree` — Figure 5 tree-based sampling;
+- :func:`~repro.core.sampler.sample_chunk` — the Algorithm 2 kernel;
+- :func:`~repro.core.likelihood.log_likelihood_per_token` — Figure 8 metric.
+"""
+
+from repro.core.config import TrainerConfig
+from repro.core.inference import FoldInSampler
+from repro.core.likelihood import log_likelihood, log_likelihood_per_token, perplexity
+from repro.core.model import ChunkState, LdaState
+from repro.core.rng import RngPool
+from repro.core.snapshot import load_checkpoint, load_model, save_checkpoint, save_model
+from repro.core.sampler import SampleResult, conditional_distribution, sample_chunk
+from repro.core.trainer import CuLdaTrainer, IterationRecord
+from repro.core.tree import IndexTree, cdf_sample
+
+__all__ = [
+    "TrainerConfig",
+    "CuLdaTrainer",
+    "IterationRecord",
+    "LdaState",
+    "ChunkState",
+    "RngPool",
+    "FoldInSampler",
+    "save_model",
+    "load_model",
+    "save_checkpoint",
+    "load_checkpoint",
+    "IndexTree",
+    "cdf_sample",
+    "sample_chunk",
+    "SampleResult",
+    "conditional_distribution",
+    "log_likelihood",
+    "log_likelihood_per_token",
+    "perplexity",
+]

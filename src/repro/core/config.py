@@ -1,0 +1,84 @@
+"""Trainer configuration.
+
+Hyper-parameters follow the paper: ``alpha = 50 / K`` and ``beta = 0.01``
+(Section 2.1 / Section 7, matching WarpLDA [10] and SaberLDA [20]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TrainerConfig:
+    """Configuration of a CuLDA_CGS training run.
+
+    Attributes
+    ----------
+    num_topics:
+        ``K``, the number of topics to infer (paper: 1k-10k at scale).
+    alpha / beta:
+        Dirichlet hyper-parameters; ``None`` selects the paper defaults
+        ``50/K`` and ``0.01``.
+    num_gpus:
+        ``G``, devices used by the parallelization scheme (Section 5).
+    chunks_per_gpu:
+        ``M``; ``C = M * G`` chunks total.  ``M = 1`` keeps chunks resident
+        (WorkSchedule1); ``M > 1`` streams chunks through the device
+        (WorkSchedule2) with transfer/compute overlap.
+    compress:
+        Enable the 16-bit data compression of Section 6.1.3.
+    share_p2_tree:
+        Share the p2(k)/p*(k) index tree across the samplers of a thread
+        block (Section 6.1.2).  Disabling reproduces the "naive
+        parallelization" the paper argues against (ablation bench).
+    use_l1_for_indices:
+        Route sparse-index loads through L1 (Section 6.1.2, citing [28]).
+    overlap_transfers:
+        Pipeline transfers with compute in WorkSchedule2 (Section 5.1).
+    tokens_per_block:
+        Upper bound on tokens per thread block (Figure 6 splitting).
+    seed:
+        RNG seed for the whole run (reproducible).
+    """
+
+    num_topics: int
+    alpha: float | None = None
+    beta: float | None = None
+    num_gpus: int = 1
+    chunks_per_gpu: int = 1
+    compress: bool = True
+    share_p2_tree: bool = True
+    use_l1_for_indices: bool = True
+    overlap_transfers: bool = True
+    tokens_per_block: int = 1024
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_topics < 2:
+            raise ValueError(f"num_topics must be >= 2, got {self.num_topics}")
+        if self.num_gpus < 1:
+            raise ValueError(f"num_gpus must be >= 1, got {self.num_gpus}")
+        if self.chunks_per_gpu < 1:
+            raise ValueError(f"chunks_per_gpu must be >= 1, got {self.chunks_per_gpu}")
+        if self.tokens_per_block < 32:
+            raise ValueError("tokens_per_block must be >= 32 (one warp)")
+        if self.alpha is not None and self.alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {self.alpha}")
+        if self.beta is not None and self.beta <= 0:
+            raise ValueError(f"beta must be positive, got {self.beta}")
+
+    @property
+    def effective_alpha(self) -> float:
+        """Paper default: alpha = 50 / K."""
+        return self.alpha if self.alpha is not None else 50.0 / self.num_topics
+
+    @property
+    def effective_beta(self) -> float:
+        """Paper default: beta = 0.01."""
+        return self.beta if self.beta is not None else 0.01
+
+    @property
+    def num_chunks(self) -> int:
+        """``C = M * G`` (Section 5.1)."""
+        return self.num_gpus * self.chunks_per_gpu

@@ -1,0 +1,199 @@
+"""Cost builders: Table 1 formulas applied to runtime statistics.
+
+Table 1 of the paper gives, for each step of one LDA sampling, the flop
+and byte counts as functions of ``K`` (topics) and ``Kd`` (non-zeros of
+the token's document row of theta):
+
+    ==================  =======================  ==========================
+    Step                Flops                    Bytes
+    ==================  =======================  ==========================
+    Compute S           4 * Kd                   3 * Int * Kd
+    Compute Q           2 * K                    2 * Int * K
+    Sampling from p1    6 * Kd                   (3*Int + 2*Float) * Kd
+    Sampling from p2    3 * K                    (2*Int + 2*Float) * K
+    ==================  =======================  ==========================
+
+The builders below apply these formulas to the *measured* statistics of a
+chunk pass (sum of Kd over sampled tokens, bucket counts, block counts),
+then apply the Section 6 optimizations where enabled:
+
+- **block-shared p2 tree** (6.1.2): the Q/p*(k) pass is charged once per
+  thread block instead of once per token;
+- **tree-based p2 draw** (6.1.1): a draw touches only the root-to-leaf
+  path (the tree lives in shared memory), not the whole K-vector;
+- **L1-cached sparse indices** (6.1.2): index traffic is discounted by
+  the L1 model;
+- **16-bit compression** (6.1.3): ``Int = 2`` instead of 4.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.gpusim.clock import KernelCost
+
+FLOAT_BYTES = 4
+INT32_BYTES = 4
+INT16_BYTES = 2
+
+#: Fraction of the compute-S / sample-p1 byte traffic that is sparse-index
+#: loads (1 of the 3 integers per non-zero is the CSR column index).
+INDEX_TRAFFIC_FRACTION = 1.0 / 3.0
+
+
+def int_bytes(compress: bool) -> int:
+    """Integer width under the Section 6.1.3 compression policy."""
+    return INT16_BYTES if compress else INT32_BYTES
+
+
+@dataclass(frozen=True)
+class SamplingStats:
+    """Measured statistics of one chunk sampling pass.
+
+    Collected by :func:`repro.core.sampler.sample_chunk`; every cost below
+    is a deterministic function of these numbers, so tests can check cost
+    accounting without re-running the sampler.
+    """
+
+    num_tokens: int
+    sum_kd: int  # sum over tokens of their document's theta row length
+    sum_kd_p1: int  # same, restricted to tokens that drew from p1
+    num_p1_draws: int
+    num_p2_draws: int
+    num_blocks: int
+    num_topics: int
+    tree_depth: int  # depth of the 32-way p2 index tree
+
+    def __post_init__(self) -> None:
+        if self.num_p1_draws + self.num_p2_draws != self.num_tokens:
+            raise ValueError("bucket draws must partition the tokens")
+        if min(self.num_tokens, self.sum_kd, self.sum_kd_p1, self.num_blocks) < 0:
+            raise ValueError("statistics must be non-negative")
+
+    @property
+    def mean_kd(self) -> float:
+        """Average theta-row density — the sparsity the paper tracks."""
+        return self.sum_kd / self.num_tokens if self.num_tokens else 0.0
+
+
+def sampling_cost(
+    stats: SamplingStats,
+    compress: bool = True,
+    share_p2_tree: bool = True,
+    l1_index_factor: float = 1.0,
+) -> KernelCost:
+    """Cost of the sampling kernel for one chunk pass.
+
+    ``l1_index_factor`` is the fraction of index traffic charged to DRAM
+    (from :func:`repro.gpusim.cache.gpu_l1_index_factor`); 1.0 disables
+    the L1 optimization.
+    """
+    if not (0 <= l1_index_factor <= 1):
+        raise ValueError("l1_index_factor must be in [0, 1]")
+    ib = int_bytes(compress)
+    k = stats.num_topics
+
+    # Compute S: per token, walk the document's theta row.
+    s_flops = 4.0 * stats.sum_kd
+    s_bytes = 3.0 * ib * stats.sum_kd
+
+    # Compute Q + build the p*(k) tree: per block when shared, else per token.
+    q_units = stats.num_blocks if share_p2_tree else stats.num_tokens
+    q_flops = 2.0 * k * q_units
+    q_bytes = 2.0 * ib * k * q_units
+
+    # Sampling from p1: only the tokens that took the sparse bucket.
+    p1_flops = 6.0 * stats.sum_kd_p1
+    p1_bytes = (3.0 * ib + 2.0 * FLOAT_BYTES) * stats.sum_kd_p1
+
+    # Sampling from p2: the tree lives in shared memory; only the
+    # root-to-leaf path (2 floats per level) reaches charged storage.
+    p2_flops = 2.0 * 32.0 * stats.tree_depth * stats.num_p2_draws
+    p2_bytes = 2.0 * FLOAT_BYTES * stats.tree_depth * stats.num_p2_draws
+
+    # Token bookkeeping: read word & doc ids, write the new topic.
+    token_bytes = (2.0 * ib + ib) * stats.num_tokens
+
+    read = s_bytes + q_bytes + p1_bytes + p2_bytes + 2.0 * ib * stats.num_tokens
+    # L1 discount applies to the sparse-index share of the S / p1 walks.
+    index_traffic = INDEX_TRAFFIC_FRACTION * (s_bytes + p1_bytes)
+    read -= index_traffic * (1.0 - l1_index_factor)
+    written = ib * stats.num_tokens  # the new topic assignment
+
+    return KernelCost(
+        bytes_read=read,
+        bytes_written=written + (token_bytes - 3.0 * ib * stats.num_tokens),
+        flops=s_flops + q_flops + p1_flops + p2_flops + 10.0 * stats.num_tokens,
+    )
+
+
+def update_phi_cost(num_tokens: int, compress: bool = True) -> KernelCost:
+    """Cost of the update-phi kernel (Section 6.2).
+
+    Word-sorted order makes the atomics data-local; two atomic adds per
+    token (decrement old topic, increment new) plus streaming reads of
+    the token's word id and both topics.
+    """
+    if num_tokens < 0:
+        raise ValueError("num_tokens must be non-negative")
+    ib = int_bytes(compress)
+    return KernelCost(
+        bytes_read=3.0 * ib * num_tokens,
+        bytes_written=2.0 * ib * num_tokens,
+        flops=2.0 * num_tokens,
+        atomic_ops=2.0 * num_tokens,
+    )
+
+
+def update_theta_cost(
+    num_tokens: int,
+    num_docs: int,
+    num_topics: int,
+    nnz_theta: int,
+    compress: bool = True,
+) -> KernelCost:
+    """Cost of the update-theta kernel (Section 6.2).
+
+    Step 1 scatters each document's topics into a dense K-length row via
+    atomics (the document-word map makes tokens of one document
+    contiguous); step 2 compacts the dense row to CSR with a prefix sum.
+    """
+    if min(num_tokens, num_docs, num_topics, nnz_theta) < 0:
+        raise ValueError("arguments must be non-negative")
+    ib = int_bytes(compress)
+    scatter = KernelCost(
+        bytes_read=2.0 * ib * num_tokens,  # doc-word map + topic
+        bytes_written=ib * num_tokens,
+        flops=float(num_tokens),
+        atomic_ops=float(num_tokens),
+    )
+    compact = KernelCost(
+        bytes_read=ib * num_docs * num_topics,  # dense rows scan
+        bytes_written=2.0 * ib * nnz_theta,  # CSR indices + data
+        flops=2.0 * float(num_docs * num_topics),  # prefix sums
+    )
+    return scatter + compact
+
+
+def phi_replica_bytes(num_topics: int, num_words: int, compress: bool = True) -> int:
+    """Device footprint of one phi replica (dense K x V, Section 6.1.3)."""
+    if num_topics < 1 or num_words < 1:
+        raise ValueError("dimensions must be positive")
+    return num_topics * num_words * int_bytes(compress)
+
+
+def theta_replica_bytes(nnz: int, num_docs: int, compress: bool = True) -> int:
+    """Device footprint of one theta replica in CSR."""
+    if nnz < 0 or num_docs < 0:
+        raise ValueError("arguments must be non-negative")
+    return nnz * (int_bytes(compress) + INT32_BYTES) + (num_docs + 1) * 8
+
+
+def tree_depth_for(num_topics: int, fanout: int = 32) -> int:
+    """Depth of the fanout-way index tree over K leaves."""
+    if num_topics < 1:
+        raise ValueError("num_topics must be positive")
+    if num_topics == 1:
+        return 0
+    return max(1, math.ceil(math.log(num_topics, fanout)))

@@ -1,0 +1,252 @@
+"""The CuLDA_CGS sampling kernel (Algorithm 2, Sections 6.1.1-6.1.3).
+
+One chunk pass reassigns a topic to every token of the chunk against the
+chunk-start model snapshot, with the token's **own** current assignment
+excluded from the counts (proper CGS exclusion).  The decomposition of
+Eq. 6/8 is used throughout:
+
+    p*(k)  = (phi[k,v] + beta) / (topic_totals[k] + beta*V)
+    p1(k)  = theta[d,k] * p*(k)          (sparse: Kd non-zeros)
+    p2(k)  = alpha * p*(k)               (dense: K entries, shared per word)
+    S = sum_k p1(k),  Q = sum_k p2(k)
+
+A draw takes bucket p1 with probability ``S / (S + Q)``; inside a bucket
+the draw is a prefix-sum search (the Figure 5 index tree).
+
+Mapping to the paper's GPU execution
+------------------------------------
+The paper runs one warp per token-sampler, 32 samplers per thread block,
+all samplers of a block on tokens of the *same word* so they share the
+p*(k)/p2 index tree in shared memory.  The SIMD expression of that design
+in NumPy is *word-batched vectorization*: every per-word quantity (p*,
+its prefix sums) is computed once per word, and every per-token quantity
+is a vector op over all tokens at once.  All searches are
+``searchsorted`` over prefix sums — bit-identical to the index-tree
+descent (see :mod:`repro.core.tree` and its equivalence tests).
+
+Exclusion adjustment
+--------------------
+Excluding token ``j``'s own count changes the snapshot quantities in O(1)
+places: ``phi[z_j, v] -= 1``, ``topic_totals[z_j] -= 1`` and
+``theta[d_j, z_j] -= 1``.  Each affects only the ``z_j`` entry of p*(k) /
+p1(k), so S, Q and both prefix-sum searches are corrected with
+constant-time per-token adjustments (a shifted-CDF three-case search for
+p2, a single-entry rewrite for p1) — never a per-token rebuild of the
+shared structures.  This is exactly why the block-shared tree is sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.corpus.encoding import DeviceChunk
+from repro.core.costs import SamplingStats, tree_depth_for
+from repro.core.sparse import CsrCounts, gather_rows
+
+
+@dataclass(frozen=True)
+class SampleResult:
+    """Output of one chunk sampling pass."""
+
+    new_topics: np.ndarray  # same dtype/order as the input topics
+    stats: SamplingStats
+
+
+def _segment_sums(values: np.ndarray, seg_offsets: np.ndarray) -> np.ndarray:
+    """Sum of each ``[seg_offsets[i], seg_offsets[i+1])`` slice of values."""
+    csum = np.zeros(values.shape[0] + 1, dtype=np.float64)
+    np.cumsum(values, out=csum[1:])
+    return csum[seg_offsets[1:]] - csum[seg_offsets[:-1]]
+
+
+def sample_chunk(
+    chunk: DeviceChunk,
+    topics: np.ndarray,
+    theta: CsrCounts,
+    phi: np.ndarray,
+    topic_totals: np.ndarray,
+    alpha: float,
+    beta: float,
+    rng: np.random.Generator,
+) -> SampleResult:
+    """Sample a new topic for every token of ``chunk``.
+
+    Parameters
+    ----------
+    chunk:
+        Word-first encoded chunk (see :mod:`repro.corpus.encoding`).
+    topics:
+        Current topic per token, aligned with the chunk's token order.
+        The input array is not modified.
+    theta:
+        The chunk's document-topic CSR, consistent with ``topics``.
+    phi, topic_totals:
+        The device's model replica (consistent with the union of all
+        chunk assignments it has seen — the chunk-start snapshot).
+    alpha, beta:
+        Hyper-parameters of Eq. 1.
+    rng:
+        Per-(iteration, chunk) generator from :class:`~repro.core.rng.RngPool`.
+
+    Returns
+    -------
+    SampleResult
+        New topics plus the measured statistics that drive cost accounting.
+    """
+    n = chunk.num_tokens
+    num_topics, num_words = phi.shape
+    if topics.shape[0] != n:
+        raise ValueError("topics length must equal chunk token count")
+    if theta.num_rows != chunk.num_local_docs or theta.num_cols != num_topics:
+        raise ValueError("theta shape inconsistent with chunk/model")
+    if topic_totals.shape[0] != num_topics:
+        raise ValueError("topic_totals length must be K")
+    if n == 0:
+        return SampleResult(
+            new_topics=topics.copy(),
+            stats=SamplingStats(0, 0, 0, 0, 0, 0, num_topics, tree_depth_for(num_topics)),
+        )
+
+    z_old = topics.astype(np.int64)
+    words = chunk.token_words.astype(np.int64)
+    docs = chunk.token_docs.astype(np.int64)
+    beta_v = beta * num_words
+    denom = topic_totals.astype(np.float64) + beta_v  # K
+
+    # ---- per-word shared structures (the block-shared p* tree) ----------
+    spans = np.diff(chunk.word_offsets)
+    present = np.nonzero(spans)[0]
+    wp = present.shape[0]
+    counts_present = spans[present]
+    # p_sub[k, c] = p*(k) for present word c; one column per word.
+    p_sub = (phi[:, present].astype(np.float64) + beta) / denom[:, None]
+    p_w = p_sub.sum(axis=0)  # per-word total P = sum_k p*(k)
+    cdf_sub = np.cumsum(p_sub, axis=0)  # K x Wp prefix sums (index tree)
+    # Column-major flattened, per-column normalised CDF for one-shot
+    # vectorised per-column searches (the SIMD index-tree descent).
+    flat_cdf = (cdf_sub / p_w[None, :]).T.ravel()
+    flat_cdf += np.repeat(np.arange(wp, dtype=np.float64), num_topics)
+
+    # token -> present-word column index (tokens are word-first sorted).
+    wcol = np.repeat(np.arange(wp, dtype=np.int64), counts_present)
+
+    # ---- per-token exclusion scalars ------------------------------------
+    phi_zv = phi[z_old, words].astype(np.float64)
+    tot_z = topic_totals[z_old].astype(np.float64)
+    p_star_z = (phi_zv + beta) / (tot_z + beta_v)
+    p_z_excl = (phi_zv - 1.0 + beta) / (tot_z - 1.0 + beta_v)
+
+    # ---- compute S: walk each token's theta row (sum Kd work) -----------
+    seg_offsets, gcols_raw, gvals, lens = gather_rows(theta, docs)
+    total_nnz = int(seg_offsets[-1])
+    # Token/topic products fit 32-bit arithmetic at any realistic scale;
+    # fall back to 64-bit only when n*K would overflow.
+    wide = (n * num_topics >= 2**31) or (num_topics * wp >= 2**31)
+    idx_t = np.int64 if wide else np.int32
+    gcols = gcols_raw.astype(idx_t, copy=False)
+    gvals_f = gvals.astype(np.float64)
+    wcol_seg = np.repeat(wcol.astype(idx_t, copy=False), lens)
+    # flat gather from p_sub: row-major (k, c) -> k*Wp + c
+    w1 = gvals_f * p_sub.ravel()[gcols * idx_t(wp) + wcol_seg]
+
+    # locate each token's own (d, z_old) entry inside its row segment;
+    # columns are sorted within rows, so global keys are sorted.
+    seg_ids = np.repeat(np.arange(n, dtype=idx_t), lens)
+    keys = seg_ids * num_topics + gcols
+    targets_z = np.arange(n, dtype=idx_t) * num_topics + z_old.astype(idx_t)
+    pos_z = np.searchsorted(keys, targets_z)
+    if pos_z.max(initial=-1) >= keys.shape[0] or not np.array_equal(
+        keys[pos_z], targets_z
+    ):
+        raise AssertionError(
+            "token's current topic missing from its theta row — theta is "
+            "out of sync with the topic assignments"
+        )
+    w1_adj = w1  # modified in place; w1 is not reused unadjusted
+    w1_adj[pos_z] = (gvals_f[pos_z] - 1.0) * p_z_excl
+
+    # One cumulative sum serves both the segment totals S and the
+    # bucket-1 prefix-sum search below (the per-warp tree, built once).
+    gcs = np.zeros(total_nnz + 1, dtype=np.float64)
+    np.cumsum(w1_adj, out=gcs[1:])
+    s = gcs[seg_offsets[1:]] - gcs[seg_offsets[:-1]]
+    np.maximum(s, 0.0, out=s)  # guard cancellation noise
+
+    # ---- compute Q (shared P with O(1) exclusion fix) --------------------
+    q = alpha * (p_w[wcol] - p_star_z + p_z_excl)
+
+    # ---- bucket choice: u < S / (S + Q)  (Algorithm 2 line 6) ------------
+    u_sel = rng.random(n)
+    take_p1 = u_sel * (s + q) < s
+
+    # ---- draw from p1: prefix-sum search in the private (per-warp) tree --
+    t1 = rng.random(n) * s
+    base = gcs[seg_offsets[:-1]]
+    pos1 = np.searchsorted(gcs[1:], base + t1, side="right")
+    pos1 = np.clip(pos1, seg_offsets[:-1], seg_offsets[1:] - 1)
+    z_p1 = gcols[pos1]
+
+    # ---- draw from p2: shifted-CDF search in the shared tree -------------
+    # The exclusion changes one atom (z_old: p_star_z -> p_z_excl), which
+    # shifts the CDF by delta for all k >= z_old.  Split the target into
+    # three cases instead of rebuilding the shared tree per token.
+    w2 = p_w[wcol] - p_star_z + p_z_excl
+    t2 = rng.random(n) * w2
+    cdf_before_z = cdf_sub[z_old, wcol] - p_star_z
+    case_a = t2 < cdf_before_z
+    case_b = (~case_a) & (t2 < cdf_before_z + p_z_excl)
+    target = np.where(case_a, t2, t2 - p_z_excl + p_star_z)
+    # guard: keep targets strictly inside (0, P) for the normalised search
+    np.minimum(target, np.nextafter(p_w[wcol], 0.0), out=target)
+    np.maximum(target, 0.0, out=target)
+    pos2 = np.searchsorted(
+        flat_cdf, wcol + target / p_w[wcol], side="right"
+    ) - wcol * num_topics
+    z_p2 = np.clip(pos2, 0, num_topics - 1)
+    z_p2 = np.where(case_b, z_old, z_p2)
+
+    z_new = np.where(take_p1, z_p1, z_p2).astype(np.int64)
+
+    stats = SamplingStats(
+        num_tokens=n,
+        sum_kd=int(lens.sum()),
+        sum_kd_p1=int(lens[take_p1].sum()),
+        num_p1_draws=int(take_p1.sum()),
+        num_p2_draws=int(n - take_p1.sum()),
+        num_blocks=chunk.block_plan.num_blocks,
+        num_topics=num_topics,
+        tree_depth=tree_depth_for(num_topics),
+    )
+    return SampleResult(new_topics=z_new.astype(topics.dtype), stats=stats)
+
+
+def conditional_distribution(
+    doc_theta_row: np.ndarray,
+    phi_col: np.ndarray,
+    topic_totals: np.ndarray,
+    z_current: int,
+    alpha: float,
+    beta: float,
+    num_words: int,
+) -> np.ndarray:
+    """Exact CGS conditional p(k) for one token (Eq. 1), normalised.
+
+    Dense reference used by statistical tests to validate the vectorised
+    sampler: exclude the token's own count, then
+    ``p(k) ~ (theta[d,k] + alpha) * (phi[k,v] + beta) / (totals[k] + beta*V)``.
+    """
+    theta = doc_theta_row.astype(np.float64).copy()
+    phi_v = phi_col.astype(np.float64).copy()
+    totals = topic_totals.astype(np.float64).copy()
+    if theta[z_current] < 1 or phi_v[z_current] < 1 or totals[z_current] < 1:
+        raise ValueError("current topic not represented in the counts")
+    theta[z_current] -= 1.0
+    phi_v[z_current] -= 1.0
+    totals[z_current] -= 1.0
+    p = (theta + alpha) * (phi_v + beta) / (totals + beta * num_words)
+    total = p.sum()
+    if total <= 0:
+        raise ValueError("degenerate conditional distribution")
+    return p / total

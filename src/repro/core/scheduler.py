@@ -1,0 +1,216 @@
+"""Workload scheduling: Algorithm 1 (WorkSchedule1 / WorkSchedule2).
+
+``C = M * G`` chunks are assigned round-robin (chunk ``i`` to GPU
+``i % G``, smaller ids first).  Two schedules:
+
+- **WorkSchedule1** (``M = 1``): every GPU holds its chunk (and theta
+  replica) resident for the whole run; data moves host<->device only at
+  the start and end of training.
+- **WorkSchedule2** (``M > 1``): chunks stream through the device each
+  iteration.  With ``overlap_transfers`` the schedule double-buffers two
+  chunk slots and pipelines chunk ``m+1``'s H2D copy with chunk ``m``'s
+  compute on separate streams — the paper's stream-interface overlap.
+  Device memory must hold **two** chunks in this mode (Section 5.1), and
+  the allocator enforces it.
+
+Within one chunk the kernel order is: sampling, update-phi, update-theta
+— phi first so the iteration-end phi synchronization can start while
+theta updates still run (Section 6.2, last paragraph).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import TrainerConfig
+from repro.core.costs import (
+    sampling_cost,
+    theta_replica_bytes,
+    update_phi_cost,
+    update_theta_cost,
+)
+from repro.core.model import ChunkState, LdaState
+from repro.core.rng import RngPool
+from repro.core.sampler import sample_chunk
+from repro.core.updates import apply_phi_update
+from repro.gpusim.cache import gpu_l1_index_factor
+from repro.gpusim.device import SimulatedGPU
+from repro.gpusim.stream import Stream, barrier
+
+
+@dataclass
+class DeviceState:
+    """One GPU's replica and its round-robin chunk assignment."""
+
+    gpu: SimulatedGPU
+    phi: np.ndarray  # int32[K, V] replica
+    totals: np.ndarray  # int64[K] replica
+    chunk_ids: list[int] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class ChunkRecord:
+    """Everything needed to re-derive one chunk pass's kernel costs.
+
+    The functional trajectory of a run depends only on (corpus, config,
+    seed) — never on the device spec — so recording these per chunk lets
+    :mod:`repro.analysis.replay` price the same run on a *different*
+    platform without re-running the sampler (used by the Figure 7 /
+    Table 4 benches).
+    """
+
+    stats: "object"  # SamplingStats (kept loose to avoid import cycle)
+    num_local_docs: int
+    theta_nnz_pre: int  # nnz when the sampling kernel ran (L1 model input)
+    theta_nnz_post: int  # nnz after update-theta (its compaction cost)
+
+
+@dataclass
+class IterationOutcome:
+    """Aggregated statistics of one training iteration."""
+
+    iteration: int
+    sum_kd: int = 0
+    num_p1_draws: int = 0
+    num_p2_draws: int = 0
+    changed_tokens: int = 0
+    chunk_records: list[ChunkRecord] = field(default_factory=list)
+
+
+def run_chunk_kernels(
+    dev: DeviceState,
+    cs: ChunkState,
+    iteration: int,
+    pool: RngPool,
+    config: TrainerConfig,
+    outcome: IterationOutcome,
+    stream: Stream | None = None,
+) -> None:
+    """Sampling + update-phi + update-theta for one chunk on one device.
+
+    Functional effects: ``cs.topics``/``cs.theta`` are replaced and the
+    device replica ``dev.phi``/``dev.totals`` updated in place.  Timeline
+    effects: three kernel launches charged with Table-1-derived costs.
+    """
+    rng = pool.chunk_stream(iteration, cs.chunk.spec.chunk_id)
+    result = sample_chunk(
+        cs.chunk, cs.topics, cs.theta, dev.phi, dev.totals,
+        alpha=config.effective_alpha, beta=config.effective_beta, rng=rng,
+    )
+    stats = result.stats
+
+    theta_nnz_pre = cs.theta.nnz
+    if config.use_l1_for_indices:
+        from repro.core.costs import int_bytes
+
+        index_ws = theta_nnz_pre * int_bytes(config.compress) / dev.gpu.spec.num_sms
+        l1f = gpu_l1_index_factor(dev.gpu.spec, index_ws)
+    else:
+        l1f = 1.0
+    dev.gpu.launch(
+        "sampling",
+        sampling_cost(stats, config.compress, config.share_p2_tree, l1f),
+        stream,
+    )
+
+    changed = apply_phi_update(
+        dev.phi, dev.totals, cs.chunk.token_words, cs.topics, result.new_topics
+    )
+    dev.gpu.launch(
+        "update_phi", update_phi_cost(stats.num_tokens, config.compress), stream
+    )
+
+    cs.topics = result.new_topics
+    cs.rebuild_theta(config.num_topics, config.compress)
+    dev.gpu.launch(
+        "update_theta",
+        update_theta_cost(
+            stats.num_tokens,
+            cs.chunk.num_local_docs,
+            config.num_topics,
+            cs.theta.nnz,
+            config.compress,
+        ),
+        stream,
+    )
+
+    outcome.sum_kd += stats.sum_kd
+    outcome.num_p1_draws += stats.num_p1_draws
+    outcome.num_p2_draws += stats.num_p2_draws
+    outcome.changed_tokens += changed
+    outcome.chunk_records.append(
+        ChunkRecord(
+            stats=stats,
+            num_local_docs=cs.chunk.num_local_docs,
+            theta_nnz_pre=theta_nnz_pre,
+            theta_nnz_post=cs.theta.nnz,
+        )
+    )
+
+
+def work_schedule_1(
+    devices: list[DeviceState],
+    state: LdaState,
+    config: TrainerConfig,
+    iteration: int,
+    pool: RngPool,
+) -> IterationOutcome:
+    """One iteration with resident chunks (Algorithm 1, lines 6-21)."""
+    outcome = IterationOutcome(iteration)
+    for dev in devices:
+        for cid in dev.chunk_ids:
+            run_chunk_kernels(dev, state.chunks[cid], iteration, pool, config, outcome)
+    barrier([d.gpu.timeline for d in devices])
+    return outcome
+
+
+def work_schedule_2(
+    devices: list[DeviceState],
+    state: LdaState,
+    config: TrainerConfig,
+    iteration: int,
+    pool: RngPool,
+) -> IterationOutcome:
+    """One iteration with streamed chunks (Algorithm 1, lines 22-36).
+
+    Per chunk: H2D of the chunk's token arrays and theta, the three
+    kernels, then D2H of the updated theta.  With ``overlap_transfers``
+    two streams alternate so chunk ``m+1``'s copy rides under chunk
+    ``m``'s compute (pipelined loop of Section 5.1).
+    """
+    outcome = IterationOutcome(iteration)
+    for dev in devices:
+        if config.overlap_transfers:
+            streams = [dev.gpu.create_stream(), dev.gpu.create_stream()]
+        else:
+            streams = [dev.gpu.default_stream]
+        for slot, cid in enumerate(dev.chunk_ids):
+            cs = state.chunks[cid]
+            stream = streams[slot % len(streams)]
+            chunk_bytes = cs.chunk.nbytes()
+            theta_bytes = theta_replica_bytes(
+                cs.theta.nnz, cs.chunk.num_local_docs, config.compress
+            )
+            dev.gpu.h2d("transfer", chunk_bytes + theta_bytes, stream)
+            run_chunk_kernels(dev, cs, iteration, pool, config, outcome, stream)
+            theta_bytes = theta_replica_bytes(
+                cs.theta.nnz, cs.chunk.num_local_docs, config.compress
+            )
+            dev.gpu.d2h("transfer", theta_bytes, stream)
+    barrier([d.gpu.timeline for d in devices])
+    return outcome
+
+
+def run_iteration(
+    devices: list[DeviceState],
+    state: LdaState,
+    config: TrainerConfig,
+    iteration: int,
+    pool: RngPool,
+) -> IterationOutcome:
+    """Dispatch on M, mirroring Algorithm 1's top-level branch."""
+    if config.chunks_per_gpu == 1:
+        return work_schedule_1(devices, state, config, iteration, pool)
+    return work_schedule_2(devices, state, config, iteration, pool)

@@ -1,0 +1,154 @@
+"""Model checkpointing: save/load trained LDA state.
+
+Algorithm 1 ends by collecting the trained model from the devices (lines
+17-20); a real deployment then persists it.  Snapshots are a single
+``.npz`` with the corpus-independent model (phi, hyper-parameters) plus,
+optionally, the full chunked training state so a run can be resumed
+exactly (topic assignments, chunk boundaries).
+
+The file format is versioned; loaders reject unknown versions and
+corrupted invariants rather than silently mis-training.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.model import ChunkState, LdaState
+from repro.corpus.document import Corpus
+from repro.corpus.encoding import encode_chunk
+from repro.corpus.partition import ChunkSpec
+
+FORMAT_VERSION = 1
+
+
+def save_model(state: LdaState, path: str | Path) -> None:
+    """Persist the trained model (phi + hyper-parameters) to ``path``.
+
+    This is the *inference* artifact: enough to compute p*(k) for new
+    documents (see :mod:`repro.core.inference`), not enough to resume
+    training — use :func:`save_checkpoint` for that.
+    """
+    np.savez_compressed(
+        Path(path),
+        version=FORMAT_VERSION,
+        kind="model",
+        phi=state.phi,
+        topic_totals=state.topic_totals,
+        alpha=state.alpha,
+        beta=state.beta,
+        num_topics=state.num_topics,
+        num_words=state.num_words,
+    )
+
+
+def load_model(path: str | Path) -> dict:
+    """Load a model artifact; returns a dict of arrays and scalars.
+
+    Raises
+    ------
+    ValueError
+        On version mismatch, wrong artifact kind, or violated invariants.
+    """
+    with np.load(Path(path), allow_pickle=False) as z:
+        data = {k: z[k] for k in z.files}
+    _check_version(data)
+    if str(data["kind"]) != "model":
+        raise ValueError(f"not a model artifact: kind={data['kind']}")
+    phi = data["phi"]
+    totals = data["topic_totals"]
+    if phi.ndim != 2 or phi.shape[0] != int(data["num_topics"]):
+        raise ValueError("model snapshot has inconsistent phi shape")
+    if not np.array_equal(phi.sum(axis=1), totals):
+        raise ValueError("model snapshot corrupted: totals do not match phi")
+    if np.any(phi < 0):
+        raise ValueError("model snapshot corrupted: negative counts")
+    return {
+        "phi": phi,
+        "topic_totals": totals,
+        "alpha": float(data["alpha"]),
+        "beta": float(data["beta"]),
+        "num_topics": int(data["num_topics"]),
+        "num_words": int(data["num_words"]),
+    }
+
+
+def save_checkpoint(state: LdaState, path: str | Path) -> None:
+    """Persist the complete training state (resumable)."""
+    payload: dict[str, np.ndarray | int | float | str] = {
+        "version": FORMAT_VERSION,
+        "kind": "checkpoint",
+        "phi": state.phi,
+        "topic_totals": state.topic_totals,
+        "alpha": state.alpha,
+        "beta": state.beta,
+        "num_topics": state.num_topics,
+        "num_words": state.num_words,
+        "num_chunks": len(state.chunks),
+    }
+    for i, cs in enumerate(state.chunks):
+        spec = cs.chunk.spec
+        payload[f"chunk{i}_topics"] = cs.topics
+        payload[f"chunk{i}_bounds"] = np.array(
+            [spec.chunk_id, spec.doc_lo, spec.doc_hi, spec.token_lo, spec.token_hi],
+            dtype=np.int64,
+        )
+    np.savez_compressed(Path(path), **payload)
+
+
+def load_checkpoint(path: str | Path, corpus: Corpus) -> LdaState:
+    """Rebuild a resumable :class:`LdaState` from a checkpoint + corpus.
+
+    The corpus must be the one the checkpoint was trained on (token
+    counts per chunk are verified).
+    """
+    with np.load(Path(path), allow_pickle=False) as z:
+        data = {k: z[k] for k in z.files}
+    _check_version(data)
+    if str(data["kind"]) != "checkpoint":
+        raise ValueError(f"not a checkpoint artifact: kind={data['kind']}")
+    if int(data["num_words"]) != corpus.num_words:
+        raise ValueError(
+            f"checkpoint was trained on V={int(data['num_words'])}, "
+            f"corpus has V={corpus.num_words}"
+        )
+    num_topics = int(data["num_topics"])
+    chunks: list[ChunkState] = []
+    for i in range(int(data["num_chunks"])):
+        cid, doc_lo, doc_hi, tok_lo, tok_hi = data[f"chunk{i}_bounds"]
+        spec = ChunkSpec(int(cid), int(doc_lo), int(doc_hi), int(tok_lo), int(tok_hi))
+        dc = encode_chunk(corpus, spec)
+        topics = data[f"chunk{i}_topics"]
+        if topics.shape[0] != dc.num_tokens:
+            raise ValueError(
+                f"chunk {i}: checkpoint has {topics.shape[0]} topics, "
+                f"corpus chunk has {dc.num_tokens} tokens — wrong corpus?"
+            )
+        cs = ChunkState(chunk=dc, topics=topics, theta=None)  # type: ignore[arg-type]
+        cs.rebuild_theta(num_topics)
+        chunks.append(cs)
+    state = LdaState(
+        num_topics=num_topics,
+        num_words=corpus.num_words,
+        alpha=float(data["alpha"]),
+        beta=float(data["beta"]),
+        chunks=chunks,
+    )
+    # The rebuilt phi must match the stored one, or the corpus differs.
+    if not np.array_equal(state.phi, data["phi"]):
+        raise ValueError("checkpoint does not match this corpus (phi mismatch)")
+    state.validate()
+    return state
+
+
+def _check_version(data: dict) -> None:
+    if "version" not in data:
+        raise ValueError("not a repro snapshot (no version field)")
+    v = int(data["version"])
+    if v != FORMAT_VERSION:
+        raise ValueError(
+            f"snapshot format version {v} not supported "
+            f"(this build reads version {FORMAT_VERSION})"
+        )

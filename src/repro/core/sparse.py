@@ -1,0 +1,183 @@
+"""CSR utilities for the sparse document-topic matrix theta.
+
+The paper stores theta in CSR with 16-bit column indices (Section 6.1.3)
+and rebuilds each row with a dense-scatter + prefix-sum compaction after
+sampling (Section 6.2).  This module provides an array-of-arrays CSR type
+tuned for the access patterns the sampler needs:
+
+- ``gather_rows``: variable-length row gather (the per-token theta walk);
+- ``row_lookup``: batched ``theta[d, k]`` point lookups via the flattened
+  searchsorted trick (SIMD equivalent of a per-warp binary search);
+- ``from_assignments``: the dense-scatter + compaction rebuild.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CsrCounts:
+    """A CSR matrix of non-negative integer counts with sorted columns.
+
+    ``indices`` may be 16-bit (paper's compression) or 32-bit; ``data``
+    holds counts.  Rows with no non-zeros are legal (empty documents).
+    """
+
+    indptr: np.ndarray  # int64[rows+1]
+    indices: np.ndarray  # uint16/int32[nnz], sorted within each row
+    data: np.ndarray  # int32[nnz]
+    num_cols: int
+
+    def __post_init__(self) -> None:
+        if self.indptr.ndim != 1 or self.indptr[0] != 0:
+            raise ValueError("indptr must be 1-D and start at 0")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if self.indptr[-1] != self.indices.shape[0] or self.indices.shape[0] != self.data.shape[0]:
+            raise ValueError("indptr/indices/data lengths inconsistent")
+        if self.num_cols <= 0:
+            raise ValueError("num_cols must be positive")
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.indptr.shape[0] - 1)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.shape[0])
+
+    def row_lengths(self) -> np.ndarray:
+        """``Kd`` per row — the quantity that drives sampling cost (Table 1)."""
+        return np.diff(self.indptr)
+
+    def to_dense(self) -> np.ndarray:
+        """Dense ``int64[rows, cols]`` (tests/diagnostics only)."""
+        out = np.zeros((self.num_rows, self.num_cols), dtype=np.int64)
+        rows = np.repeat(np.arange(self.num_rows), self.row_lengths())
+        out[rows, self.indices.astype(np.int64)] = self.data
+        return out
+
+    def validate(self) -> None:
+        """Check sorted columns and positive counts (test helper)."""
+        lens = self.row_lengths()
+        if self.nnz:
+            if self.indices.astype(np.int64).max() >= self.num_cols:
+                raise ValueError("column index out of range")
+            if self.data.min() <= 0:
+                raise ValueError("stored counts must be positive")
+        # Columns strictly increasing within each row: diff >= 1 except at
+        # row starts.
+        if self.nnz > 1:
+            idx = self.indices.astype(np.int64)
+            d = np.diff(idx)
+            starts = (self.indptr[1:-1])[lens[:-1] > 0]
+            mask = np.ones(self.nnz - 1, dtype=bool)
+            mask[starts[(starts > 0) & (starts < self.nnz)] - 1] = False
+            if np.any(d[mask] <= 0):
+                raise ValueError("columns not strictly increasing within a row")
+
+
+def index_dtype(num_cols: int, compress: bool) -> np.dtype:
+    """16-bit CSR column indices when K < 2**16 (Section 6.1.3)."""
+    if compress and num_cols <= np.iinfo(np.uint16).max + 1:
+        return np.dtype(np.uint16)
+    return np.dtype(np.int32)
+
+
+def from_assignments(
+    row_of_item: np.ndarray,
+    col_of_item: np.ndarray,
+    num_rows: int,
+    num_cols: int,
+    compress: bool = True,
+) -> CsrCounts:
+    """Build count-CSR from item-level (row, col) assignments.
+
+    This is the functional equivalent of the paper's update-theta kernel:
+    scatter each document's topics into a dense histogram, then compact
+    the non-zeros with a prefix sum (Section 6.2).  The vectorised form
+    histograms all items at once via flattened keys.
+    """
+    if row_of_item.shape != col_of_item.shape:
+        raise ValueError("row/col arrays must have the same shape")
+    if num_rows <= 0 or num_cols <= 0:
+        raise ValueError("matrix dims must be positive")
+    rows = np.asarray(row_of_item, dtype=np.int64)
+    cols = np.asarray(col_of_item, dtype=np.int64)
+    if rows.size:
+        if rows.min() < 0 or rows.max() >= num_rows:
+            raise ValueError("row index out of range")
+        if cols.min() < 0 or cols.max() >= num_cols:
+            raise ValueError("col index out of range")
+    keys = rows * num_cols + cols
+    uniq, counts = np.unique(keys, return_counts=True)
+    out_rows = uniq // num_cols
+    out_cols = uniq % num_cols
+    row_nnz = np.bincount(out_rows, minlength=num_rows).astype(np.int64)
+    indptr = np.zeros(num_rows + 1, dtype=np.int64)
+    np.cumsum(row_nnz, out=indptr[1:])
+    return CsrCounts(
+        indptr=indptr,
+        indices=out_cols.astype(index_dtype(num_cols, compress)),
+        data=counts.astype(np.int32),
+        num_cols=num_cols,
+    )
+
+
+def gather_rows(
+    csr: CsrCounts, rows: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Concatenate the given rows' (cols, vals) segments.
+
+    Returns ``(seg_offsets, cols, vals, seg_lengths)`` where row ``j`` of
+    the request occupies ``[seg_offsets[j], seg_offsets[j+1])`` of the
+    flat arrays.  This is the vectorised form of each warp walking its
+    document's theta row (compute-S step of Algorithm 2); total work is
+    ``sum(Kd)`` — exactly the cost Table 1 charges.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    starts = csr.indptr[rows]
+    lens = csr.indptr[rows + 1] - starts
+    seg_offsets = np.zeros(rows.shape[0] + 1, dtype=np.int64)
+    np.cumsum(lens, out=seg_offsets[1:])
+    total = int(seg_offsets[-1])
+    if total == 0:
+        empty_i = np.zeros(0, dtype=csr.indices.dtype)
+        empty_v = np.zeros(0, dtype=csr.data.dtype)
+        return seg_offsets, empty_i, empty_v, lens
+    # positions: for each output slot, its index into csr arrays.
+    pos = np.arange(total, dtype=np.int64)
+    pos -= np.repeat(seg_offsets[:-1], lens)
+    pos += np.repeat(starts, lens)
+    return seg_offsets, csr.indices[pos], csr.data[pos], lens
+
+
+def row_lookup(csr: CsrCounts, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """Batched ``csr[rows[j], cols[j]]`` point lookups (0 when absent).
+
+    Columns are sorted within rows, so ``row * num_cols + col`` keys are
+    globally sorted over the concatenation of the requested rows — one
+    ``searchsorted`` resolves every lookup (the SIMD analogue of a warp's
+    binary search in its row).
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    if rows.shape != cols.shape:
+        raise ValueError("rows/cols must have the same shape")
+    seg_offsets, gcols, gvals, lens = gather_rows(csr, rows)
+    if gcols.size == 0:
+        return np.zeros(rows.shape[0], dtype=np.int64)
+    seg_ids = np.repeat(np.arange(rows.shape[0], dtype=np.int64), lens)
+    keys = seg_ids * csr.num_cols + gcols.astype(np.int64)
+    targets = np.arange(rows.shape[0], dtype=np.int64) * csr.num_cols + cols
+    pos = np.searchsorted(keys, targets)
+    out = np.zeros(rows.shape[0], dtype=np.int64)
+    hit = (pos < keys.shape[0])
+    hit_pos = pos[hit]
+    exact = keys[hit_pos] == targets[hit]
+    idx = np.nonzero(hit)[0][exact]
+    out[idx] = gvals[hit_pos[exact]]
+    return out

@@ -1,0 +1,247 @@
+"""CuLdaTrainer: the end-to-end training loop (Figure 3).
+
+Ties together the corpus substrate, the simulated devices, the sampling
+and update kernels, the Algorithm 1 schedules and the Figure 4 phi
+synchronization.  Produces per-iteration records with the two metrics the
+paper reports: **tokens/sec** (Eq. 2, against *simulated* time) and
+**log-likelihood per token** (Figure 8).
+
+Typical use::
+
+    from repro import CuLdaTrainer, TrainerConfig
+    from repro.corpus.synthetic import small_spec, generate_synthetic_corpus
+    from repro.gpusim import VOLTA_PLATFORM
+
+    corpus = generate_synthetic_corpus(small_spec(), seed=0)
+    trainer = CuLdaTrainer(corpus, TrainerConfig(num_topics=64),
+                           platform=VOLTA_PLATFORM)
+    history = trainer.train(num_iterations=20)
+    print(history[-1].tokens_per_sec, history[-1].log_likelihood_per_token)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.corpus.document import Corpus
+from repro.corpus.encoding import topic_dtype_for
+from repro.corpus.partition import assign_round_robin, partition_by_tokens
+from repro.core.config import TrainerConfig
+from repro.core.costs import phi_replica_bytes, theta_replica_bytes
+from repro.core.likelihood import log_likelihood_per_token
+from repro.core.model import LdaState
+from repro.core.rng import RngPool
+from repro.core.scheduler import DeviceState, run_iteration
+from repro.core.sync import synchronize
+from repro.core.updates import verify_phi_consistency
+from repro.gpusim.device import SimulatedGPU
+from repro.gpusim.platform import Platform, VOLTA_PLATFORM
+from repro.gpusim.spec import DeviceSpec
+from repro.gpusim.stream import barrier
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """Metrics of one completed iteration."""
+
+    iteration: int
+    sim_seconds: float  # simulated duration of this iteration
+    cumulative_seconds: float  # simulated time since training start
+    tokens_per_sec: float  # Eq. 2 for this iteration
+    log_likelihood_per_token: float | None
+    mean_kd: float  # average theta-row density (sparsity tracker)
+    p1_fraction: float  # share of draws taking the sparse bucket
+    changed_fraction: float  # share of tokens whose topic changed
+
+
+class CuLdaTrainer:
+    """Multi-GPU (simulated) CuLDA_CGS trainer.
+
+    Parameters
+    ----------
+    corpus:
+        The corpus to train on.
+    config:
+        Topics, hyper-parameters, G, M and the Section 6 optimization
+        switches.
+    platform:
+        A Table 2 platform; its GPU spec is instantiated ``config.num_gpus``
+        times.  Pass ``device_spec`` instead to use a bare GPU spec.
+    validate_every:
+        Run the (expensive) invariant checks every N iterations; 0 off.
+    """
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        config: TrainerConfig,
+        platform: Platform | None = None,
+        device_spec: DeviceSpec | None = None,
+        validate_every: int = 0,
+    ):
+        if platform is not None and device_spec is not None:
+            raise ValueError("pass either platform or device_spec, not both")
+        if platform is None and device_spec is None:
+            platform = VOLTA_PLATFORM
+        spec = device_spec if device_spec is not None else platform.gpu
+        if platform is not None and config.num_gpus > platform.num_gpus:
+            raise ValueError(
+                f"platform {platform.name} has {platform.num_gpus} GPUs, "
+                f"config requests {config.num_gpus}"
+            )
+        self.corpus = corpus
+        self.config = config
+        self.spec = spec
+        self.pool = RngPool(config.seed)
+        self.validate_every = validate_every
+
+        chunk_specs = partition_by_tokens(corpus, config.num_chunks)
+        self.state = LdaState.initialize(corpus, config, chunk_specs)
+        per_gpu = assign_round_robin(chunk_specs, config.num_gpus)
+
+        self.devices: list[DeviceState] = []
+        for g in range(config.num_gpus):
+            gpu = SimulatedGPU(g, spec)
+            dev = DeviceState(
+                gpu=gpu,
+                phi=self.state.phi.copy(),
+                totals=self.state.topic_totals.copy(),
+                chunk_ids=[c.chunk_id for c in per_gpu[g]],
+            )
+            self.devices.append(dev)
+        self._allocate_device_memory()
+        self._initial_transfers()
+        self.history: list[IterationRecord] = []
+        #: per-iteration ChunkRecords, consumed by repro.analysis.replay
+        self.outcomes: list = []
+        self._iterations_done = 0
+
+    # -- setup ----------------------------------------------------------------
+
+    def _allocate_device_memory(self) -> None:
+        """Register phi replicas + chunk/staging buffers; enforce capacity.
+
+        M=1: every chunk resident.  M>1: two staging slots sized for the
+        largest chunk (the Section 5.1 requirement for overlap), or one
+        slot when overlap is disabled.
+        """
+        cfg = self.config
+        phi_bytes = phi_replica_bytes(cfg.num_topics, self.corpus.num_words, cfg.compress)
+        tdtype = topic_dtype_for(cfg.num_topics, cfg.compress)
+        for dev in self.devices:
+            dev.gpu.alloc("phi_replica", phi_bytes)
+            if cfg.chunks_per_gpu == 1:
+                for cid in dev.chunk_ids:
+                    cs = self.state.chunks[cid]
+                    nbytes = cs.chunk.nbytes(tdtype) + theta_replica_bytes(
+                        cs.chunk.num_tokens, cs.chunk.num_local_docs, cfg.compress
+                    )
+                    dev.gpu.alloc(f"chunk[{cid}]", nbytes)
+            else:
+                biggest = max(
+                    self.state.chunks[cid].chunk.nbytes(tdtype)
+                    + theta_replica_bytes(
+                        self.state.chunks[cid].chunk.num_tokens,
+                        self.state.chunks[cid].chunk.num_local_docs,
+                        cfg.compress,
+                    )
+                    for cid in dev.chunk_ids
+                )
+                slots = 2 if cfg.overlap_transfers else 1
+                for s in range(slots):
+                    dev.gpu.alloc(f"staging[{s}]", biggest)
+
+    def _initial_transfers(self) -> None:
+        """Algorithm 1 lines 7-9: ship resident data to the devices."""
+        cfg = self.config
+        phi_bytes = phi_replica_bytes(cfg.num_topics, self.corpus.num_words, cfg.compress)
+        tdtype = topic_dtype_for(cfg.num_topics, cfg.compress)
+        for dev in self.devices:
+            dev.gpu.h2d("transfer", phi_bytes)
+            if cfg.chunks_per_gpu == 1:
+                for cid in dev.chunk_ids:
+                    dev.gpu.h2d("transfer", self.state.chunks[cid].chunk.nbytes(tdtype))
+        barrier([d.gpu.timeline for d in self.devices])
+
+    # -- training -------------------------------------------------------------
+
+    def train(
+        self,
+        num_iterations: int,
+        compute_likelihood_every: int = 1,
+    ) -> list[IterationRecord]:
+        """Run ``num_iterations`` Gibbs iterations; returns their records."""
+        if num_iterations < 0:
+            raise ValueError("num_iterations must be non-negative")
+        if compute_likelihood_every < 0:
+            raise ValueError("compute_likelihood_every must be non-negative")
+        total_tokens = self.state.num_tokens
+        for _ in range(num_iterations):
+            it = self._iterations_done
+            t0 = max(d.gpu.sync() for d in self.devices)
+            outcome = run_iteration(self.devices, self.state, self.config, it, self.pool)
+            self.outcomes.append(outcome)
+            phi_new, totals_new = synchronize(
+                self.state.phi,
+                [d.phi for d in self.devices],
+                [d.totals for d in self.devices],
+                gpus=[d.gpu for d in self.devices],
+                phi_bytes=phi_replica_bytes(
+                    self.config.num_topics, self.corpus.num_words, self.config.compress
+                ),
+            )
+            self.state.phi[...] = phi_new
+            self.state.topic_totals[...] = totals_new
+            t1 = barrier([d.gpu.timeline for d in self.devices])
+
+            if self.validate_every and (it + 1) % self.validate_every == 0:
+                self.state.validate()
+                for d in self.devices:
+                    verify_phi_consistency(d.phi, d.totals, total_tokens)
+
+            ll = None
+            if compute_likelihood_every and (it + 1) % compute_likelihood_every == 0:
+                ll = log_likelihood_per_token(self.state)
+            dur = t1 - t0
+            self.history.append(
+                IterationRecord(
+                    iteration=it,
+                    sim_seconds=dur,
+                    cumulative_seconds=t1,
+                    tokens_per_sec=total_tokens / dur if dur > 0 else float("inf"),
+                    log_likelihood_per_token=ll,
+                    mean_kd=outcome.sum_kd / total_tokens if total_tokens else 0.0,
+                    p1_fraction=(
+                        outcome.num_p1_draws / total_tokens if total_tokens else 0.0
+                    ),
+                    changed_fraction=(
+                        outcome.changed_tokens / total_tokens if total_tokens else 0.0
+                    ),
+                )
+            )
+            self._iterations_done += 1
+        return self.history
+
+    # -- reporting --------------------------------------------------------------
+
+    def kernel_breakdown(self) -> dict[str, float]:
+        """Aggregated share of simulated time per kernel (Table 5 rows).
+
+        Transfers and sync are included under their own keys; the paper's
+        table normalises over the three kernels only, which
+        :func:`repro.analysis.breakdown.table5_fractions` does.
+        """
+        merged: dict[str, float] = {}
+        for dev in self.devices:
+            for name, secs in dev.gpu.ledger.seconds.items():
+                merged[name] = merged.get(name, 0.0) + secs
+        return merged
+
+    def average_tokens_per_sec(self, first_n: int | None = None) -> float:
+        """Mean per-iteration throughput (Table 4 aggregates first 100)."""
+        records = self.history if first_n is None else self.history[:first_n]
+        if not records:
+            raise ValueError("no iterations recorded yet")
+        return float(np.mean([r.tokens_per_sec for r in records]))

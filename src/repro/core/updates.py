@@ -1,0 +1,94 @@
+"""Model update kernels (Section 6.2).
+
+After sampling a chunk, two kernels bring the device replicas back in
+sync with the new assignments:
+
+- **update-phi**: phi is dense, so the update is a pair of data-local
+  atomic adds per changed token (decrement the old topic's count,
+  increment the new one).  The word-first token order gives the atomics
+  the locality the paper relies on ("atomic functions that have good data
+  locality show good performance").
+- **update-theta**: theta is CSR and cannot be atomically updated in
+  place.  The paper scatters each document's topics into a dense row
+  (using the precomputed document-word map), then compacts the dense row
+  back to CSR with a prefix sum.  The vectorised equivalent is a keyed
+  histogram + CSR rebuild (:func:`repro.core.sparse.from_assignments`).
+
+Updating phi *first* lets the multi-GPU phi synchronization start while
+theta updates are still running — the scheduler exploits that ordering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.model import ChunkState
+from repro.core.sparse import CsrCounts
+
+
+def apply_phi_update(
+    phi: np.ndarray,
+    topic_totals: np.ndarray,
+    words: np.ndarray,
+    z_old: np.ndarray,
+    z_new: np.ndarray,
+) -> int:
+    """In-place phi/topic_totals update; returns the changed-token count.
+
+    Only tokens whose topic actually changed touch memory (an unchanged
+    token's decrement and increment cancel).
+    """
+    if not (words.shape == z_old.shape == z_new.shape):
+        raise ValueError("words/z_old/z_new must have identical shapes")
+    zo = z_old.astype(np.int64)
+    zn = z_new.astype(np.int64)
+    changed = zo != zn
+    if not np.any(changed):
+        return 0
+    w = words.astype(np.int64)[changed]
+    zo = zo[changed]
+    zn = zn[changed]
+    np.subtract.at(phi, (zo, w), 1)
+    np.add.at(phi, (zn, w), 1)
+    k = topic_totals.shape[0]
+    topic_totals -= np.bincount(zo, minlength=k).astype(topic_totals.dtype)
+    topic_totals += np.bincount(zn, minlength=k).astype(topic_totals.dtype)
+    return int(changed.sum())
+
+
+def update_theta(
+    chunk_state: ChunkState, num_topics: int, compress: bool = True
+) -> CsrCounts:
+    """Rebuild the chunk's theta from its current assignments.
+
+    Functional equivalent of the dense-scatter + prefix-sum-compaction
+    kernel; returns the new CSR (also stored on the chunk state).
+    """
+    return chunk_state.rebuild_theta(num_topics, compress)
+
+
+def verify_phi_consistency(
+    phi: np.ndarray,
+    topic_totals: np.ndarray,
+    expected_tokens: int | None = None,
+) -> None:
+    """Raise if phi has negative counts or totals are out of sync.
+
+    Called by tests and (cheaply) by the trainer in debug mode after
+    every synchronization — a negative count means an update was applied
+    twice or a sync reconciled incorrectly.
+    """
+    if np.any(phi < 0):
+        bad = np.argwhere(phi < 0)[0]
+        raise AssertionError(
+            f"negative phi count at (topic={bad[0]}, word={bad[1]})"
+        )
+    actual = phi.sum(axis=1, dtype=np.int64)
+    if not np.array_equal(actual, topic_totals.astype(np.int64)):
+        raise AssertionError("topic_totals inconsistent with phi")
+    if expected_tokens is not None:
+        total = int(actual.sum())
+        if total != expected_tokens:
+            raise AssertionError(
+                f"phi accounts for {total} tokens, expected {expected_tokens}"
+            )

@@ -1,0 +1,51 @@
+"""Corpus substrate for the CuLDA_CGS reproduction.
+
+This subpackage provides everything the trainer needs on the *data* side:
+
+- :class:`~repro.corpus.vocab.Vocabulary` — term <-> id mapping.
+- :class:`~repro.corpus.document.Corpus` — validated bag-of-tokens container.
+- :mod:`~repro.corpus.synthetic` — LDA-generative corpus generation with
+  presets that mirror the NYTimes / PubMed statistics of Table 3.
+- :mod:`~repro.corpus.io` — UCI bag-of-words format reader/writer, so real
+  datasets can be substituted when available.
+- :mod:`~repro.corpus.stats` — corpus statistics (Table 3 columns).
+- :mod:`~repro.corpus.partition` — token-balanced partition-by-document
+  (Section 4 of the paper).
+- :mod:`~repro.corpus.encoding` — per-device chunk encoding: word-first
+  token sort, CSR word index, document-word map, 16-bit topic storage
+  (Sections 6.1.2 and 6.1.3).
+"""
+
+from repro.corpus.document import Corpus, Document
+from repro.corpus.encoding import DeviceChunk, encode_chunk
+from repro.corpus.io import read_uci_bow, write_uci_bow
+from repro.corpus.partition import ChunkSpec, partition_by_tokens
+from repro.corpus.preprocess import build_corpus_from_texts, tokenize
+from repro.corpus.stats import CorpusStats, corpus_stats
+from repro.corpus.synthetic import (
+    NYTIMES_LIKE,
+    PUBMED_LIKE,
+    SyntheticSpec,
+    generate_synthetic_corpus,
+)
+from repro.corpus.vocab import Vocabulary
+
+__all__ = [
+    "Corpus",
+    "Document",
+    "Vocabulary",
+    "CorpusStats",
+    "corpus_stats",
+    "SyntheticSpec",
+    "NYTIMES_LIKE",
+    "PUBMED_LIKE",
+    "generate_synthetic_corpus",
+    "ChunkSpec",
+    "build_corpus_from_texts",
+    "tokenize",
+    "partition_by_tokens",
+    "DeviceChunk",
+    "encode_chunk",
+    "read_uci_bow",
+    "write_uci_bow",
+]

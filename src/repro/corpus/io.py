@@ -1,0 +1,135 @@
+"""UCI bag-of-words format I/O.
+
+NYTimes and PubMed (Table 3) are distributed in the UCI bag-of-words
+format::
+
+    D          <- number of documents
+    W          <- vocabulary size
+    NNZ        <- number of (doc, word) pairs that follow
+    docID wordID count      <- 1-based ids, one triple per line
+    ...
+
+plus a companion ``vocab.*.txt`` file with one term per line.  This module
+reads/writes that format so the reproduction can be pointed at the real
+datasets when they are available, and round-trips our synthetic corpora.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.corpus.document import Corpus
+from repro.corpus.vocab import Vocabulary
+
+
+def read_uci_bow(
+    docword_path: str | Path | io.TextIOBase,
+    vocab_path: str | Path | None = None,
+    max_docs: int | None = None,
+) -> Corpus:
+    """Read a UCI bag-of-words file into a :class:`Corpus`.
+
+    Parameters
+    ----------
+    docword_path:
+        Path to the ``docword.*.txt`` file, or an open text stream.
+    vocab_path:
+        Optional path to the companion ``vocab.*.txt``; if given, the
+        resulting corpus carries a :class:`Vocabulary`.
+    max_docs:
+        If given, keep only documents with id < ``max_docs`` (the UCI files
+        are sorted by document id, so this is a cheap prefix load).
+
+    Raises
+    ------
+    ValueError
+        On malformed headers or out-of-range ids.
+    """
+    close = False
+    if isinstance(docword_path, (str, Path)):
+        fh: io.TextIOBase = open(docword_path, "r", encoding="utf-8")
+        close = True
+    else:
+        fh = docword_path
+    try:
+        header = [fh.readline() for _ in range(3)]
+        try:
+            num_docs = int(header[0])
+            num_words = int(header[1])
+            nnz = int(header[2])
+        except (ValueError, IndexError) as exc:
+            raise ValueError("malformed UCI bag-of-words header") from exc
+        if num_docs < 0 or num_words <= 0 or nnz < 0:
+            raise ValueError(
+                f"invalid header values D={num_docs} W={num_words} NNZ={nnz}"
+            )
+        if nnz == 0:
+            data = np.zeros((0, 3), dtype=np.int64)
+        else:
+            data = np.loadtxt(fh, dtype=np.int64, ndmin=2, max_rows=nnz)
+        if data.shape[1] != 3:
+            raise ValueError(f"expected 3 columns per entry, got {data.shape[1]}")
+        if data.shape[0] != nnz:
+            raise ValueError(f"header claims {nnz} entries, file has {data.shape[0]}")
+    finally:
+        if close:
+            fh.close()
+
+    docs = data[:, 0] - 1  # UCI ids are 1-based
+    words = data[:, 1] - 1
+    counts = data[:, 2]
+    if data.shape[0]:
+        if docs.min() < 0 or docs.max() >= num_docs:
+            raise ValueError("document id out of declared range")
+        if words.min() < 0 or words.max() >= num_words:
+            raise ValueError("word id out of declared range")
+        if counts.min() <= 0:
+            raise ValueError("counts must be positive")
+    if max_docs is not None:
+        keep = docs < max_docs
+        docs, words, counts = docs[keep], words[keep], counts[keep]
+        num_docs = min(num_docs, max_docs)
+
+    vocab = None
+    if vocab_path is not None:
+        terms = Path(vocab_path).read_text(encoding="utf-8").splitlines()
+        terms = [t for t in terms if t]
+        if len(terms) != num_words:
+            raise ValueError(
+                f"vocab file has {len(terms)} terms but header declares {num_words}"
+            )
+        vocab = Vocabulary(terms)
+
+    return Corpus.from_bow(
+        zip(docs.tolist(), words.tolist(), counts.tolist()),
+        num_docs=num_docs,
+        num_words=num_words,
+        vocabulary=vocab,
+    )
+
+
+def write_uci_bow(
+    corpus: Corpus,
+    docword_path: str | Path,
+    vocab_path: str | Path | None = None,
+) -> None:
+    """Write a corpus in UCI bag-of-words format (inverse of :func:`read_uci_bow`)."""
+    # Collapse tokens to (doc, word, count) triples.
+    doc_ids = corpus.token_doc_ids().astype(np.int64)
+    keys = doc_ids * corpus.num_words + corpus.word_ids.astype(np.int64)
+    uniq, counts = np.unique(keys, return_counts=True)
+    docs = uniq // corpus.num_words
+    words = uniq % corpus.num_words
+    with open(docword_path, "w", encoding="utf-8") as fh:
+        fh.write(f"{corpus.num_docs}\n{corpus.num_words}\n{uniq.size}\n")
+        for d, w, c in zip(docs, words, counts):
+            fh.write(f"{d + 1} {w + 1} {c}\n")
+    if vocab_path is not None:
+        if corpus.vocabulary is None:
+            raise ValueError("corpus has no vocabulary to write")
+        Path(vocab_path).write_text(
+            "\n".join(corpus.vocabulary) + "\n", encoding="utf-8"
+        )

@@ -1,0 +1,103 @@
+"""Raw-text preprocessing: tokenize, filter, build a training corpus.
+
+The UCI datasets arrive pre-tokenized; real deployments start from text.
+This module provides the conventional LDA pipeline the paper's CPU
+preprocessing stage performs: lowercase word tokenization, stop-word and
+short-token removal, document-frequency vocabulary pruning, and corpus
+assembly.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+from repro.corpus.document import Corpus
+from repro.corpus.vocab import Vocabulary
+
+_TOKEN_RE = re.compile(r"[a-z][a-z0-9']*")
+
+#: A minimal English stop list (function words that carry no topic).
+DEFAULT_STOPWORDS = frozenset(
+    """a an and are as at be but by for from has have he her his i if in is
+    it its not of on or she that the their there they this to was we were
+    what when which who will with you your""".split()
+)
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase word tokens; drops punctuation and numbers-only tokens."""
+    return _TOKEN_RE.findall(text.lower())
+
+
+def build_corpus_from_texts(
+    texts: Sequence[str],
+    stopwords: Iterable[str] = DEFAULT_STOPWORDS,
+    min_token_len: int = 2,
+    min_doc_freq: int = 2,
+    max_doc_freq_fraction: float = 0.5,
+    max_vocab: int | None = None,
+) -> Corpus:
+    """Tokenize, prune and assemble a :class:`Corpus` from raw documents.
+
+    Parameters
+    ----------
+    texts:
+        One string per document.
+    stopwords:
+        Tokens removed outright.
+    min_token_len:
+        Drop tokens shorter than this.
+    min_doc_freq:
+        Keep only words appearing in at least this many documents.
+    max_doc_freq_fraction:
+        Drop words appearing in more than this fraction of documents
+        (corpus-specific stop words).
+    max_vocab:
+        If set, keep only the most document-frequent words up to this
+        size.
+
+    Raises
+    ------
+    ValueError
+        If pruning removes every word.
+    """
+    if not texts:
+        raise ValueError("no documents")
+    if min_doc_freq < 1:
+        raise ValueError("min_doc_freq must be >= 1")
+    if not (0 < max_doc_freq_fraction <= 1):
+        raise ValueError("max_doc_freq_fraction must be in (0, 1]")
+    stop = frozenset(stopwords)
+    docs_tokens: list[list[str]] = []
+    doc_freq: Counter[str] = Counter()
+    for text in texts:
+        toks = [
+            t for t in tokenize(text)
+            if len(t) >= min_token_len and t not in stop
+        ]
+        docs_tokens.append(toks)
+        doc_freq.update(set(toks))
+
+    max_df = max_doc_freq_fraction * len(texts)
+    kept = [
+        (w, df) for w, df in doc_freq.items() if min_doc_freq <= df <= max_df
+    ]
+    if not kept:
+        raise ValueError(
+            "vocabulary pruning removed every word; relax min_doc_freq / "
+            "max_doc_freq_fraction"
+        )
+    # Deterministic order: by descending document frequency, ties by term.
+    kept.sort(key=lambda p: (-p[1], p[0]))
+    if max_vocab is not None:
+        if max_vocab < 1:
+            raise ValueError("max_vocab must be >= 1")
+        kept = kept[:max_vocab]
+    vocab = Vocabulary([w for w, _ in kept])
+    index = {w: i for i, w in enumerate(vocab)}
+    doc_ids = [
+        [index[t] for t in toks if t in index] for toks in docs_tokens
+    ]
+    return Corpus.from_token_lists(doc_ids, len(vocab), vocab)

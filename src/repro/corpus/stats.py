@@ -1,0 +1,70 @@
+"""Corpus statistics: the Table 3 columns plus sparsity diagnostics.
+
+Section 7.1 of the paper explains throughput warm-up in terms of the
+document-length distribution (NYTimes mean 332 vs PubMed mean 92), so the
+stats object exposes exactly those quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.corpus.document import Corpus
+
+
+@dataclass(frozen=True)
+class CorpusStats:
+    """Summary statistics of a corpus (cf. Table 3)."""
+
+    num_tokens: int
+    num_docs: int
+    num_words: int
+    mean_doc_len: float
+    median_doc_len: float
+    max_doc_len: int
+    num_empty_docs: int
+    distinct_doc_word_pairs: int
+
+    @property
+    def theta_density_bound(self) -> float:
+        """Upper bound on the density of the doc-topic matrix rows.
+
+        A document of length ``L`` touches at most ``min(L, K)`` topics, so
+        the mean document length bounds mean ``Kd`` (the per-document
+        non-zero count that drives the sparsity-aware sampler's cost).
+        """
+        return self.mean_doc_len
+
+    def as_table_row(self) -> dict[str, int | float]:
+        """Columns in the order of Table 3."""
+        return {
+            "#Tokens(T)": self.num_tokens,
+            "#Documents(D)": self.num_docs,
+            "#Words(V)": self.num_words,
+            "MeanDocLen": round(self.mean_doc_len, 1),
+        }
+
+
+def corpus_stats(corpus: Corpus) -> CorpusStats:
+    """Compute :class:`CorpusStats` for ``corpus`` in one pass."""
+    lengths = corpus.doc_lengths()
+    if corpus.num_docs == 0:
+        raise ValueError("cannot compute stats of a corpus with no documents")
+    if corpus.num_tokens:
+        doc_ids = corpus.token_doc_ids().astype(np.int64)
+        pair_keys = doc_ids * corpus.num_words + corpus.word_ids.astype(np.int64)
+        distinct_pairs = int(np.unique(pair_keys).size)
+    else:
+        distinct_pairs = 0
+    return CorpusStats(
+        num_tokens=corpus.num_tokens,
+        num_docs=corpus.num_docs,
+        num_words=corpus.num_words,
+        mean_doc_len=float(lengths.mean()) if lengths.size else 0.0,
+        median_doc_len=float(np.median(lengths)) if lengths.size else 0.0,
+        max_doc_len=int(lengths.max()) if lengths.size else 0,
+        num_empty_docs=int((lengths == 0).sum()),
+        distinct_doc_word_pairs=distinct_pairs,
+    )

@@ -1,0 +1,82 @@
+"""Kernel launch geometry helpers.
+
+The cost builders in :mod:`repro.core.costs` need the launch geometry the
+paper fixes in Section 6.1.2: one warp per sampler, 32 samplers per thread
+block, tokens of one word per block.  This module turns a chunk's block
+plan into grid/occupancy figures so costs (and diagnostics like achieved
+parallelism) can be derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.corpus.encoding import BlockPlan
+from repro.gpusim.spec import DeviceSpec
+
+#: Paper: "We set the number of samplers in each thread block as 32,
+#: which is the allowed maximal value" -> 32 warps x 32 lanes = 1024 threads.
+WARPS_PER_BLOCK = 32
+
+
+@dataclass(frozen=True)
+class LaunchGeometry:
+    """Grid shape of one sampling-kernel launch."""
+
+    num_blocks: int
+    warps_per_block: int
+    warp_size: int
+
+    def __post_init__(self) -> None:
+        if self.num_blocks < 0 or self.warps_per_block < 1 or self.warp_size < 1:
+            raise ValueError("invalid launch geometry")
+
+    @property
+    def threads_per_block(self) -> int:
+        return self.warps_per_block * self.warp_size
+
+    @property
+    def total_threads(self) -> int:
+        return self.num_blocks * self.threads_per_block
+
+    @property
+    def total_samplers(self) -> int:
+        """One warp = one LDA sampler (Section 6.1.1)."""
+        return self.num_blocks * self.warps_per_block
+
+    def occupancy_waves(self, spec: DeviceSpec, blocks_per_sm: int = 2) -> float:
+        """How many "waves" of blocks the grid needs on ``spec``.
+
+        A wave is one full residency of ``num_sms * blocks_per_sm`` blocks.
+        Fewer than one wave means the GPU is under-filled — the situation
+        the paper's Section 3.2 warns about ("necessary to launch tens of
+        thousands of concurrent threads to saturate one GPU").
+        """
+        resident = spec.num_sms * blocks_per_sm
+        if resident <= 0:
+            raise ValueError("blocks_per_sm must be positive")
+        return self.num_blocks / resident
+
+
+def geometry_for_plan(
+    plan: BlockPlan,
+    warp_size: int = 32,
+    warps_per_block: int = WARPS_PER_BLOCK,
+) -> LaunchGeometry:
+    """Launch geometry for one chunk's sampling kernel."""
+    return LaunchGeometry(
+        num_blocks=plan.num_blocks,
+        warps_per_block=warps_per_block,
+        warp_size=warp_size,
+    )
+
+
+def saturation_ratio(geom: LaunchGeometry, spec: DeviceSpec) -> float:
+    """Fraction of the device the launch can keep busy (0..1].
+
+    Used by the parallelization tests: a single-sampler launch must report
+    a tiny ratio (the paper's "running one sampler can not fully utilize
+    the GPU"), a full chunk launch should saturate.
+    """
+    waves = geom.occupancy_waves(spec)
+    return min(1.0, waves)

@@ -1,0 +1,108 @@
+"""Unit, property and statistical tests for Vose alias tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+from scipy import stats as sps
+
+from repro.baselines.alias import AliasTable, build_alias_columns
+
+weights_strategy = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=50),
+    elements=st.floats(min_value=0.0, max_value=10.0),
+).filter(lambda w: w.sum() > 1e-9)
+
+
+class TestConstruction:
+    def test_basic(self):
+        t = AliasTable(np.array([1.0, 3.0]))
+        assert t.size == 2
+        assert t.total == pytest.approx(4.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            AliasTable(np.array([]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            AliasTable(np.array([1.0, -1.0]))
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            AliasTable(np.zeros(3))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            AliasTable(np.array([np.nan, 1.0]))
+
+    @given(weights_strategy)
+    def test_prob_mass_conserved(self, w):
+        """Alias invariant: slot probabilities reassemble the weights."""
+        t = AliasTable(w)
+        n = w.size
+        recon = t.prob.copy()
+        np.add.at(recon, t.alias, 1.0 - t.prob)
+        expect = w * (n / w.sum())
+        assert np.allclose(recon, expect, atol=1e-9)
+
+    @given(weights_strategy)
+    def test_prob_in_unit_interval(self, w):
+        t = AliasTable(w)
+        assert np.all(t.prob >= 0) and np.all(t.prob <= 1 + 1e-12)
+        assert np.all(t.alias >= 0) and np.all(t.alias < w.size)
+
+
+class TestSampling:
+    def test_distribution_chisquare(self):
+        rng = np.random.default_rng(7)
+        w = np.array([5.0, 1.0, 0.0, 4.0])
+        t = AliasTable(w)
+        draws = t.sample(rng, size=20_000)
+        counts = np.bincount(draws, minlength=4)
+        assert counts[2] == 0
+        mask = w > 0
+        expected = w[mask] / w.sum() * 20_000
+        assert sps.chisquare(counts[mask], expected).pvalue > 1e-3
+
+    def test_zero_size(self):
+        t = AliasTable(np.ones(3))
+        assert t.sample(np.random.default_rng(0), size=0).shape == (0,)
+
+    def test_negative_size(self):
+        with pytest.raises(ValueError):
+            AliasTable(np.ones(3)).sample(np.random.default_rng(0), size=-1)
+
+    def test_sample_with_resolves(self):
+        t = AliasTable(np.array([1.0, 1.0]))
+        out = t.sample_with(np.array([0, 1]), np.array([0.0, 0.0]))
+        assert out.shape == (2,)
+
+    def test_sample_with_bad_slot(self):
+        t = AliasTable(np.array([1.0, 1.0]))
+        with pytest.raises(ValueError):
+            t.sample_with(np.array([5]), np.array([0.5]))
+
+    def test_deterministic_single_atom(self):
+        t = AliasTable(np.array([0.0, 2.0, 0.0]))
+        draws = t.sample(np.random.default_rng(0), size=100)
+        assert np.all(draws == 1)
+
+
+class TestColumns:
+    def test_build_columns(self):
+        m = np.array([[1, 0], [2, 3]], dtype=np.float64)
+        tables = build_alias_columns(m, offset=0.5)
+        assert len(tables) == 2
+        assert tables[0].total == pytest.approx(4.0)
+        assert tables[1].total == pytest.approx(4.0)
+
+    def test_rejects_negative_offset(self):
+        with pytest.raises(ValueError):
+            build_alias_columns(np.ones((2, 2)), offset=-1)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            build_alias_columns(np.ones(3), offset=0.1)

@@ -1,0 +1,114 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.corpus.io import write_uci_bow
+from repro.corpus.synthetic import generate_synthetic_corpus, small_spec
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.topics == 128
+        assert args.platform == "Volta"
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestTrain:
+    def test_train_synthetic_default(self, capsys):
+        rc = main(["train", "--topics", "8", "--iterations", "2",
+                   "--likelihood-every", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "corpus:" in out and "done:" in out
+
+    def test_train_writes_model(self, tmp_path, capsys):
+        model = tmp_path / "m.npz"
+        rc = main([
+            "train", "--topics", "8", "--iterations", "2",
+            "--output", str(model),
+        ])
+        assert rc == 0
+        assert model.exists()
+
+    def test_train_preset(self, capsys):
+        rc = main([
+            "train", "--preset", "pubmed", "--scale", "0.0002",
+            "--topics", "8", "--iterations", "1", "--likelihood-every", "0",
+        ])
+        assert rc == 0
+
+    def test_train_from_uci(self, tmp_path, capsys):
+        corpus = generate_synthetic_corpus(
+            small_spec(num_docs=50, num_words=80, mean_doc_len=20), seed=3
+        )
+        dw = tmp_path / "docword.txt"
+        write_uci_bow(corpus, dw)
+        rc = main([
+            "train", "--docword", str(dw), "--topics", "6",
+            "--iterations", "1", "--likelihood-every", "0",
+        ])
+        assert rc == 0
+
+    def test_bad_platform_is_handled(self, capsys):
+        rc = main(["train", "--platform", "turing", "--iterations", "1"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file_is_handled(self, capsys):
+        rc = main(["train", "--docword", "/nonexistent/file.txt"])
+        assert rc == 2
+
+
+class TestTopics:
+    def test_topics_roundtrip(self, tmp_path, capsys):
+        model = tmp_path / "m.npz"
+        assert main([
+            "train", "--topics", "6", "--iterations", "3",
+            "--output", str(model), "--likelihood-every", "0",
+        ]) == 0
+        capsys.readouterr()
+        rc = main(["topics", "--model", str(model), "--num-topics", "3",
+                   "--top", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "topic" in out and "w" in out
+
+    def test_topics_with_vocab(self, tmp_path, capsys):
+        model = tmp_path / "m.npz"
+        main(["train", "--topics", "6", "--iterations", "2",
+              "--output", str(model), "--likelihood-every", "0"])
+        # default synthetic corpus has V=500
+        vocab = tmp_path / "vocab.txt"
+        vocab.write_text("\n".join(f"term{i}" for i in range(500)) + "\n")
+        capsys.readouterr()
+        rc = main(["topics", "--model", str(model), "--vocab", str(vocab)])
+        assert rc == 0
+        assert "term" in capsys.readouterr().out
+
+    def test_topics_vocab_mismatch(self, tmp_path, capsys):
+        model = tmp_path / "m.npz"
+        main(["train", "--topics", "6", "--iterations", "1",
+              "--output", str(model), "--likelihood-every", "0"])
+        vocab = tmp_path / "vocab.txt"
+        vocab.write_text("just_one\n")
+        rc = main(["topics", "--model", str(model), "--vocab", str(vocab)])
+        assert rc == 2
+
+
+class TestBenchmark:
+    def test_benchmark_runs(self, capsys):
+        rc = main(["benchmark", "--topics", "8", "--iterations", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tokens/s" in out
+        assert "sampling" in out

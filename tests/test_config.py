@@ -1,0 +1,58 @@
+"""Tests for TrainerConfig (paper hyper-parameter policy)."""
+
+import pytest
+
+from repro.core import TrainerConfig
+
+
+class TestDefaults:
+    def test_paper_hyperparameters(self):
+        """alpha = 50/K, beta = 0.01 (Sections 2.1 and 7)."""
+        cfg = TrainerConfig(num_topics=100)
+        assert cfg.effective_alpha == pytest.approx(0.5)
+        assert cfg.effective_beta == pytest.approx(0.01)
+
+    def test_explicit_override(self):
+        cfg = TrainerConfig(num_topics=10, alpha=0.3, beta=0.2)
+        assert cfg.effective_alpha == 0.3
+        assert cfg.effective_beta == 0.2
+
+    def test_num_chunks(self):
+        cfg = TrainerConfig(num_topics=8, num_gpus=4, chunks_per_gpu=3)
+        assert cfg.num_chunks == 12
+
+    def test_optimizations_default_on(self):
+        cfg = TrainerConfig(num_topics=8)
+        assert cfg.compress and cfg.share_p2_tree and cfg.use_l1_for_indices
+        assert cfg.overlap_transfers
+
+
+class TestValidation:
+    def test_min_topics(self):
+        with pytest.raises(ValueError):
+            TrainerConfig(num_topics=1)
+
+    def test_positive_gpus(self):
+        with pytest.raises(ValueError):
+            TrainerConfig(num_topics=8, num_gpus=0)
+
+    def test_positive_m(self):
+        with pytest.raises(ValueError):
+            TrainerConfig(num_topics=8, chunks_per_gpu=0)
+
+    def test_alpha_positive(self):
+        with pytest.raises(ValueError):
+            TrainerConfig(num_topics=8, alpha=0.0)
+
+    def test_beta_positive(self):
+        with pytest.raises(ValueError):
+            TrainerConfig(num_topics=8, beta=-1.0)
+
+    def test_tokens_per_block_min(self):
+        with pytest.raises(ValueError):
+            TrainerConfig(num_topics=8, tokens_per_block=16)
+
+    def test_frozen(self):
+        cfg = TrainerConfig(num_topics=8)
+        with pytest.raises(Exception):
+            cfg.num_topics = 9  # type: ignore[misc]

@@ -1,0 +1,89 @@
+"""Tests for UCI bag-of-words I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.corpus.document import Corpus
+from repro.corpus.io import read_uci_bow, write_uci_bow
+from repro.corpus.synthetic import generate_synthetic_corpus, small_spec
+from repro.corpus.vocab import Vocabulary
+
+
+def _bow_text(d, w, nnz, entries):
+    body = "\n".join(f"{a} {b} {c}" for a, b, c in entries)
+    return f"{d}\n{w}\n{nnz}\n{body}\n"
+
+
+class TestRead:
+    def test_basic(self):
+        text = _bow_text(2, 3, 3, [(1, 1, 2), (1, 3, 1), (2, 2, 4)])
+        c = read_uci_bow(io.StringIO(text))
+        assert c.num_docs == 2
+        assert c.num_words == 3
+        assert c.num_tokens == 7
+        assert list(c.document(0).word_ids) == [0, 0, 2]
+
+    def test_malformed_header(self):
+        with pytest.raises(ValueError, match="header"):
+            read_uci_bow(io.StringIO("not\na\nnumber\n"))
+
+    def test_entry_count_mismatch(self):
+        text = _bow_text(1, 1, 5, [(1, 1, 1)])
+        with pytest.raises(ValueError, match="claims"):
+            read_uci_bow(io.StringIO(text))
+
+    def test_out_of_range_doc(self):
+        text = _bow_text(1, 1, 1, [(9, 1, 1)])
+        with pytest.raises(ValueError, match="document id"):
+            read_uci_bow(io.StringIO(text))
+
+    def test_out_of_range_word(self):
+        text = _bow_text(1, 1, 1, [(1, 9, 1)])
+        with pytest.raises(ValueError, match="word id"):
+            read_uci_bow(io.StringIO(text))
+
+    def test_max_docs_prefix(self):
+        text = _bow_text(3, 2, 3, [(1, 1, 1), (2, 1, 1), (3, 2, 1)])
+        c = read_uci_bow(io.StringIO(text), max_docs=2)
+        assert c.num_docs == 2
+        assert c.num_tokens == 2
+
+    def test_empty_corpus(self):
+        c = read_uci_bow(io.StringIO("0\n3\n0\n"))
+        assert c.num_docs == 0 and c.num_tokens == 0
+
+
+class TestRoundTrip:
+    def test_synthetic_round_trip(self, tmp_path):
+        c = generate_synthetic_corpus(small_spec(num_docs=40, num_words=60), seed=9)
+        path = tmp_path / "docword.txt"
+        write_uci_bow(c, path)
+        c2 = read_uci_bow(path)
+        assert c2.num_docs == c.num_docs
+        assert c2.num_words == c.num_words
+        assert c2.num_tokens == c.num_tokens
+        # Bag-of-words equality per document (token order may differ).
+        for d in range(c.num_docs):
+            assert np.array_equal(
+                np.sort(c.document(d).word_ids), np.sort(c2.document(d).word_ids)
+            )
+
+    def test_vocab_round_trip(self, tmp_path):
+        vocab = Vocabulary(["apple", "pear", "plum"])
+        c = Corpus.from_token_lists([[0, 2], [1]], num_words=3, vocabulary=vocab)
+        write_uci_bow(c, tmp_path / "dw.txt", tmp_path / "vocab.txt")
+        c2 = read_uci_bow(tmp_path / "dw.txt", tmp_path / "vocab.txt")
+        assert c2.vocabulary == vocab
+
+    def test_write_vocab_without_vocab_raises(self, tmp_path):
+        c = Corpus.from_token_lists([[0]], num_words=1)
+        with pytest.raises(ValueError, match="no vocabulary"):
+            write_uci_bow(c, tmp_path / "dw.txt", tmp_path / "vocab.txt")
+
+    def test_vocab_size_mismatch_detected(self, tmp_path):
+        (tmp_path / "dw.txt").write_text("1\n2\n1\n1 1 1\n")
+        (tmp_path / "vocab.txt").write_text("only_one_term\n")
+        with pytest.raises(ValueError, match="vocab file"):
+            read_uci_bow(tmp_path / "dw.txt", tmp_path / "vocab.txt")

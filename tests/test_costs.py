@@ -1,0 +1,139 @@
+"""Tests for the Table-1-derived cost builders."""
+
+import pytest
+
+from repro.core.costs import (
+    SamplingStats,
+    int_bytes,
+    phi_replica_bytes,
+    sampling_cost,
+    theta_replica_bytes,
+    tree_depth_for,
+    update_phi_cost,
+    update_theta_cost,
+)
+
+
+def make_stats(**kw):
+    base = dict(
+        num_tokens=1000,
+        sum_kd=50_000,
+        sum_kd_p1=30_000,
+        num_p1_draws=600,
+        num_p2_draws=400,
+        num_blocks=10,
+        num_topics=1024,
+        tree_depth=2,
+    )
+    base.update(kw)
+    return SamplingStats(**base)
+
+
+class TestStats:
+    def test_bucket_partition_enforced(self):
+        with pytest.raises(ValueError, match="partition"):
+            make_stats(num_p1_draws=1, num_p2_draws=1)
+
+    def test_mean_kd(self):
+        assert make_stats().mean_kd == pytest.approx(50.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            make_stats(sum_kd=-1)
+
+
+class TestSamplingCost:
+    def test_compression_halves_int_traffic(self):
+        s = make_stats()
+        c16 = sampling_cost(s, compress=True)
+        c32 = sampling_cost(s, compress=False)
+        assert c32.bytes_total > c16.bytes_total
+        # S-step alone: 3*Int*sum_kd; ratio bounded by the float share.
+        assert c32.bytes_total / c16.bytes_total < 2.0
+        assert c32.bytes_total / c16.bytes_total > 1.4
+
+    def test_shared_tree_amortises_q(self):
+        """Per-block vs per-token Q is the Section 6.1.2 headline saving."""
+        s = make_stats()
+        shared = sampling_cost(s, share_p2_tree=True)
+        private = sampling_cost(s, share_p2_tree=False)
+        assert private.bytes_total > shared.bytes_total
+        # with 1000 tokens in 10 blocks the Q traffic shrinks 100x
+        q_shared = 2 * 2 * 1024 * 10
+        q_private = 2 * 2 * 1024 * 1000
+        assert private.bytes_total - shared.bytes_total == pytest.approx(
+            q_private - q_shared
+        )
+
+    def test_l1_discount(self):
+        s = make_stats()
+        no_l1 = sampling_cost(s, l1_index_factor=1.0)
+        with_l1 = sampling_cost(s, l1_index_factor=0.25)
+        assert with_l1.bytes_total < no_l1.bytes_total
+
+    def test_l1_factor_validated(self):
+        with pytest.raises(ValueError):
+            sampling_cost(make_stats(), l1_index_factor=1.5)
+
+    def test_memory_bound_intensity(self):
+        """The built cost must sit in the memory-bound regime (Table 1)."""
+        c = sampling_cost(make_stats(), compress=False, share_p2_tree=False,
+                          l1_index_factor=1.0)
+        assert c.flops_per_byte < 1.0
+
+    def test_scales_with_kd(self):
+        light = sampling_cost(make_stats(sum_kd=10_000, sum_kd_p1=6_000))
+        heavy = sampling_cost(make_stats(sum_kd=80_000, sum_kd_p1=48_000))
+        assert heavy.bytes_total > light.bytes_total
+
+
+class TestUpdateCosts:
+    def test_update_phi_atomics(self):
+        c = update_phi_cost(1000)
+        assert c.atomic_ops == 2000
+
+    def test_update_phi_negative(self):
+        with pytest.raises(ValueError):
+            update_phi_cost(-1)
+
+    def test_update_theta_components(self):
+        c = update_theta_cost(1000, num_docs=50, num_topics=64, nnz_theta=800)
+        assert c.atomic_ops == 1000
+        assert c.bytes_total > 0
+
+    def test_update_theta_scan_term(self):
+        """Dense-row scan grows with D*K (the compaction pass)."""
+        small = update_theta_cost(1000, 10, 64, 800)
+        big = update_theta_cost(1000, 1000, 64, 800)
+        assert big.bytes_read > small.bytes_read
+
+
+class TestFootprints:
+    def test_phi_bytes(self):
+        assert phi_replica_bytes(1024, 1000, compress=True) == 1024 * 1000 * 2
+        assert phi_replica_bytes(1024, 1000, compress=False) == 1024 * 1000 * 4
+
+    def test_theta_bytes_positive(self):
+        assert theta_replica_bytes(100, 10) > 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            phi_replica_bytes(0, 10)
+        with pytest.raises(ValueError):
+            theta_replica_bytes(-1, 10)
+
+
+class TestTreeDepth:
+    def test_depths(self):
+        assert tree_depth_for(1) == 0
+        assert tree_depth_for(32) == 1
+        assert tree_depth_for(1024) == 2
+        assert tree_depth_for(1025) == 3
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            tree_depth_for(0)
+
+    def test_int_bytes(self):
+        assert int_bytes(True) == 2
+        assert int_bytes(False) == 4

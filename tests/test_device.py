@@ -1,0 +1,72 @@
+"""Tests for the SimulatedGPU facade and peer-to-peer copies."""
+
+import pytest
+
+from repro.gpusim.clock import KernelCost
+from repro.gpusim.device import SimulatedGPU, p2p_copy
+from repro.gpusim.memory import DeviceOutOfMemoryError
+from repro.gpusim.platform import TITAN_X_MAXWELL, V100_VOLTA
+
+
+@pytest.fixture()
+def gpu():
+    return SimulatedGPU(0, V100_VOLTA)
+
+
+class TestDevice:
+    def test_launch_charges_ledger(self, gpu):
+        gpu.launch("sampling", KernelCost(bytes_read=1e6))
+        assert "sampling" in gpu.ledger.seconds
+        assert gpu.ledger.launches["sampling"] == 1
+
+    def test_launch_returns_completion(self, gpu):
+        t = gpu.launch("k", KernelCost(bytes_read=gpu.spec.effective_bandwidth))
+        assert t == pytest.approx(1.0 + gpu.spec.kernel_launch_us * 1e-6)
+
+    def test_transfers_use_copy_engines(self, gpu):
+        s1, s2 = gpu.create_stream(), gpu.create_stream()
+        e1 = gpu.h2d("transfer", 16e9, stream=s1)  # 1s on PCIe
+        e2 = gpu.d2h("transfer", 16e9, stream=s2)  # overlaps: other engine
+        assert e1 == pytest.approx(1.0, rel=1e-3)
+        assert e2 == pytest.approx(1.0, rel=1e-3)
+
+    def test_alloc_respects_capacity(self, gpu):
+        gpu.alloc("phi", gpu.spec.memory_bytes)
+        with pytest.raises(DeviceOutOfMemoryError):
+            gpu.alloc("extra", 1)
+
+    def test_free(self, gpu):
+        gpu.alloc("a", 100)
+        gpu.free("a")
+        gpu.alloc("a", 100)
+
+    def test_sync_reports_idle_time(self, gpu):
+        gpu.launch("k", KernelCost(bytes_read=1e9))
+        assert gpu.sync() > 0
+
+
+class TestP2P:
+    def test_p2p_requires_distinct_devices(self, gpu):
+        with pytest.raises(ValueError):
+            p2p_copy(gpu, gpu, 100)
+
+    def test_p2p_waits_for_both_sides(self):
+        a = SimulatedGPU(0, V100_VOLTA)
+        b = SimulatedGPU(1, V100_VOLTA)
+        a.launch("k", KernelCost(bytes_read=a.spec.effective_bandwidth))  # ~1s busy
+        end = p2p_copy(a, b, 16e9)  # 1s on PCIe
+        assert end == pytest.approx(2.0, rel=1e-2)
+
+    def test_p2p_slower_gpu_pairs_fine(self):
+        a = SimulatedGPU(0, TITAN_X_MAXWELL)
+        b = SimulatedGPU(1, V100_VOLTA)
+        end = p2p_copy(a, b, 1.6e9)
+        assert end == pytest.approx(0.1, rel=1e-2)
+
+    def test_parallel_p2p_pairs_overlap(self):
+        """Figure 4: transfers of the same reduce level run in parallel."""
+        gpus = [SimulatedGPU(i, V100_VOLTA) for i in range(4)]
+        e1 = p2p_copy(gpus[1], gpus[0], 16e9)
+        e2 = p2p_copy(gpus[3], gpus[2], 16e9)
+        assert e1 == pytest.approx(1.0, rel=1e-2)
+        assert e2 == pytest.approx(1.0, rel=1e-2)  # disjoint pair, no wait

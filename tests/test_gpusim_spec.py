@@ -1,0 +1,81 @@
+"""Tests for device specs and Table 2 platform presets."""
+
+import pytest
+
+from repro.gpusim.platform import (
+    ALL_PLATFORMS,
+    GTX_1080_PASCAL,
+    MAXWELL_PLATFORM,
+    PASCAL_PLATFORM,
+    TITAN_X_MAXWELL,
+    TITAN_XP_PASCAL,
+    V100_VOLTA,
+    VOLTA_PLATFORM,
+    XEON_E5_2690_V4,
+    platform_by_name,
+)
+from repro.gpusim.spec import CpuSpec, DeviceSpec
+
+
+class TestTable2Presets:
+    def test_bandwidths_match_paper(self):
+        assert TITAN_X_MAXWELL.mem_bandwidth_gbps == 336.0
+        assert TITAN_XP_PASCAL.mem_bandwidth_gbps == 550.0
+        assert V100_VOLTA.mem_bandwidth_gbps == 900.0
+
+    def test_processor_counts_match_paper(self):
+        assert TITAN_X_MAXWELL.num_sms == 24
+        assert TITAN_XP_PASCAL.num_sms == 28
+        assert V100_VOLTA.num_sms == 80
+
+    def test_gpu_counts_match_paper(self):
+        assert MAXWELL_PLATFORM.num_gpus == 1
+        assert PASCAL_PLATFORM.num_gpus == 4
+        assert VOLTA_PLATFORM.num_gpus == 2
+
+    def test_volta_host_machine_balance(self):
+        """Section 3.1: '470 GFLOPS and 51.2 GB/s ... (470/51.2 = 9.2)'."""
+        assert XEON_E5_2690_V4.machine_balance == pytest.approx(9.18, abs=0.05)
+
+    def test_memory_capacities_plausible(self):
+        # Section 5.1: "A typical GPU has only 12GB-16GB memory"
+        for gpu in (TITAN_X_MAXWELL, TITAN_XP_PASCAL, V100_VOLTA):
+            assert 12.0 <= gpu.memory_gb <= 16.0
+        assert GTX_1080_PASCAL.memory_gb == 8.0
+
+    def test_lookup_by_name(self):
+        assert platform_by_name("volta") is VOLTA_PLATFORM
+        assert platform_by_name("Maxwell") is MAXWELL_PLATFORM
+        with pytest.raises(KeyError):
+            platform_by_name("turing")
+
+    def test_three_platforms(self):
+        assert len(ALL_PLATFORMS) == 3
+
+
+class TestSpecValidation:
+    def test_device_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("x", "a", mem_bandwidth_gbps=0, peak_gflops=1,
+                       num_sms=1, shared_mem_per_sm_kb=1, l1_kb_per_sm=1,
+                       memory_gb=1)
+
+    def test_device_rejects_bad_efficiency(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("x", "a", 100, 100, 1, 1, 1, 1, mem_efficiency=1.5)
+
+    def test_cpu_rejects_bad_cores(self):
+        with pytest.raises(ValueError):
+            CpuSpec("x", 50, 400, cores=0, llc_mb=10)
+
+    def test_effective_bandwidth(self):
+        d = DeviceSpec("x", "a", 100, 1000, 10, 96, 32, 8, mem_efficiency=0.5)
+        assert d.effective_bandwidth == pytest.approx(50e9)
+
+    def test_machine_balance(self):
+        d = DeviceSpec("x", "a", 100, 1000, 10, 96, 32, 8)
+        assert d.machine_balance == pytest.approx(10.0)
+
+    def test_memory_bytes(self):
+        d = DeviceSpec("x", "a", 100, 1000, 10, 96, 32, memory_gb=12.0)
+        assert d.memory_bytes == 12_000_000_000

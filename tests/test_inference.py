@@ -1,0 +1,110 @@
+"""Tests for fold-in inference on unseen documents."""
+
+import numpy as np
+import pytest
+
+from repro.core import CuLdaTrainer, TrainerConfig
+from repro.core.inference import FoldInSampler
+from repro.corpus.document import Corpus
+from repro.corpus.synthetic import generate_labelled_corpus, small_spec
+
+
+@pytest.fixture(scope="module")
+def sharp_model():
+    """A model with two sharply separated topics for predictable fold-in."""
+    # topic 0 -> words 0..4, topic 1 -> words 5..9
+    phi = np.zeros((2, 10), dtype=np.int64)
+    phi[0, :5] = 100
+    phi[1, 5:] = 100
+    return FoldInSampler(phi, phi.sum(axis=1), alpha=0.5, beta=0.01)
+
+
+class TestFoldIn:
+    def test_sharp_document_resolves(self, sharp_model):
+        mix = sharp_model.infer_document(np.array([0, 1, 2, 3, 4, 0, 1]))
+        assert mix[0] > 0.8
+        assert mix.sum() == pytest.approx(1.0)
+
+    def test_opposite_document(self, sharp_model):
+        mix = sharp_model.infer_document(np.array([5, 6, 7, 8, 9]))
+        assert mix[1] > 0.8
+
+    def test_mixed_document(self, sharp_model):
+        mix = sharp_model.infer_document(
+            np.array([0, 1, 2, 5, 6, 7]), num_sweeps=40, burn_in=15
+        )
+        assert 0.25 < mix[0] < 0.75  # genuinely mixed
+
+    def test_empty_document_is_prior(self, sharp_model):
+        mix = sharp_model.infer_document(np.array([], dtype=np.int64))
+        assert np.allclose(mix, 0.5)
+
+    def test_unknown_word_rejected(self, sharp_model):
+        with pytest.raises(ValueError, match="vocabulary"):
+            sharp_model.infer_document(np.array([99]))
+
+    def test_deterministic_with_rng(self, sharp_model):
+        a = sharp_model.infer_document(
+            np.array([0, 5, 1]), rng=np.random.default_rng(3)
+        )
+        b = sharp_model.infer_document(
+            np.array([0, 5, 1]), rng=np.random.default_rng(3)
+        )
+        assert np.array_equal(a, b)
+
+    def test_sweep_validation(self, sharp_model):
+        with pytest.raises(ValueError, match="exceed"):
+            sharp_model.infer_document(np.array([0]), num_sweeps=5, burn_in=5)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            FoldInSampler(np.zeros(3), np.zeros(3), 0.5, 0.01)  # 1-D phi
+        with pytest.raises(ValueError):
+            FoldInSampler(np.zeros((2, 3)), np.zeros(3), 0.5, 0.01)  # totals len
+        with pytest.raises(ValueError):
+            FoldInSampler(np.zeros((2, 3)), np.zeros(2), -1.0, 0.01)
+
+
+class TestAgainstTrainedModel:
+    def test_recovers_heldout_document_topics(self):
+        """Train on labelled data; fold-in must separate unseen docs."""
+        spec = small_spec(
+            num_docs=300, num_words=250, mean_doc_len=40, num_topics=4,
+            word_beta=0.005,
+        )
+        corpus, z_true = generate_labelled_corpus(spec, seed=11)
+        train = corpus.subset(0, 250)
+        test = corpus.subset(250, 300)
+        cfg = TrainerConfig(num_topics=8, seed=0)
+        trainer = CuLdaTrainer(train, cfg)
+        trainer.train(25, compute_likelihood_every=0)
+        sampler = FoldInSampler.from_state(trainer.state)
+        mixes = sampler.infer_corpus(test, num_sweeps=20, burn_in=8)
+        assert mixes.shape == (test.num_docs, 8)
+        assert np.allclose(mixes.sum(axis=1), 1.0)
+        # Most held-out documents should concentrate on few topics
+        # (generative docs with alpha=0.1 are sparse mixtures).
+        top_share = mixes.max(axis=1)
+        # K=8 over 4 planted topics: mixtures concentrate well above the
+        # uniform 1/K = 0.125 baseline even when mass splits across
+        # duplicate topics.
+        assert np.median(top_share) > 0.25
+
+    def test_log_predictive_prefers_right_mixture(self, sharp_model):
+        doc = np.array([0, 1, 2, 0, 3])
+        good = np.array([0.95, 0.05])
+        bad = np.array([0.05, 0.95])
+        assert sharp_model.log_predictive(doc, good) > sharp_model.log_predictive(
+            doc, bad
+        )
+
+    def test_log_predictive_validation(self, sharp_model):
+        with pytest.raises(ValueError, match="empty"):
+            sharp_model.log_predictive(np.array([], dtype=int), np.array([0.5, 0.5]))
+        with pytest.raises(ValueError, match="probability"):
+            sharp_model.log_predictive(np.array([0]), np.array([0.7, 0.7]))
+
+    def test_infer_corpus_vocab_check(self, sharp_model):
+        big = Corpus.from_token_lists([[0, 11]], num_words=12)
+        with pytest.raises(ValueError, match="exceeds"):
+            sharp_model.infer_corpus(big)

@@ -1,0 +1,62 @@
+"""Tests for kernel launch geometry (Section 6.1.2 parallelization)."""
+
+import pytest
+
+from repro.corpus.encoding import encode_chunk
+from repro.corpus.partition import partition_by_tokens
+from repro.corpus.synthetic import generate_synthetic_corpus, small_spec
+from repro.gpusim.kernel import (
+    LaunchGeometry,
+    WARPS_PER_BLOCK,
+    geometry_for_plan,
+    saturation_ratio,
+)
+from repro.gpusim.platform import TITAN_X_MAXWELL, V100_VOLTA
+
+
+class TestGeometry:
+    def test_paper_block_shape(self):
+        """'We set the number of samplers in each thread block as 32'."""
+        assert WARPS_PER_BLOCK == 32
+        g = LaunchGeometry(num_blocks=10, warps_per_block=32, warp_size=32)
+        assert g.threads_per_block == 1024
+        assert g.total_samplers == 320
+        assert g.total_threads == 10240
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            LaunchGeometry(num_blocks=-1, warps_per_block=32, warp_size=32)
+        with pytest.raises(ValueError):
+            LaunchGeometry(num_blocks=1, warps_per_block=0, warp_size=32)
+
+    def test_from_plan(self):
+        corpus = generate_synthetic_corpus(
+            small_spec(num_docs=100, num_words=150, mean_doc_len=30), seed=2
+        )
+        chunk = encode_chunk(corpus, partition_by_tokens(corpus, 1)[0])
+        g = geometry_for_plan(chunk.block_plan)
+        assert g.num_blocks == chunk.block_plan.num_blocks
+        assert g.warps_per_block == 32
+
+
+class TestSaturation:
+    def test_single_sampler_underfills(self):
+        """Section 6.1.2: 'running one sampler can not fully utilize the GPU'."""
+        g = LaunchGeometry(num_blocks=1, warps_per_block=1, warp_size=32)
+        assert saturation_ratio(g, V100_VOLTA) < 0.05
+
+    def test_large_grid_saturates(self):
+        g = LaunchGeometry(num_blocks=4000, warps_per_block=32, warp_size=32)
+        assert saturation_ratio(g, V100_VOLTA) == 1.0
+
+    def test_smaller_gpu_saturates_earlier(self):
+        g = LaunchGeometry(num_blocks=60, warps_per_block=32, warp_size=32)
+        assert saturation_ratio(g, TITAN_X_MAXWELL) >= saturation_ratio(
+            g, V100_VOLTA
+        )
+
+    def test_occupancy_waves(self):
+        g = LaunchGeometry(num_blocks=160, warps_per_block=32, warp_size=32)
+        assert g.occupancy_waves(V100_VOLTA, blocks_per_sm=2) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            g.occupancy_waves(V100_VOLTA, blocks_per_sm=0)

@@ -1,0 +1,62 @@
+"""Tests for the log-likelihood metric (Figure 8 y-axis)."""
+
+import numpy as np
+import pytest
+from scipy.special import gammaln
+
+from repro.core import CuLdaTrainer, TrainerConfig
+from repro.core.likelihood import log_likelihood, log_likelihood_per_token, perplexity
+from repro.core.model import LdaState
+
+
+def brute_force_ll(state: LdaState) -> float:
+    """Dense O(KV + DK) reference computation of the same quantity."""
+    k, v = state.num_topics, state.num_words
+    a, b = state.alpha, state.beta
+    phi = state.phi.astype(np.float64)
+    word = k * gammaln(v * b) - k * v * gammaln(b)
+    word += gammaln(phi + b).sum()
+    word -= gammaln(state.topic_totals + v * b).sum()
+    doc = 0.0
+    for cs in state.chunks:
+        theta = cs.theta.to_dense().astype(np.float64)
+        doc += theta.shape[0] * gammaln(k * a) - theta.size * gammaln(a)
+        doc += gammaln(theta + a).sum()
+        doc -= gammaln(theta.sum(axis=1) + k * a).sum()
+    return word + doc
+
+
+class TestLikelihood:
+    def test_matches_brute_force(self, small_corpus):
+        state = LdaState.initialize(small_corpus, TrainerConfig(num_topics=7, seed=0))
+        assert log_likelihood(state) == pytest.approx(brute_force_ll(state), rel=1e-10)
+
+    def test_matches_brute_force_multichunk(self, small_corpus):
+        cfg = TrainerConfig(num_topics=5, num_gpus=2, chunks_per_gpu=2, seed=1)
+        state = LdaState.initialize(small_corpus, cfg)
+        assert log_likelihood(state) == pytest.approx(brute_force_ll(state), rel=1e-10)
+
+    def test_per_token_normalisation(self, small_corpus):
+        state = LdaState.initialize(small_corpus, TrainerConfig(num_topics=5, seed=0))
+        assert log_likelihood_per_token(state) == pytest.approx(
+            log_likelihood(state) / small_corpus.num_tokens
+        )
+
+    def test_negative_and_bounded(self, small_corpus):
+        """Figure 8 plots values in roughly [-15, -5] — always negative."""
+        state = LdaState.initialize(small_corpus, TrainerConfig(num_topics=5, seed=0))
+        ll = log_likelihood_per_token(state)
+        assert -20 < ll < 0
+
+    def test_perplexity_positive(self, small_corpus):
+        state = LdaState.initialize(small_corpus, TrainerConfig(num_topics=5, seed=0))
+        assert perplexity(state) > 1.0
+
+    def test_increases_with_structure(self, small_corpus):
+        """A trained model must score higher than a random one."""
+        cfg = TrainerConfig(num_topics=8, seed=0)
+        t = CuLdaTrainer(small_corpus, cfg)
+        before = log_likelihood_per_token(t.state)
+        t.train(10, compute_likelihood_every=0)
+        after = log_likelihood_per_token(t.state)
+        assert after > before

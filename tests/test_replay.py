@@ -1,0 +1,63 @@
+"""Replay must exactly reproduce a direct run's timing on another GPU."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.replay import (
+    replay_cumulative_seconds,
+    replay_iteration_seconds,
+    replay_throughput_series,
+)
+from repro.core import CuLdaTrainer, TrainerConfig
+from repro.gpusim.platform import TITAN_X_MAXWELL, V100_VOLTA
+
+
+@pytest.fixture(scope="module")
+def recorded_run(request):
+    corpus = request.getfixturevalue("medium_corpus")
+    cfg = TrainerConfig(num_topics=16, seed=2)
+    t = CuLdaTrainer(corpus, cfg, device_spec=TITAN_X_MAXWELL)
+    t.train(4, compute_likelihood_every=0)
+    return corpus, cfg, t
+
+
+class TestReplay:
+    def test_replay_matches_source_platform(self, recorded_run):
+        _, cfg, t = recorded_run
+        for oc, rec in zip(t.outcomes, t.history):
+            assert replay_iteration_seconds(oc, cfg, TITAN_X_MAXWELL) == pytest.approx(
+                rec.sim_seconds, rel=1e-9
+            )
+
+    def test_replay_matches_direct_run_on_other_platform(self, recorded_run):
+        corpus, cfg, t = recorded_run
+        direct = CuLdaTrainer(corpus, cfg, device_spec=V100_VOLTA)
+        direct.train(4, compute_likelihood_every=0)
+        replayed = replay_throughput_series(
+            t.outcomes, cfg, V100_VOLTA, corpus.num_tokens
+        )
+        actual = np.array([r.tokens_per_sec for r in direct.history])
+        assert np.allclose(replayed, actual, rtol=1e-9)
+
+    def test_cumulative_seconds_monotone(self, recorded_run):
+        _, cfg, t = recorded_run
+        cum = replay_cumulative_seconds(t.outcomes, cfg, V100_VOLTA)
+        assert np.all(np.diff(cum) > 0)
+
+    def test_multi_gpu_rejected(self, recorded_run):
+        _, _, t = recorded_run
+        cfg = TrainerConfig(num_topics=16, seed=2, num_gpus=2)
+        with pytest.raises(ValueError, match="single-GPU"):
+            replay_iteration_seconds(t.outcomes[0], cfg, V100_VOLTA)
+
+    def test_empty_outcome_rejected(self, recorded_run):
+        from repro.core.scheduler import IterationOutcome
+
+        _, cfg, _ = recorded_run
+        with pytest.raises(ValueError, match="no chunk records"):
+            replay_iteration_seconds(IterationOutcome(0), cfg, V100_VOLTA)
+
+    def test_bad_token_count(self, recorded_run):
+        _, cfg, t = recorded_run
+        with pytest.raises(ValueError):
+            replay_throughput_series(t.outcomes, cfg, V100_VOLTA, 0)

@@ -1,0 +1,218 @@
+"""Correctness tests for the CuLDA_CGS sampling kernel (Algorithm 2).
+
+The heavy lifting is statistical: for any token, the *marginal* of its
+new topic over repeated chunk passes (fresh RNG, same snapshot) must
+match the exact CGS conditional of Eq. 1 with the token's own count
+excluded — :func:`repro.core.sampler.conditional_distribution` is the
+dense oracle.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.core import TrainerConfig
+from repro.core.model import LdaState
+from repro.core.rng import RngPool
+from repro.core.sampler import conditional_distribution, sample_chunk
+from repro.corpus.document import Corpus
+from repro.corpus.synthetic import generate_synthetic_corpus, small_spec
+
+
+def make_state(corpus, num_topics=8, seed=0):
+    cfg = TrainerConfig(num_topics=num_topics, seed=seed)
+    return LdaState.initialize(corpus, cfg), cfg
+
+
+@pytest.fixture(scope="module")
+def fixture_state():
+    corpus = generate_synthetic_corpus(
+        small_spec(num_docs=30, num_words=40, mean_doc_len=12, num_topics=4),
+        seed=5,
+    )
+    state, cfg = make_state(corpus, num_topics=8, seed=1)
+    return corpus, state, cfg
+
+
+class TestMechanics:
+    def test_deterministic_given_rng(self, fixture_state):
+        _, state, cfg = fixture_state
+        cs = state.chunks[0]
+        a = sample_chunk(
+            cs.chunk, cs.topics, cs.theta, state.phi, state.topic_totals,
+            cfg.effective_alpha, cfg.effective_beta, np.random.default_rng(3),
+        )
+        b = sample_chunk(
+            cs.chunk, cs.topics, cs.theta, state.phi, state.topic_totals,
+            cfg.effective_alpha, cfg.effective_beta, np.random.default_rng(3),
+        )
+        assert np.array_equal(a.new_topics, b.new_topics)
+
+    def test_input_not_mutated(self, fixture_state):
+        _, state, cfg = fixture_state
+        cs = state.chunks[0]
+        before = cs.topics.copy()
+        phi_before = state.phi.copy()
+        sample_chunk(
+            cs.chunk, cs.topics, cs.theta, state.phi, state.topic_totals,
+            cfg.effective_alpha, cfg.effective_beta, np.random.default_rng(0),
+        )
+        assert np.array_equal(cs.topics, before)
+        assert np.array_equal(state.phi, phi_before)
+
+    def test_topics_in_range(self, fixture_state):
+        _, state, cfg = fixture_state
+        cs = state.chunks[0]
+        res = sample_chunk(
+            cs.chunk, cs.topics, cs.theta, state.phi, state.topic_totals,
+            cfg.effective_alpha, cfg.effective_beta, np.random.default_rng(1),
+        )
+        z = res.new_topics.astype(np.int64)
+        assert z.min() >= 0 and z.max() < cfg.num_topics
+        assert res.new_topics.dtype == cs.topics.dtype
+
+    def test_stats_consistent(self, fixture_state):
+        _, state, cfg = fixture_state
+        cs = state.chunks[0]
+        res = sample_chunk(
+            cs.chunk, cs.topics, cs.theta, state.phi, state.topic_totals,
+            cfg.effective_alpha, cfg.effective_beta, np.random.default_rng(2),
+        )
+        s = res.stats
+        assert s.num_tokens == cs.chunk.num_tokens
+        assert s.num_p1_draws + s.num_p2_draws == s.num_tokens
+        # sum_kd == sum over tokens of their doc's theta row length
+        lens = cs.theta.row_lengths()
+        expect = int(lens[cs.chunk.token_docs.astype(np.int64)].sum())
+        assert s.sum_kd == expect
+        assert 0 <= s.sum_kd_p1 <= s.sum_kd
+        assert s.num_blocks == cs.chunk.block_plan.num_blocks
+
+    def test_stale_theta_detected(self, fixture_state):
+        """theta inconsistent with assignments must raise, not corrupt."""
+        _, state, cfg = fixture_state
+        cs = state.chunks[0]
+        bad_topics = cs.topics.copy()
+        bad_topics[0] = (int(bad_topics[0]) + 1) % cfg.num_topics
+        with pytest.raises(AssertionError, match="out of sync"):
+            sample_chunk(
+                cs.chunk, bad_topics, cs.theta, state.phi, state.topic_totals,
+                cfg.effective_alpha, cfg.effective_beta, np.random.default_rng(0),
+            )
+
+    def test_empty_chunk(self):
+        corpus = Corpus.from_token_lists([[0], []], num_words=2)
+        state, cfg = make_state(corpus, num_topics=4)
+        cs = state.chunks[0]
+        res = sample_chunk(
+            cs.chunk, cs.topics, cs.theta, state.phi, state.topic_totals,
+            cfg.effective_alpha, cfg.effective_beta, np.random.default_rng(0),
+        )
+        assert res.stats.num_tokens == cs.chunk.num_tokens
+
+    def test_shape_validation(self, fixture_state):
+        _, state, cfg = fixture_state
+        cs = state.chunks[0]
+        with pytest.raises(ValueError, match="topics length"):
+            sample_chunk(
+                cs.chunk, cs.topics[:-1], cs.theta, state.phi,
+                state.topic_totals, cfg.effective_alpha, cfg.effective_beta,
+                np.random.default_rng(0),
+            )
+
+
+class TestStatisticalCorrectness:
+    """Marginal of each token's draw == exact CGS conditional (chi-square)."""
+
+    def _marginal_matches(self, corpus, num_topics, token_idx, runs=4000, seed=0):
+        state, cfg = make_state(corpus, num_topics=num_topics, seed=seed)
+        cs = state.chunks[0]
+        counts = np.zeros(num_topics, dtype=np.int64)
+        for r in range(runs):
+            res = sample_chunk(
+                cs.chunk, cs.topics, cs.theta, state.phi, state.topic_totals,
+                cfg.effective_alpha, cfg.effective_beta,
+                np.random.default_rng(10_000 + r),
+            )
+            counts[int(res.new_topics[token_idx])] += 1
+        # oracle
+        d = int(cs.chunk.token_docs[token_idx])
+        v = int(cs.chunk.token_words[token_idx])
+        z = int(cs.topics[token_idx])
+        theta_row = cs.theta.to_dense()[d]
+        expected = conditional_distribution(
+            theta_row, state.phi[:, v], state.topic_totals, z,
+            cfg.effective_alpha, cfg.effective_beta, corpus.num_words,
+        )
+        mask = expected * runs >= 5  # chi-square validity
+        chi = sps.chisquare(
+            counts[mask], expected[mask] / expected[mask].sum() * counts[mask].sum()
+        )
+        return chi.pvalue
+
+    def test_token_in_long_document(self):
+        corpus = generate_synthetic_corpus(
+            small_spec(num_docs=12, num_words=25, mean_doc_len=15, num_topics=3),
+            seed=2,
+        )
+        p = self._marginal_matches(corpus, num_topics=6, token_idx=3)
+        assert p > 1e-3
+
+    def test_token_in_single_token_document(self):
+        """Exclusion empties the theta row: the p2 bucket must carry all."""
+        docs = [[0], [1, 2, 0, 1], [2, 2, 1, 0, 0], [0, 1], [2, 1, 0]]
+        corpus = Corpus.from_token_lists(docs, num_words=3)
+        p = self._marginal_matches(corpus, num_topics=5, token_idx=0)
+        assert p > 1e-3
+
+    def test_token_of_heavily_assigned_topic(self):
+        """Stress the shifted-CDF exclusion path: skewed initial topics."""
+        corpus = Corpus.from_token_lists(
+            [[0, 0, 1, 1, 2], [0, 1, 2, 2], [1, 1, 0]], num_words=3
+        )
+        state, cfg = make_state(corpus, num_topics=4, seed=3)
+        cs = state.chunks[0]
+        # Force every token to topic 1 so exclusion adjustments are large.
+        cs.topics = np.ones_like(cs.topics)
+        cs.rebuild_theta(cfg.num_topics)
+        state.phi[...] = 0
+        np.add.at(
+            state.phi,
+            (cs.topics.astype(np.int64), cs.chunk.token_words.astype(np.int64)),
+            1,
+        )
+        state.topic_totals[...] = state.phi.sum(axis=1, dtype=np.int64)
+        counts = np.zeros(4, dtype=np.int64)
+        runs = 4000
+        for r in range(runs):
+            res = sample_chunk(
+                cs.chunk, cs.topics, cs.theta, state.phi, state.topic_totals,
+                cfg.effective_alpha, cfg.effective_beta,
+                np.random.default_rng(50_000 + r),
+            )
+            counts[int(res.new_topics[0])] += 1
+        d = int(cs.chunk.token_docs[0])
+        v = int(cs.chunk.token_words[0])
+        expected = conditional_distribution(
+            cs.theta.to_dense()[d], state.phi[:, v], state.topic_totals, 1,
+            cfg.effective_alpha, cfg.effective_beta, corpus.num_words,
+        )
+        chi = sps.chisquare(counts, expected * runs)
+        assert chi.pvalue > 1e-3
+
+
+class TestConditionalOracle:
+    def test_normalised(self):
+        theta = np.array([2, 0, 1])
+        phi_col = np.array([3, 1, 2])
+        totals = np.array([10, 5, 7])
+        p = conditional_distribution(theta, phi_col, totals, 0, 0.5, 0.01, 20)
+        assert p.sum() == pytest.approx(1.0)
+        assert np.all(p >= 0)
+
+    def test_rejects_unrepresented_topic(self):
+        with pytest.raises(ValueError, match="not represented"):
+            conditional_distribution(
+                np.array([0, 1]), np.array([1, 1]), np.array([1, 1]),
+                0, 0.5, 0.01, 5,
+            )

@@ -1,0 +1,115 @@
+"""Tests for Algorithm 1 scheduling (WorkSchedule1 / WorkSchedule2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CuLdaTrainer, TrainerConfig
+from repro.gpusim.platform import PASCAL_PLATFORM, TITAN_XP_PASCAL
+from repro.gpusim.spec import DeviceSpec
+
+
+def train(corpus, iters=3, **cfg_kwargs):
+    cfg = TrainerConfig(num_topics=12, seed=3, **cfg_kwargs)
+    t = CuLdaTrainer(corpus, cfg, platform=PASCAL_PLATFORM, validate_every=iters)
+    t.train(iters, compute_likelihood_every=0)
+    return t
+
+
+class TestWorkSchedule1:
+    def test_invariants_after_training(self, medium_corpus):
+        t = train(medium_corpus, num_gpus=2)
+        t.state.validate()
+
+    def test_no_per_iteration_chunk_transfers(self, medium_corpus):
+        """M=1: data moves only at start/end (Algorithm 1, WorkSchedule1)."""
+        t = train(medium_corpus, num_gpus=1, chunks_per_gpu=1)
+        launches = t.devices[0].gpu.ledger.launches
+        # initial: phi + 1 chunk = 2 transfers, nothing per iteration.
+        assert launches["transfer"] == 2
+
+    def test_round_robin_ownership(self, medium_corpus):
+        t = train(medium_corpus, num_gpus=2, chunks_per_gpu=2)
+        assert t.devices[0].chunk_ids == [0, 2]
+        assert t.devices[1].chunk_ids == [1, 3]
+
+
+class TestWorkSchedule2:
+    def test_transfers_every_iteration(self, medium_corpus):
+        t = train(medium_corpus, iters=2, num_gpus=1, chunks_per_gpu=2)
+        launches = t.devices[0].gpu.ledger.launches
+        # initial phi + per iteration: 2 chunks x (h2d + d2h) x 2 iters
+        assert launches["transfer"] == 1 + 2 * 2 * 2
+
+    def test_invariants_hold(self, medium_corpus):
+        t = train(medium_corpus, iters=2, num_gpus=2, chunks_per_gpu=2)
+        t.state.validate()
+
+    def test_overlap_reduces_iteration_time(self, medium_corpus):
+        cfg_on = TrainerConfig(
+            num_topics=12, seed=3, chunks_per_gpu=4, overlap_transfers=True
+        )
+        cfg_off = TrainerConfig(
+            num_topics=12, seed=3, chunks_per_gpu=4, overlap_transfers=False
+        )
+        t_on = CuLdaTrainer(medium_corpus, cfg_on, platform=PASCAL_PLATFORM)
+        t_off = CuLdaTrainer(medium_corpus, cfg_off, platform=PASCAL_PLATFORM)
+        t_on.train(3, compute_likelihood_every=0)
+        t_off.train(3, compute_likelihood_every=0)
+        dur_on = sum(r.sim_seconds for r in t_on.history)
+        dur_off = sum(r.sim_seconds for r in t_off.history)
+        assert dur_on < dur_off
+
+    def test_staging_allocations(self, medium_corpus):
+        t = train(medium_corpus, iters=1, chunks_per_gpu=2)
+        allocs = t.devices[0].gpu.memory.allocations()
+        assert "staging[0]" in allocs and "staging[1]" in allocs
+        assert "phi_replica" in allocs
+
+
+class TestMemoryEnforcement:
+    def test_resident_chunks_must_fit(self, medium_corpus):
+        """A tiny device cannot hold the corpus resident: M=1 must fail."""
+        tiny = DeviceSpec(
+            name="tiny", arch="Pascal", mem_bandwidth_gbps=550.0,
+            peak_gflops=12_000.0, num_sms=28, shared_mem_per_sm_kb=96,
+            l1_kb_per_sm=48, memory_gb=0.0005,
+        )
+        from repro.gpusim.memory import DeviceOutOfMemoryError
+
+        cfg = TrainerConfig(num_topics=12, seed=0)
+        with pytest.raises(DeviceOutOfMemoryError):
+            CuLdaTrainer(medium_corpus, cfg, device_spec=tiny)
+
+    def test_streaming_fits_where_resident_does_not(self, medium_corpus):
+        """Raising M shrinks the per-device footprint (Section 5.1)."""
+        # Find a budget that fits phi + 2 staging slots but not all chunks.
+        probe = CuLdaTrainer(
+            medium_corpus,
+            TrainerConfig(num_topics=12, seed=0, chunks_per_gpu=8),
+            device_spec=TITAN_XP_PASCAL,
+        )
+        used = probe.devices[0].gpu.memory.used_bytes
+        tight = DeviceSpec(
+            name="tight", arch="Pascal", mem_bandwidth_gbps=550.0,
+            peak_gflops=12_000.0, num_sms=28, shared_mem_per_sm_kb=96,
+            l1_kb_per_sm=48, memory_gb=used * 1.05 / 1e9,
+        )
+        t = CuLdaTrainer(
+            medium_corpus,
+            TrainerConfig(num_topics=12, seed=0, chunks_per_gpu=8),
+            device_spec=tight,
+        )
+        t.train(1, compute_likelihood_every=0)
+        t.state.validate()
+
+
+class TestScheduleEquivalence:
+    def test_m_does_not_change_token_conservation(self, medium_corpus):
+        for m in (1, 2, 4):
+            t = train(medium_corpus, iters=2, chunks_per_gpu=m)
+            assert int(t.state.phi.sum(dtype=np.int64)) == medium_corpus.num_tokens
+
+    def test_g_does_not_change_token_conservation(self, medium_corpus):
+        for g in (1, 2, 4):
+            t = train(medium_corpus, iters=2, num_gpus=g)
+            assert int(t.state.phi.sum(dtype=np.int64)) == medium_corpus.num_tokens

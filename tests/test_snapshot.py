@@ -1,0 +1,140 @@
+"""Tests for model/checkpoint persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core import CuLdaTrainer, TrainerConfig
+from repro.core.snapshot import (
+    load_checkpoint,
+    load_model,
+    save_checkpoint,
+    save_model,
+)
+from repro.corpus.synthetic import generate_synthetic_corpus, small_spec
+
+
+@pytest.fixture(scope="module")
+def trained(request):
+    corpus = generate_synthetic_corpus(
+        small_spec(num_docs=100, num_words=200, mean_doc_len=30), seed=6
+    )
+    cfg = TrainerConfig(num_topics=12, num_gpus=2, seed=1)
+    t = CuLdaTrainer(corpus, cfg)
+    t.train(5, compute_likelihood_every=0)
+    return corpus, cfg, t
+
+
+class TestModelArtifact:
+    def test_round_trip(self, trained, tmp_path):
+        _, _, t = trained
+        path = tmp_path / "model.npz"
+        save_model(t.state, path)
+        m = load_model(path)
+        assert np.array_equal(m["phi"], t.state.phi)
+        assert np.array_equal(m["topic_totals"], t.state.topic_totals)
+        assert m["alpha"] == t.state.alpha
+        assert m["num_topics"] == 12
+
+    def test_rejects_checkpoint_kind(self, trained, tmp_path):
+        _, _, t = trained
+        path = tmp_path / "ck.npz"
+        save_checkpoint(t.state, path)
+        with pytest.raises(ValueError, match="not a model artifact"):
+            load_model(path)
+
+    def test_detects_corruption(self, trained, tmp_path):
+        _, _, t = trained
+        path = tmp_path / "model.npz"
+        save_model(t.state, path)
+        with np.load(path) as z:
+            data = {k: z[k] for k in z.files}
+        data["topic_totals"] = data["topic_totals"] + 1
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError, match="corrupted"):
+            load_model(path)
+
+    def test_rejects_non_snapshot(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(ValueError, match="no version"):
+            load_model(path)
+
+    def test_rejects_future_version(self, trained, tmp_path):
+        _, _, t = trained
+        path = tmp_path / "model.npz"
+        save_model(t.state, path)
+        with np.load(path) as z:
+            data = {k: z[k] for k in z.files}
+        data["version"] = np.int64(99)
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError, match="version 99"):
+            load_model(path)
+
+
+class TestCheckpoint:
+    def test_resume_reproduces_state(self, trained, tmp_path):
+        corpus, cfg, t = trained
+        path = tmp_path / "ck.npz"
+        save_checkpoint(t.state, path)
+        state = load_checkpoint(path, corpus)
+        assert np.array_equal(state.phi, t.state.phi)
+        for a, b in zip(state.chunks, t.state.chunks):
+            assert np.array_equal(a.topics, b.topics)
+        state.validate()
+
+    def test_wrong_corpus_detected(self, trained, tmp_path):
+        corpus, cfg, t = trained
+        path = tmp_path / "ck.npz"
+        save_checkpoint(t.state, path)
+        other = generate_synthetic_corpus(
+            small_spec(num_docs=100, num_words=200, mean_doc_len=30), seed=99
+        )
+        with pytest.raises(ValueError):
+            load_checkpoint(path, other)
+
+    def test_wrong_vocab_detected(self, trained, tmp_path):
+        corpus, cfg, t = trained
+        path = tmp_path / "ck.npz"
+        save_checkpoint(t.state, path)
+        other = generate_synthetic_corpus(
+            small_spec(num_docs=100, num_words=300, mean_doc_len=30), seed=6
+        )
+        with pytest.raises(ValueError, match="V="):
+            load_checkpoint(path, other)
+
+    def test_rejects_model_kind(self, trained, tmp_path):
+        corpus, _, t = trained
+        path = tmp_path / "m.npz"
+        save_model(t.state, path)
+        with pytest.raises(ValueError, match="not a checkpoint"):
+            load_checkpoint(path, corpus)
+
+    def test_training_continues_after_resume(self, trained, tmp_path):
+        """A resumed state trains identically to a never-saved one."""
+        corpus, cfg, t = trained
+        path = tmp_path / "ck.npz"
+        save_checkpoint(t.state, path)
+        state = load_checkpoint(path, corpus)
+        from repro.core.likelihood import log_likelihood_per_token
+
+        before = log_likelihood_per_token(state)
+        # one more sampling pass directly on the restored chunks
+        from repro.core.rng import RngPool
+        from repro.core.sampler import sample_chunk
+        from repro.core.updates import apply_phi_update
+
+        pool = RngPool(cfg.seed)
+        cs = state.chunks[0]
+        res = sample_chunk(
+            cs.chunk, cs.topics, cs.theta, state.phi, state.topic_totals,
+            state.alpha, state.beta, pool.chunk_stream(99, 0),
+        )
+        apply_phi_update(
+            state.phi, state.topic_totals, cs.chunk.token_words,
+            cs.topics, res.new_topics,
+        )
+        cs.topics = res.new_topics
+        cs.rebuild_theta(cfg.num_topics)
+        state.validate()
+        after = log_likelihood_per_token(state)
+        assert np.isfinite(after) and after != before

@@ -1,0 +1,160 @@
+"""Unit and property tests for CSR utilities (theta storage)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.sparse import (
+    CsrCounts,
+    from_assignments,
+    gather_rows,
+    index_dtype,
+    row_lookup,
+)
+
+assignments_strategy = st.tuples(
+    st.integers(min_value=1, max_value=12),  # rows
+    st.integers(min_value=1, max_value=20),  # cols
+    st.integers(min_value=0, max_value=200),  # items
+    st.integers(min_value=0, max_value=2**31),
+)
+
+
+def _random_assignments(num_rows, num_cols, n_items, seed):
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, num_rows, size=n_items)
+    cols = rng.integers(0, num_cols, size=n_items)
+    return rows, cols
+
+
+class TestFromAssignments:
+    def test_round_trip_dense(self):
+        rows = np.array([0, 0, 1, 1, 1, 2])
+        cols = np.array([1, 1, 0, 2, 0, 1])
+        csr = from_assignments(rows, cols, num_rows=3, num_cols=3)
+        dense = csr.to_dense()
+        expect = np.zeros((3, 3), dtype=np.int64)
+        np.add.at(expect, (rows, cols), 1)
+        assert np.array_equal(dense, expect)
+
+    def test_empty(self):
+        csr = from_assignments(np.zeros(0, int), np.zeros(0, int), 3, 4)
+        assert csr.nnz == 0
+        assert csr.num_rows == 3
+        csr.validate()
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            from_assignments(np.array([5]), np.array([0]), 3, 3)
+        with pytest.raises(ValueError):
+            from_assignments(np.array([0]), np.array([9]), 3, 3)
+
+    def test_compressed_dtype(self):
+        csr = from_assignments(np.array([0]), np.array([0]), 1, 100, compress=True)
+        assert csr.indices.dtype == np.uint16
+        csr32 = from_assignments(np.array([0]), np.array([0]), 1, 100, compress=False)
+        assert csr32.indices.dtype == np.int32
+
+    def test_index_dtype_threshold(self):
+        assert index_dtype(65536, True) == np.dtype(np.uint16)
+        assert index_dtype(65537, True) == np.dtype(np.int32)
+        assert index_dtype(10, False) == np.dtype(np.int32)
+
+    @given(assignments_strategy)
+    def test_counts_conserved(self, params):
+        r, c, n, seed = params
+        rows, cols = _random_assignments(r, c, n, seed)
+        csr = from_assignments(rows, cols, r, c)
+        csr.validate()
+        assert int(csr.data.sum()) == n
+        # row sums equal per-row item counts
+        row_counts = np.bincount(rows, minlength=r)
+        got = np.zeros(r, dtype=np.int64)
+        np.add.at(got, np.repeat(np.arange(r), csr.row_lengths()), csr.data)
+        assert np.array_equal(got, row_counts)
+
+
+class TestValidation:
+    def test_bad_indptr_start(self):
+        with pytest.raises(ValueError):
+            CsrCounts(np.array([1, 2]), np.zeros(1, np.int32), np.ones(1, np.int32), 3)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            CsrCounts(np.array([0, 2]), np.zeros(1, np.int32), np.ones(1, np.int32), 3)
+
+    def test_validate_catches_unsorted(self):
+        csr = CsrCounts(
+            np.array([0, 2]),
+            np.array([2, 1], dtype=np.int32),
+            np.array([1, 1], dtype=np.int32),
+            num_cols=3,
+        )
+        with pytest.raises(ValueError, match="increasing"):
+            csr.validate()
+
+    def test_validate_catches_zero_counts(self):
+        csr = CsrCounts(
+            np.array([0, 1]),
+            np.array([0], dtype=np.int32),
+            np.array([0], dtype=np.int32),
+            num_cols=2,
+        )
+        with pytest.raises(ValueError, match="positive"):
+            csr.validate()
+
+
+class TestGather:
+    @given(assignments_strategy)
+    def test_gather_matches_dense(self, params):
+        r, c, n, seed = params
+        rows, cols = _random_assignments(r, c, n, seed)
+        csr = from_assignments(rows, cols, r, c)
+        dense = csr.to_dense()
+        rng = np.random.default_rng(seed + 1)
+        req = rng.integers(0, r, size=10)
+        seg, gcols, gvals, lens = gather_rows(csr, req)
+        for j, row in enumerate(req):
+            got_cols = gcols[seg[j] : seg[j + 1]].astype(np.int64)
+            got_vals = gvals[seg[j] : seg[j + 1]]
+            nz = np.nonzero(dense[row])[0]
+            assert np.array_equal(got_cols, nz)
+            assert np.array_equal(got_vals.astype(np.int64), dense[row][nz])
+            assert lens[j] == nz.size
+
+    def test_gather_empty_request(self):
+        csr = from_assignments(np.array([0]), np.array([0]), 2, 2)
+        seg, gcols, gvals, lens = gather_rows(csr, np.zeros(0, dtype=np.int64))
+        assert seg.shape == (1,)
+        assert gcols.size == 0
+
+    def test_gather_empty_rows(self):
+        csr = from_assignments(np.array([0]), np.array([1]), 3, 2)
+        seg, gcols, gvals, lens = gather_rows(csr, np.array([1, 2]))
+        assert list(lens) == [0, 0]
+        assert gcols.size == 0
+
+
+class TestRowLookup:
+    @given(assignments_strategy)
+    def test_lookup_matches_dense(self, params):
+        r, c, n, seed = params
+        rows, cols = _random_assignments(r, c, n, seed)
+        csr = from_assignments(rows, cols, r, c)
+        dense = csr.to_dense()
+        rng = np.random.default_rng(seed + 2)
+        qr = rng.integers(0, r, size=20)
+        qc = rng.integers(0, c, size=20)
+        got = row_lookup(csr, qr, qc)
+        assert np.array_equal(got, dense[qr, qc])
+
+    def test_lookup_shape_mismatch(self):
+        csr = from_assignments(np.array([0]), np.array([0]), 1, 1)
+        with pytest.raises(ValueError):
+            row_lookup(csr, np.array([0, 0]), np.array([0]))
+
+    def test_lookup_absent_is_zero(self):
+        csr = from_assignments(np.array([0]), np.array([1]), 2, 3)
+        out = row_lookup(csr, np.array([0, 1]), np.array([0, 2]))
+        assert list(out) == [0, 0]
