@@ -18,7 +18,8 @@ import pytest
 from benchmarks.conftest import BENCH_TOPICS
 from repro.analysis.replay import replay_throughput_series
 from repro.analysis.reporting import render_table
-from repro.core import CuLdaTrainer, TrainerConfig
+from repro.api import create_trainer
+from repro.core import TrainerConfig
 from repro.core.sync import simulate_phi_sync
 from repro.gpusim.device import SimulatedGPU
 from repro.gpusim.interconnect import NVLINK_TOPOLOGY, PCIE_TOPOLOGY
@@ -127,11 +128,11 @@ def test_ablation_tokens_per_block(benchmark, capsys, nyt_corpus):
     def run():
         out = {}
         for tpb in (128, 512, 1024, 4096):
-            cfg = TrainerConfig(
-                num_topics=BENCH_TOPICS, seed=0, tokens_per_block=tpb
+            t = create_trainer(
+                "culda", nyt_corpus, topics=BENCH_TOPICS, seed=0,
+                tokens_per_block=tpb, device_spec=V100_VOLTA,
             )
-            t = CuLdaTrainer(nyt_corpus, cfg, device_spec=V100_VOLTA)
-            t.train(3, compute_likelihood_every=0)
+            t.fit(3, likelihood_every=0)
             out[tpb] = t.average_tokens_per_sec()
         return out
 
@@ -167,10 +168,12 @@ def test_ablation_chunk_staleness(benchmark, capsys, nyt_corpus):
     def run():
         out = {}
         for m in (1, 4):
-            cfg = TrainerConfig(num_topics=BENCH_TOPICS, seed=0, chunks_per_gpu=m)
-            t = CuLdaTrainer(nyt_corpus, cfg, device_spec=V100_VOLTA)
-            hist = t.train(6)
-            out[m] = hist[-1].log_likelihood_per_token
+            t = create_trainer(
+                "culda", nyt_corpus, topics=BENCH_TOPICS, seed=0,
+                chunks_per_gpu=m, device_spec=V100_VOLTA,
+            )
+            result = t.fit(6)
+            out[m] = result.records[-1].log_likelihood_per_token
         return out
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -193,15 +196,13 @@ def test_ablation_transfer_overlap(benchmark, capsys, pubmed_corpus):
     def run():
         out = {}
         for overlap in (True, False):
-            cfg = TrainerConfig(
-                num_topics=BENCH_TOPICS,
-                seed=0,
-                chunks_per_gpu=4,
-                overlap_transfers=overlap,
+            t = create_trainer(
+                "culda", pubmed_corpus, topics=BENCH_TOPICS, seed=0,
+                chunks_per_gpu=4, overlap_transfers=overlap,
+                device_spec=TITAN_XP_PASCAL,
             )
-            t = CuLdaTrainer(pubmed_corpus, cfg, device_spec=TITAN_XP_PASCAL)
-            t.train(3, compute_likelihood_every=0)
-            out[overlap] = float(np.mean([r.sim_seconds for r in t.history]))
+            result = t.fit(3, likelihood_every=0)
+            out[overlap] = float(np.mean([r.sim_seconds for r in result.records]))
         return out
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)

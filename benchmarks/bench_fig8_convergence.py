@@ -19,7 +19,7 @@ import numpy as np
 import pytest
 
 from benchmarks.conftest import BENCH_TOPICS
-from repro.analysis.metrics import convergence_series, time_to_quality
+from repro.analysis.metrics import convergence_series
 from repro.analysis.replay import replay_cumulative_seconds
 from repro.analysis.reporting import render_table
 from repro.baselines.ldastar import LdaStarTrainer

@@ -10,6 +10,11 @@ The bench trains each dataset once and re-prices the recorded run on
 every platform via replay (proved exact in tests/test_replay.py).  The
 shape checks assert the orderings and speedup bands the paper reports,
 not the absolute numbers (simulated substrate, scaled corpora).
+
+Both systems are constructed through the algorithm registry (see
+``benchmarks/conftest.py``: ``create_trainer("culda", ...)`` and
+``create_trainer("warplda", ...)``), so the table measures exactly what
+``repro train --algo <name>`` runs.
 """
 
 import numpy as np
@@ -17,7 +22,11 @@ import numpy as np
 from benchmarks.conftest import BENCH_TOPICS  # noqa: F401 (documentation)
 from repro.analysis.replay import replay_throughput_series
 from repro.analysis.reporting import render_table
+from repro.api import get_algorithm
 from repro.gpusim.platform import TITAN_X_MAXWELL, TITAN_XP_PASCAL, V100_VOLTA
+
+#: Registry names of the systems Table 4 compares.
+TABLE4_SYSTEMS = ("culda", "warplda")
 
 PLATFORM_SPECS = [
     ("Titan", TITAN_X_MAXWELL),
@@ -78,6 +87,10 @@ def test_table4_throughput(benchmark, capsys, nyt_run, pubmed_run,
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     _report(capsys, results)
+
+    # Both compared systems resolve through the unified registry.
+    for name in TABLE4_SYSTEMS:
+        assert get_algorithm(name).summary
 
     for ds, vals in results.items():
         # Platform ordering (the paper's central single-GPU result).

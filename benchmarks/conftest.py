@@ -15,15 +15,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.baselines.warplda import WarpLdaConfig, WarpLdaTrainer
-from repro.core import CuLdaTrainer, TrainerConfig
+from repro.api import create_trainer
 from repro.corpus.synthetic import (
     NYTIMES_LIKE,
     PUBMED_LIKE,
     SyntheticSpec,
     generate_synthetic_corpus,
 )
-from repro.gpusim.platform import MAXWELL_PLATFORM
 
 #: Topic count of the benchmark runs (paper: "K ranges from 1k to 10k" at
 #: full scale; 256 keeps the scaled runs in the same Kd/K sparsity regime).
@@ -72,10 +70,12 @@ def pubmed_corpus():
 
 
 def _train_culda(corpus):
-    cfg = TrainerConfig(num_topics=BENCH_TOPICS, seed=0)
-    trainer = CuLdaTrainer(corpus, cfg, platform=MAXWELL_PLATFORM)
-    trainer.train(BENCH_ITERATIONS, compute_likelihood_every=1)
-    return cfg, trainer
+    trainer = create_trainer(
+        "culda", corpus, topics=BENCH_TOPICS, seed=0, platform="Maxwell"
+    )
+    trainer.fit(BENCH_ITERATIONS, likelihood_every=1)
+    # (config, trainer): the config re-prices the recorded run via replay.
+    return trainer.config, trainer
 
 
 @pytest.fixture(scope="session")
@@ -94,12 +94,15 @@ def _train_warplda(corpus, preset):
     # regime); extra iterations let the slower-mixing MH chain reach the
     # CGS plateau within the bench window (Figure 8 plots vs *time*, and
     # WarpLDA's simulated clock is charged for every pass).
-    t = WarpLdaTrainer(
+    t = create_trainer(
+        "warplda",
         corpus,
-        WarpLdaConfig(num_topics=BENCH_TOPICS, seed=0, mh_rounds=2),
+        topics=BENCH_TOPICS,
+        seed=0,
+        mh_rounds=2,
         working_set_override=full_scale_working_set(preset),
     )
-    t.train(2 * BENCH_ITERATIONS, compute_likelihood_every=1)
+    t.fit(2 * BENCH_ITERATIONS, likelihood_every=1)
     return t
 
 

@@ -15,7 +15,7 @@ The full downstream workflow a CuLDA_CGS user runs after training:
 import tempfile
 from pathlib import Path
 
-from repro import CuLdaTrainer, TrainerConfig
+import repro
 from repro.analysis.heldout import document_completion
 from repro.analysis.reporting import render_table
 from repro.analysis.topics import (
@@ -41,9 +41,10 @@ def main() -> None:
           f"test: D={test.num_docs} T={test.num_tokens}")
 
     # Train on 2 simulated GPUs and persist the model artifact.
-    config = TrainerConfig(num_topics=24, num_gpus=2, seed=0)
-    trainer = CuLdaTrainer(train, config, platform=PASCAL_PLATFORM)
-    history = trainer.train(30, compute_likelihood_every=10)
+    trainer = repro.create_trainer(
+        "culda", train, topics=24, gpus=2, seed=0, platform=PASCAL_PLATFORM
+    )
+    history = trainer.fit(30, likelihood_every=10).records
     print(f"training LL/token: {history[-1].log_likelihood_per_token:.3f}")
 
     with tempfile.TemporaryDirectory() as tmp:

@@ -8,9 +8,8 @@ including the Figure 4 tree synchronization of the topic-word matrix.
     python examples/multi_gpu_scaling.py
 """
 
-import numpy as np
 
-from repro import CuLdaTrainer, TrainerConfig
+import repro
 from repro.analysis.metrics import scaling_table
 from repro.analysis.reporting import render_table
 from repro.corpus.synthetic import SyntheticSpec, generate_synthetic_corpus
@@ -28,9 +27,11 @@ def main() -> None:
     throughputs = {}
     breakdown_rows = []
     for g in (1, 2, 4):
-        config = TrainerConfig(num_topics=64, num_gpus=g, seed=0)
-        trainer = CuLdaTrainer(corpus, config, platform=PASCAL_PLATFORM)
-        trainer.train(8, compute_likelihood_every=0)
+        trainer = repro.create_trainer(
+            "culda", corpus, topics=64, gpus=g, seed=0,
+            platform=PASCAL_PLATFORM,
+        )
+        trainer.fit(8, likelihood_every=0)
         throughputs[g] = trainer.average_tokens_per_sec()
         shares = trainer.kernel_breakdown()
         total = sum(shares.values())

@@ -12,7 +12,7 @@ motivates (Figure 1's CPU/GPU/ML/Car example, writ slightly larger).
 
 import numpy as np
 
-from repro import CuLdaTrainer, TrainerConfig
+import repro
 from repro.analysis.reporting import render_table
 from repro.corpus.document import Corpus
 from repro.corpus.vocab import Vocabulary
@@ -62,12 +62,11 @@ def main() -> None:
     print(f"corpus: {corpus.num_docs} articles, {corpus.num_words} terms, "
           f"{corpus.num_tokens} tokens, {len(SECTIONS)} planted sections")
 
-    config = TrainerConfig(num_topics=8, seed=3)
-    trainer = CuLdaTrainer(corpus, config)
-    trainer.train(40, compute_likelihood_every=5)
+    trainer = repro.create_trainer("culda", corpus, topics=8, seed=3)
+    trainer.fit(40, likelihood_every=5)
 
     rows = []
-    for k in range(config.num_topics):
+    for k in range(trainer.config.num_topics):
         if trainer.state.topic_totals[k] < 0.02 * corpus.num_tokens:
             continue  # skip near-empty topics
         top = corpus.vocabulary.terms_of(trainer.state.top_words(k, n=6))
@@ -82,7 +81,7 @@ def main() -> None:
     for section, words in SECTIONS.items():
         ids = set(corpus.vocabulary.ids_of(words))
         best = max(
-            range(config.num_topics),
+            range(trainer.config.num_topics),
             key=lambda k: sum(
                 int(trainer.state.phi[k, w]) for w in ids
             ),
@@ -100,7 +99,7 @@ def main() -> None:
     agree = 0
     for section in SECTIONS:
         idx = [i for i, s in enumerate(labels) if s == section]
-        counts = np.bincount(dominant[idx], minlength=config.num_topics)
+        counts = np.bincount(dominant[idx], minlength=trainer.config.num_topics)
         agree += counts.max() / len(idx) > 0.6
     print(f"{agree}/{len(SECTIONS)} sections have a >60% dominant topic")
 

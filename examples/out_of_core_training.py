@@ -12,7 +12,7 @@ M > 1, and (b) what the overlap buys.
 
 from dataclasses import replace
 
-from repro import CuLdaTrainer, TrainerConfig
+import repro
 from repro.analysis.reporting import render_table
 from repro.corpus.synthetic import SyntheticSpec, generate_synthetic_corpus
 from repro.gpusim.memory import DeviceOutOfMemoryError
@@ -34,8 +34,8 @@ def main() -> None:
                        memory_gb=chunk_budget_gb)
 
     try:
-        CuLdaTrainer(corpus, TrainerConfig(num_topics=64, seed=0),
-                     device_spec=tiny_gpu)
+        repro.create_trainer("culda", corpus, topics=64, seed=0,
+                             device_spec=tiny_gpu)
         raise SystemExit("expected the resident schedule to exhaust memory")
     except DeviceOutOfMemoryError as e:
         print(f"\nM=1 (resident) fails as expected:\n  {e}")
@@ -43,11 +43,11 @@ def main() -> None:
     # Raising M streams the chunks through two staging slots instead.
     rows = []
     for m, overlap in [(8, True), (8, False)]:
-        config = TrainerConfig(
-            num_topics=64, seed=0, chunks_per_gpu=m, overlap_transfers=overlap,
+        trainer = repro.create_trainer(
+            "culda", corpus, topics=64, seed=0, chunks_per_gpu=m,
+            overlap_transfers=overlap, device_spec=tiny_gpu,
         )
-        trainer = CuLdaTrainer(corpus, config, device_spec=tiny_gpu)
-        trainer.train(5, compute_likelihood_every=0)
+        trainer.fit(5, likelihood_every=0)
         dur = sum(r.sim_seconds for r in trainer.history) / len(trainer.history)
         used = trainer.devices[0].gpu.memory.used_bytes
         rows.append([

@@ -4,20 +4,19 @@
 The Figure 8 comparison as a runnable example: CuLDA_CGS (three GPU
 generations), WarpLDA (CPU MH), SaberLDA (previous-generation GPU) and
 LDA* (20-node distributed), all training the same corpus, reported as
-time-to-quality on each system's simulated clock.
+time-to-quality on each system's simulated clock.  Every trainer comes
+from the one registry call: ``repro.create_trainer(name, corpus, ...)``.
 
     python examples/solution_shootout.py
 """
 
 import numpy as np
 
-from repro import CuLdaTrainer, TrainerConfig
-from repro.analysis.metrics import convergence_series, time_to_quality
+import repro
+from repro.analysis.metrics import convergence_series
 from repro.analysis.replay import replay_cumulative_seconds
 from repro.analysis.reporting import render_table
-from repro.baselines.ldastar import LdaStarTrainer
 from repro.baselines.saberlda import saberlda_config
-from repro.baselines.warplda import WarpLdaConfig, WarpLdaTrainer
 from repro.corpus.synthetic import SyntheticSpec, generate_synthetic_corpus
 from repro.gpusim.platform import (
     GTX_1080_PASCAL,
@@ -39,9 +38,11 @@ def main() -> None:
     print(f"corpus: D={corpus.num_docs} T={corpus.num_tokens}, K={K}")
 
     # --- CuLDA: train once, price on each platform (replay).
-    cfg = TrainerConfig(num_topics=K, seed=0)
-    culda = CuLdaTrainer(corpus, cfg, platform=None, device_spec=TITAN_X_MAXWELL)
-    culda.train(ITERS)
+    culda = repro.create_trainer(
+        "culda", corpus, topics=K, seed=0, device_spec=TITAN_X_MAXWELL
+    )
+    culda.fit(ITERS)
+    cfg = culda.config
     ll = np.array([r.log_likelihood_per_token for r in culda.history])
     curves = {}
     for name, spec_gpu in [
@@ -56,12 +57,12 @@ def main() -> None:
     )
 
     # --- CPU and distributed baselines run their own chains.
-    warp = WarpLdaTrainer(corpus, WarpLdaConfig(num_topics=K, seed=0, mh_rounds=2))
-    warp.train(2 * ITERS)
+    warp = repro.create_trainer("warplda", corpus, topics=K, seed=0, mh_rounds=2)
+    warp.fit(2 * ITERS)
     curves["WarpLDA / Xeon"] = convergence_series(warp.history)
 
-    star = LdaStarTrainer(corpus, num_topics=K, num_workers=20, seed=0)
-    star.train(8)
+    star = repro.create_trainer("ldastar", corpus, topics=K, workers=20, seed=0)
+    star.fit(8)
     curves["LDA* / 20 nodes"] = convergence_series(star.history)
 
     # --- time-to-quality table.

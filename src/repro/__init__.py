@@ -4,34 +4,89 @@ on GPUs* (Xie, Liang, Li, Tan; PPoPP 2019).
 A multi-GPU (simulated) sparsity-aware Collapsed Gibbs Sampling system
 for Latent Dirichlet Allocation, plus the baselines and the benchmark
 harness that regenerate every table and figure of the paper's
-evaluation.  See DESIGN.md for the system inventory and EXPERIMENTS.md
-for the paper-vs-measured record.
+evaluation.
 
-Quick start::
+Quick start — every algorithm in the repo trains through one surface::
 
-    from repro import CuLdaTrainer, TrainerConfig
+    import repro
     from repro.corpus.synthetic import small_spec, generate_synthetic_corpus
 
     corpus = generate_synthetic_corpus(small_spec(), seed=0)
-    trainer = CuLdaTrainer(corpus, TrainerConfig(num_topics=64))
-    history = trainer.train(num_iterations=50)
+    trainer = repro.create_trainer("culda", corpus, topics=64)
+    result = trainer.fit(50, callbacks=[repro.EarlyStopping(patience=5)])
+    print(result.summary())
+
+``repro.algorithm_names()`` lists the registered systems (CuLDA_CGS and
+the six comparison baselines); ``python -m repro algorithms`` prints
+their options.  See docs/API.md for the protocol, registry, and
+callback contracts.
 """
 
-from repro.core import (
-    CuLdaTrainer,
-    IterationRecord,
-    LdaState,
-    TrainerConfig,
-    log_likelihood_per_token,
-)
+import warnings
+from importlib import import_module
 
-__version__ = "1.0.0"
+from repro.api import (
+    Callback,
+    Checkpointer,
+    EarlyStopping,
+    IterationRecord,
+    LdaTrainer,
+    LikelihoodCadence,
+    ProgressLogger,
+    TrainResult,
+    algorithm_names,
+    create_trainer,
+    register_algorithm,
+)
+from repro.core import LdaState, TrainerConfig, log_likelihood_per_token
+
+__version__ = "1.1.0"
 
 __all__ = [
-    "CuLdaTrainer",
-    "TrainerConfig",
+    # unified API
+    "create_trainer",
+    "register_algorithm",
+    "algorithm_names",
+    "LdaTrainer",
+    "TrainResult",
     "IterationRecord",
+    "Callback",
+    "LikelihoodCadence",
+    "EarlyStopping",
+    "Checkpointer",
+    "ProgressLogger",
+    # core building blocks
+    "TrainerConfig",
     "LdaState",
     "log_likelihood_per_token",
+    # legacy (deprecated; resolved lazily with a warning)
+    "CuLdaTrainer",
     "__version__",
 ]
+
+#: Legacy top-level names, kept importable behind a DeprecationWarning.
+_DEPRECATED_ALIASES = {
+    "CuLdaTrainer": (
+        "repro.core.trainer",
+        "CuLdaTrainer",
+        "repro.create_trainer('culda', corpus, ...)",
+    ),
+}
+
+#: Names already warned about this session (warn exactly once per name).
+_warned_aliases: set[str] = set()
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_ALIASES:
+        module, attr, replacement = _DEPRECATED_ALIASES[name]
+        if name not in _warned_aliases:
+            _warned_aliases.add(name)
+            warnings.warn(
+                f"importing {name!r} from the top-level 'repro' package is "
+                f"deprecated; use {replacement} instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return getattr(import_module(module), attr)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

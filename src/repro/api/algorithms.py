@@ -1,0 +1,262 @@
+"""Built-in algorithm registrations: the seven systems, one surface.
+
+Each factory normalizes the unified keyword surface (``topics``,
+``alpha``, ``beta``, ``seed`` plus per-algorithm extras) into the
+concrete trainer's native config and wraps it in the matching adapter.
+Imported lazily by :mod:`repro.api.registry` on first lookup.
+"""
+
+from __future__ import annotations
+
+from repro.api.adapters import HistoryTrainerAdapter, SweepTrainerAdapter
+from repro.api.registry import register_algorithm
+from repro.baselines.ldastar import LdaStarTrainer
+from repro.baselines.lightlda import LightLdaTrainer
+from repro.baselines.plain_cgs import PlainCgsSampler
+from repro.baselines.saberlda import SaberLdaTrainer
+from repro.baselines.sparselda import SparseLdaSampler
+from repro.baselines.warplda import WarpLdaConfig, WarpLdaTrainer
+from repro.core.config import TrainerConfig
+from repro.core.trainer import CuLdaTrainer
+from repro.gpusim.platform import platform_by_name
+
+DEFAULT_TOPICS = 128
+
+
+def _resolve_platform(platform):
+    """Accept a Platform instance or a Table 2 platform name."""
+    if platform is None or not isinstance(platform, str):
+        return platform
+    return platform_by_name(platform)
+
+
+@register_algorithm(
+    "culda",
+    summary=CuLdaTrainer.DESCRIPTION,
+    options={
+        "gpus": "number of simulated GPUs G (default 1)",
+        "chunks_per_gpu": "chunks per GPU M; M>1 streams out-of-core",
+        "platform": "Table 2 platform name or Platform object",
+        "device_spec": "bare DeviceSpec (mutually exclusive with platform)",
+        "compress": "16-bit model compression (default True)",
+        "share_p2_tree": "block-shared p2/p* tree (default True)",
+        "use_l1_for_indices": "route sparse-index loads via L1 (default True)",
+        "overlap_transfers": "pipeline transfers with compute (default True)",
+        "tokens_per_block": "token cap per thread block (default 1024)",
+        "validate_every": "run invariant checks every N iterations (0 off)",
+    },
+)
+def _make_culda(
+    corpus,
+    topics: int = DEFAULT_TOPICS,
+    alpha: float | None = None,
+    beta: float | None = None,
+    seed: int = 0,
+    gpus: int = 1,
+    chunks_per_gpu: int = 1,
+    platform=None,
+    device_spec=None,
+    compress: bool = True,
+    share_p2_tree: bool = True,
+    use_l1_for_indices: bool = True,
+    overlap_transfers: bool = True,
+    tokens_per_block: int = 1024,
+    validate_every: int = 0,
+):
+    config = TrainerConfig(
+        num_topics=topics,
+        alpha=alpha,
+        beta=beta,
+        num_gpus=gpus,
+        chunks_per_gpu=chunks_per_gpu,
+        compress=compress,
+        share_p2_tree=share_p2_tree,
+        use_l1_for_indices=use_l1_for_indices,
+        overlap_transfers=overlap_transfers,
+        tokens_per_block=tokens_per_block,
+        seed=seed,
+    )
+    inner = CuLdaTrainer(
+        corpus,
+        config,
+        platform=_resolve_platform(platform),
+        device_spec=device_spec,
+        validate_every=validate_every,
+    )
+    return HistoryTrainerAdapter(
+        inner,
+        name="culda",
+        description=CuLdaTrainer.DESCRIPTION,
+        options={"topics": topics, "gpus": gpus, "chunks_per_gpu": chunks_per_gpu,
+                 "seed": seed},
+        state_attr="state",
+    )
+
+
+@register_algorithm(
+    "saberlda",
+    summary=SaberLdaTrainer.DESCRIPTION,
+    options={
+        "device_spec": "GPU DeviceSpec (default GTX 1080)",
+    },
+)
+def _make_saberlda(
+    corpus,
+    topics: int = DEFAULT_TOPICS,
+    alpha: float | None = None,
+    beta: float | None = None,
+    seed: int = 0,
+    device_spec=None,
+):
+    kwargs = {"seed": seed, "alpha": alpha, "beta": beta}
+    if device_spec is not None:
+        kwargs["device_spec"] = device_spec
+    inner = SaberLdaTrainer(corpus, num_topics=topics, **kwargs)
+    return HistoryTrainerAdapter(
+        inner,
+        name="saberlda",
+        description=SaberLdaTrainer.DESCRIPTION,
+        options={"topics": topics, "seed": seed},
+        state_attr="state",
+    )
+
+
+@register_algorithm(
+    "ldastar",
+    summary=LdaStarTrainer.DESCRIPTION,
+    options={
+        "workers": "cluster machines behind the parameter server (default 20)",
+        "cpu": "worker CpuSpec (default Xeon E5-2650 v3)",
+        "network": "shared Link to the parameter server (default 10 GbE)",
+    },
+)
+def _make_ldastar(
+    corpus,
+    topics: int = DEFAULT_TOPICS,
+    alpha: float | None = None,
+    beta: float | None = None,
+    seed: int = 0,
+    workers: int = 20,
+    cpu=None,
+    network=None,
+):
+    kwargs = {"num_workers": workers, "alpha": alpha, "beta": beta, "seed": seed}
+    if cpu is not None:
+        kwargs["cpu"] = cpu
+    if network is not None:
+        kwargs["network"] = network
+    inner = LdaStarTrainer(corpus, num_topics=topics, **kwargs)
+    return HistoryTrainerAdapter(
+        inner,
+        name="ldastar",
+        description=LdaStarTrainer.DESCRIPTION,
+        options={"topics": topics, "workers": workers, "seed": seed},
+        state_attr="state",
+    )
+
+
+@register_algorithm(
+    "warplda",
+    summary=WarpLdaTrainer.DESCRIPTION,
+    options={
+        "mh_rounds": "doc+word proposal pairs per token per iteration",
+        "cpu": "CpuSpec for the simulated clock (default Xeon E5-2690 v4)",
+        "working_set_override": "price the cache model at this many bytes",
+    },
+)
+def _make_warplda(
+    corpus,
+    topics: int = DEFAULT_TOPICS,
+    alpha: float | None = None,
+    beta: float | None = None,
+    seed: int = 0,
+    mh_rounds: int = 1,
+    cpu=None,
+    working_set_override: float | None = None,
+):
+    config = WarpLdaConfig(
+        num_topics=topics, alpha=alpha, beta=beta, mh_rounds=mh_rounds, seed=seed
+    )
+    kwargs = {"working_set_override": working_set_override}
+    if cpu is not None:
+        kwargs["cpu"] = cpu
+    inner = WarpLdaTrainer(corpus, config, **kwargs)
+    return HistoryTrainerAdapter(
+        inner,
+        name="warplda",
+        description=WarpLdaTrainer.DESCRIPTION,
+        options={"topics": topics, "mh_rounds": mh_rounds, "seed": seed},
+        state_attr="model",
+    )
+
+
+@register_algorithm(
+    "lightlda",
+    summary=LightLdaTrainer.DESCRIPTION,
+    options={
+        "cpu": "CpuSpec for the simulated clock (default Xeon E5-2650 v3)",
+    },
+)
+def _make_lightlda(
+    corpus,
+    topics: int = DEFAULT_TOPICS,
+    alpha: float | None = None,
+    beta: float | None = None,
+    seed: int = 0,
+    cpu=None,
+):
+    kwargs = {"alpha": alpha, "beta": beta, "seed": seed}
+    if cpu is not None:
+        kwargs["cpu"] = cpu
+    inner = LightLdaTrainer(corpus, num_topics=topics, **kwargs)
+    return HistoryTrainerAdapter(
+        inner,
+        name="lightlda",
+        description=LightLdaTrainer.DESCRIPTION,
+        options={"topics": topics, "seed": seed},
+        state_attr="model",
+    )
+
+
+@register_algorithm(
+    "plain_cgs",
+    summary=PlainCgsSampler.DESCRIPTION,
+)
+def _make_plain_cgs(
+    corpus,
+    topics: int = DEFAULT_TOPICS,
+    alpha: float | None = None,
+    beta: float | None = None,
+    seed: int = 0,
+):
+    inner = PlainCgsSampler(
+        corpus, num_topics=topics, alpha=alpha, beta=beta, seed=seed
+    )
+    return SweepTrainerAdapter(
+        inner,
+        name="plain_cgs",
+        description=PlainCgsSampler.DESCRIPTION,
+        options={"topics": topics, "seed": seed},
+    )
+
+
+@register_algorithm(
+    "sparselda",
+    summary=SparseLdaSampler.DESCRIPTION,
+)
+def _make_sparselda(
+    corpus,
+    topics: int = DEFAULT_TOPICS,
+    alpha: float | None = None,
+    beta: float | None = None,
+    seed: int = 0,
+):
+    inner = SparseLdaSampler(
+        corpus, num_topics=topics, alpha=alpha, beta=beta, seed=seed
+    )
+    return SweepTrainerAdapter(
+        inner,
+        name="sparselda",
+        description=SparseLdaSampler.DESCRIPTION,
+        options={"topics": topics, "seed": seed},
+    )

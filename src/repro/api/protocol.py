@@ -1,0 +1,196 @@
+"""The unified trainer protocol: one surface for every LDA system.
+
+The seed grew seven trainers with seven surfaces: ``CuLdaTrainer.train``
+returns ``list[IterationRecord]``, the sequential samplers return bare
+``list[float]`` likelihood curves, and each baseline carries a bespoke
+constructor.  This module defines the single contract they all now
+implement:
+
+- :class:`LdaTrainer` — the abstract trainer: ``fit`` / ``partial_fit`` /
+  ``state`` / ``describe``;
+- :class:`TrainResult` — what ``fit`` returns for *every* algorithm: the
+  per-iteration :class:`~repro.core.trainer.IterationRecord` list
+  (throughput, LL/token, sparsity) plus summary helpers.
+
+Concrete wrappers over the existing trainers live in
+:mod:`repro.api.adapters`; construction by name goes through
+:mod:`repro.api.registry`.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.api.callbacks import Callback, likelihood_needed
+from repro.core.trainer import IterationRecord
+
+__all__ = ["IterationRecord", "LdaTrainer", "TrainResult"]
+
+
+@dataclass(frozen=True)
+class TrainResult:
+    """Outcome of one :meth:`LdaTrainer.fit` call, for any algorithm.
+
+    Attributes
+    ----------
+    algorithm:
+        Registry name of the trainer that produced this result.
+    records:
+        One :class:`~repro.core.trainer.IterationRecord` per completed
+        iteration, in order.
+    early_stopped:
+        True when a callback ended training before ``num_iterations``.
+    """
+
+    algorithm: str
+    records: list[IterationRecord] = field(default_factory=list)
+    early_stopped: bool = False
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.records)
+
+    @property
+    def final_log_likelihood(self) -> float | None:
+        """LL/token of the last iteration that computed it, or None."""
+        for rec in reversed(self.records):
+            if rec.log_likelihood_per_token is not None:
+                return rec.log_likelihood_per_token
+        return None
+
+    @property
+    def total_seconds(self) -> float:
+        """Duration of this fit on the trainer's clock (simulated or wall)."""
+        return float(sum(r.sim_seconds for r in self.records))
+
+    def average_tokens_per_sec(self, first_n: int | None = None) -> float:
+        records = self.records if first_n is None else self.records[:first_n]
+        if not records:
+            raise ValueError("no iterations recorded")
+        return float(np.mean([r.tokens_per_sec for r in records]))
+
+    def summary(self) -> dict[str, Any]:
+        """Scalar digest used by the CLI and reports."""
+        return {
+            "algorithm": self.algorithm,
+            "iterations": self.num_iterations,
+            "total_seconds": self.total_seconds,
+            "tokens_per_sec": (
+                self.average_tokens_per_sec() if self.records else None
+            ),
+            "log_likelihood_per_token": self.final_log_likelihood,
+            "early_stopped": self.early_stopped,
+        }
+
+
+class LdaTrainer(abc.ABC):
+    """Abstract LDA trainer: the single public training surface.
+
+    Implementations wrap one concrete algorithm and translate its native
+    loop into the shared contract.  Subclasses provide
+    :meth:`partial_fit`, :attr:`state` and :meth:`describe`; the
+    callback-driven :meth:`fit` loop is shared.
+    """
+
+    #: Registry name (e.g. ``"warplda"``); set by the adapter/factory.
+    name: str = "unknown"
+    #: One-line human description, shown by ``repro algorithms``.
+    description: str = ""
+
+    # -- to be provided by adapters ------------------------------------------
+
+    @abc.abstractmethod
+    def partial_fit(
+        self, num_iterations: int = 1, compute_likelihood: bool = True
+    ) -> list[IterationRecord]:
+        """Advance training; return the records of the *new* iterations."""
+
+    @property
+    @abc.abstractmethod
+    def state(self) -> Any:
+        """The model state (``LdaState`` or ``PlainCgsModel``).
+
+        Whatever the backing type, it exposes ``phi``, ``topic_totals``
+        and the count invariants the conformance suite checks.
+        """
+
+    @property
+    @abc.abstractmethod
+    def num_tokens(self) -> int:
+        """Token count of the training corpus (conservation invariant)."""
+
+    @abc.abstractmethod
+    def describe(self) -> Mapping[str, Any]:
+        """Name, description, and the normalized options in effect."""
+
+    # -- shared surface -------------------------------------------------------
+
+    @property
+    def iterations_done(self) -> int:
+        """Total iterations completed over the trainer's lifetime."""
+        return len(self.history)
+
+    @property
+    def history(self) -> list[IterationRecord]:
+        """All records since construction (across fit/partial_fit calls)."""
+        raise NotImplementedError
+
+    def average_tokens_per_sec(self, first_n: int | None = None) -> float:
+        """Mean per-iteration throughput over the full history."""
+        records = self.history if first_n is None else self.history[:first_n]
+        if not records:
+            raise ValueError("no iterations recorded yet")
+        return float(np.mean([r.tokens_per_sec for r in records]))
+
+    def fit(
+        self,
+        num_iterations: int,
+        callbacks: Iterable[Callback] | None = None,
+        likelihood_every: int = 1,
+    ) -> TrainResult:
+        """Run the callback-driven training loop.
+
+        Parameters
+        ----------
+        num_iterations:
+            Upper bound on iterations (callbacks may stop earlier).
+        callbacks:
+            :class:`~repro.api.callbacks.Callback` instances.  A
+            ``LikelihoodCadence`` callback overrides ``likelihood_every``;
+            any callback returning True from ``on_iteration_end`` stops
+            training.
+        likelihood_every:
+            Default LL/token cadence when no cadence callback is given;
+            0 disables (unless a callback needs likelihoods).
+        """
+        if num_iterations < 0:
+            raise ValueError("num_iterations must be non-negative")
+        if likelihood_every < 0:
+            raise ValueError("likelihood_every must be non-negative")
+        cbs = list(callbacks or [])
+        for cb in cbs:
+            cb.on_train_begin(self, num_iterations)
+        records: list[IterationRecord] = []
+        stopped = False
+        for _ in range(num_iterations):
+            it = self.iterations_done
+            need_ll = likelihood_needed(cbs, it, likelihood_every)
+            new = self.partial_fit(1, compute_likelihood=need_ll)
+            records.extend(new)
+            for rec in new:
+                for cb in cbs:
+                    if cb.on_iteration_end(self, rec):
+                        stopped = True
+            if stopped:
+                break
+        result = TrainResult(
+            algorithm=self.name, records=records, early_stopped=stopped
+        )
+        for cb in cbs:
+            cb.on_train_end(self, result)
+        return result

@@ -1,0 +1,210 @@
+"""String-keyed algorithm registry: one constructor for seven systems.
+
+Every LDA system in the repo registers a factory under a short name and
+declares its accepted keyword options, so callers — the CLI, the
+benchmarks, the examples — construct any of them the same way::
+
+    from repro import create_trainer
+    trainer = create_trainer("warplda", corpus, topics=128, mh_rounds=2)
+    result = trainer.fit(50)
+
+Third-party packages can contribute algorithms without touching this
+repo via the ``repro.algorithms`` entry-point group (see
+:func:`load_entry_points`) or by calling :func:`register_algorithm`
+directly at import time.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+
+from repro.api.protocol import LdaTrainer
+
+__all__ = [
+    "AlgorithmSpec",
+    "register_algorithm",
+    "unregister_algorithm",
+    "create_trainer",
+    "algorithm_names",
+    "get_algorithm",
+    "load_entry_points",
+]
+
+ENTRY_POINT_GROUP = "repro.algorithms"
+
+#: Options every algorithm accepts (normalized across the seven configs).
+COMMON_OPTIONS: dict[str, str] = {
+    "topics": "number of topics K (default 128)",
+    "alpha": "Dirichlet doc-topic prior; default 50/K",
+    "beta": "Dirichlet topic-word prior; default 0.01",
+    "seed": "RNG seed (default 0)",
+}
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """A registered algorithm: its factory and keyword surface."""
+
+    name: str
+    summary: str
+    factory: Callable[..., LdaTrainer]
+    options: Mapping[str, str] = field(default_factory=dict)
+
+    def all_options(self) -> dict[str, str]:
+        """Common options merged with the algorithm's own."""
+        merged = dict(COMMON_OPTIONS)
+        merged.update(self.options)
+        return merged
+
+
+_REGISTRY: dict[str, AlgorithmSpec] = {}
+_builtins_loaded = False
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in registrations exactly once (lazily, to keep
+    ``import repro`` cheap and cycle-free).
+
+    The flag flips *before* the in-progress import finishes (the
+    decorators inside :mod:`repro.api.algorithms` re-enter here, and
+    Python's module cache makes the nested import a no-op), but only
+    once the module has actually started executing — a failed import is
+    retried, never silently swallowed.
+    """
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    _builtins_loaded = True
+    try:
+        import repro.api.algorithms  # noqa: F401  (registers on import)
+    except BaseException:
+        _builtins_loaded = False
+        raise
+
+
+def register_algorithm(
+    name: str,
+    factory: Callable[..., LdaTrainer] | None = None,
+    *,
+    summary: str = "",
+    options: Mapping[str, str] | None = None,
+    replace: bool = False,
+):
+    """Register ``factory`` under ``name``; usable as a decorator.
+
+    The factory signature is ``factory(corpus, **kwargs) -> LdaTrainer``;
+    ``kwargs`` are validated against ``options`` (plus the common set)
+    before the factory is invoked.
+    """
+
+    def _register(fn: Callable[..., LdaTrainer]):
+        # Load the built-ins first so a plugin registering a clashing
+        # name fails here, at its own call site, instead of corrupting
+        # the registry when the built-in import trips over it later.
+        _ensure_builtins()
+        key = name.lower()
+        if not key or any(c.isspace() for c in key):
+            raise ValueError(f"invalid algorithm name {name!r}")
+        if key in _REGISTRY and not replace:
+            raise ValueError(
+                f"algorithm {key!r} is already registered; "
+                f"pass replace=True to override"
+            )
+        doc_lines = (fn.__doc__ or "").strip().splitlines()
+        _REGISTRY[key] = AlgorithmSpec(
+            name=key,
+            summary=summary or (doc_lines[0] if doc_lines else ""),
+            factory=fn,
+            options=dict(options or {}),
+        )
+        return fn
+
+    if factory is not None:
+        return _register(factory)
+    return _register
+
+
+def unregister_algorithm(name: str) -> None:
+    """Remove a registration (primarily for tests and plugins)."""
+    _ensure_builtins()
+    _REGISTRY.pop(name.lower(), None)
+
+
+def algorithm_names() -> list[str]:
+    """Sorted names of every registered algorithm."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def get_algorithm(name: str) -> AlgorithmSpec:
+    """Look up a registration; unknown names list the known ones."""
+    _ensure_builtins()
+    key = name.lower()
+    if key not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY)) or "(none)"
+        raise ValueError(f"unknown algorithm {name!r}; registered: {known}")
+    return _REGISTRY[key]
+
+
+def create_trainer(name: str, corpus, **kwargs) -> LdaTrainer:
+    """Construct the named algorithm on ``corpus`` with normalized options.
+
+    Raises
+    ------
+    ValueError
+        Unknown algorithm, or a keyword the algorithm does not accept
+        (the error lists the accepted set).
+    """
+    spec = get_algorithm(name)
+    accepted = spec.all_options()
+    unknown = sorted(set(kwargs) - set(accepted))
+    if unknown:
+        raise ValueError(
+            f"algorithm {spec.name!r} does not accept "
+            f"{', '.join(unknown)}; accepted options: "
+            f"{', '.join(sorted(accepted))}"
+        )
+    trainer = spec.factory(corpus, **kwargs)
+    if not isinstance(trainer, LdaTrainer):
+        raise TypeError(
+            f"factory for {spec.name!r} returned "
+            f"{type(trainer).__name__}, not an LdaTrainer"
+        )
+    return trainer
+
+
+def load_entry_points(group: str = ENTRY_POINT_GROUP) -> int:
+    """Discover third-party algorithms advertised as entry points.
+
+    Each entry point must load to a callable invoked with no arguments;
+    the callable registers its algorithms via :func:`register_algorithm`.
+    Returns the number of entry points loaded.  Absent or partial
+    packaging metadata is tolerated (returns what could be loaded).
+    """
+    _ensure_builtins()
+    try:
+        from importlib.metadata import entry_points
+    except ImportError:  # pragma: no cover - py<3.8 not supported anyway
+        return 0
+    loaded = 0
+    try:
+        eps = entry_points(group=group)
+    except TypeError:  # pragma: no cover - legacy select API
+        eps = entry_points().get(group, [])
+    for ep in eps:
+        try:
+            hook = ep.load()
+            hook()
+        except Exception as exc:  # one broken plugin must not block the rest
+            import warnings
+
+            warnings.warn(
+                f"failed to load repro algorithm entry point "
+                f"{ep.name!r}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            continue
+        loaded += 1
+    return loaded

@@ -49,6 +49,8 @@ class LdaStarTrainer:
         The shared link to the parameter server (default 10 GbE).
     """
 
+    DESCRIPTION = "LDA*-style distributed parameter-server baseline (10 GbE)"
+
     def __init__(
         self,
         corpus: Corpus,
@@ -168,6 +170,17 @@ class LdaStarTrainer:
         if not records:
             raise ValueError("no iterations recorded yet")
         return float(np.mean([r.tokens_per_sec for r in records]))
+
+    def describe(self) -> dict:
+        """Identity and effective configuration (unified API contract)."""
+        return {
+            "description": self.DESCRIPTION,
+            "num_topics": self.config.num_topics,
+            "num_workers": self.num_workers,
+            "alpha": self.config.effective_alpha,
+            "beta": self.config.effective_beta,
+            "network": self.network.name,
+        }
 
     @property
     def tree_depth(self) -> int:  # pragma: no cover - convenience

@@ -30,6 +30,8 @@ from repro.gpusim.spec import CpuSpec
 class LightLdaTrainer:
     """Alias-MH LDA trainer with a simulated CPU clock."""
 
+    DESCRIPTION = "LightLDA-style alias-table MH baseline (O(1) word proposals)"
+
     def __init__(
         self,
         corpus: Corpus,
@@ -184,3 +186,13 @@ class LightLdaTrainer:
         if not records:
             raise ValueError("no iterations recorded yet")
         return float(np.mean([r.tokens_per_sec for r in records]))
+
+    def describe(self) -> dict:
+        """Identity and effective configuration (unified API contract)."""
+        return {
+            "description": self.DESCRIPTION,
+            "num_topics": self.k,
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "cpu": self.cpu.name,
+        }

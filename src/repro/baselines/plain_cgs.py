@@ -55,6 +55,8 @@ class PlainCgsSampler:
     (``alpha = 50/K``, ``beta = 0.01``).
     """
 
+    DESCRIPTION = "Exact sequential collapsed Gibbs sampling (correctness oracle)"
+
     def __init__(
         self,
         corpus: Corpus,
@@ -117,6 +119,15 @@ class PlainCgsSampler:
             self.sweep()
             out.append(self.model.log_likelihood_per_token())
         return out
+
+    def describe(self) -> dict:
+        """Identity and effective configuration (unified API contract)."""
+        return {
+            "description": self.DESCRIPTION,
+            "num_topics": self.k,
+            "alpha": self.alpha,
+            "beta": self.beta,
+        }
 
     def validate(self) -> None:
         """Invariant check: counts consistent with assignments."""

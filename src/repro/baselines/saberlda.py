@@ -47,6 +47,8 @@ def saberlda_config(num_topics: int, seed: int = 0, **overrides) -> TrainerConfi
 class SaberLdaTrainer(CuLdaTrainer):
     """Single-GPU SaberLDA model: shared functional core, degraded costs."""
 
+    DESCRIPTION = "SaberLDA-style single-GPU baseline (GTX 1080, no Section 6 extras)"
+
     def __init__(
         self,
         corpus: Corpus,

@@ -20,6 +20,8 @@ from repro.corpus.document import Corpus
 class SparseLdaSampler:
     """Sequential S/Q sampler with immediate count updates."""
 
+    DESCRIPTION = "SparseLDA-style sequential S/Q bucket sampler (Yao et al.)"
+
     def __init__(
         self,
         corpus: Corpus,
@@ -94,3 +96,26 @@ class SparseLdaSampler:
             self.sweep()
             out.append(self.model.log_likelihood_per_token())
         return out
+
+    def describe(self) -> dict:
+        """Identity and effective configuration (unified API contract)."""
+        return {
+            "description": self.DESCRIPTION,
+            "num_topics": self.k,
+            "alpha": self.alpha,
+            "beta": self.beta,
+        }
+
+    def validate(self) -> None:
+        """Invariant check: counts consistent with assignments."""
+        m = self.model
+        theta = np.zeros_like(m.theta)
+        phi = np.zeros_like(m.phi)
+        np.add.at(theta, (self.doc_ids, m.z), 1)
+        np.add.at(phi, (m.z, self.word_ids), 1)
+        if not (
+            np.array_equal(theta, m.theta)
+            and np.array_equal(phi, m.phi)
+            and np.array_equal(phi.sum(axis=1), m.topic_totals)
+        ):
+            raise AssertionError("SparseLDA counts out of sync with assignments")

@@ -65,6 +65,8 @@ class WarpLdaConfig:
 class WarpLdaTrainer:
     """MH-based CPU LDA trainer with a simulated CPU clock."""
 
+    DESCRIPTION = "WarpLDA-style CPU Metropolis-Hastings baseline (cycle proposals)"
+
     def __init__(
         self,
         corpus: Corpus,
@@ -255,3 +257,14 @@ class WarpLdaTrainer:
         if not records:
             raise ValueError("no iterations recorded yet")
         return float(np.mean([r.tokens_per_sec for r in records]))
+
+    def describe(self) -> dict:
+        """Identity and effective configuration (unified API contract)."""
+        return {
+            "description": self.DESCRIPTION,
+            "num_topics": self.config.num_topics,
+            "mh_rounds": self.config.mh_rounds,
+            "alpha": self.config.effective_alpha,
+            "beta": self.config.effective_beta,
+            "cpu": self.cpu.name,
+        }

@@ -2,10 +2,14 @@
 
     python -m repro train --preset nytimes --scale 0.003 --topics 128 \
         --iterations 30 --platform volta --output model.npz
-    python -m repro train --docword docword.txt --vocab vocab.txt ...
+    python -m repro train --algo warplda --topics 64 --iterations 20
     python -m repro topics --model model.npz --vocab vocab.txt --top 10
-    python -m repro benchmark --platform volta --topics 256
+    python -m repro benchmark --algo lightlda --topics 256
+    python -m repro algorithms
 
+Every trainer is constructed through the unified registry
+(:func:`repro.api.create_trainer`), so ``--algo`` accepts any registered
+algorithm name; ``repro algorithms`` lists them with their options.
 Kept dependency-free beyond the library itself; every command prints the
 same metrics the paper reports.
 """
@@ -15,11 +19,13 @@ from __future__ import annotations
 import argparse
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 import numpy as np
 
 from repro.analysis.reporting import render_table
-from repro.core import CuLdaTrainer, TrainerConfig
+from repro.api import algorithm_names, create_trainer, get_algorithm
+from repro.core.model import LdaState
 from repro.core.snapshot import load_model, save_checkpoint, save_model
 from repro.corpus.document import Corpus
 from repro.corpus.io import read_uci_bow
@@ -30,9 +36,11 @@ from repro.corpus.synthetic import (
     generate_synthetic_corpus,
     small_spec,
 )
-from repro.gpusim.platform import platform_by_name
 
 PRESETS = {"nytimes": NYTIMES_LIKE, "pubmed": PUBMED_LIKE}
+
+#: Model keys `repro topics` requires; validated with a clear error.
+REQUIRED_MODEL_KEYS = ("phi", "topic_totals", "num_words")
 
 
 def _load_corpus(args: argparse.Namespace) -> Corpus:
@@ -44,25 +52,48 @@ def _load_corpus(args: argparse.Namespace) -> Corpus:
     return generate_synthetic_corpus(small_spec(), seed=args.seed)
 
 
+#: Defaults for flags only some algorithms accept — the single source for
+#: both the argparse definitions and the "flag ignored" warning below.
+_ALGO_FLAG_DEFAULTS = {"gpus": 1, "platform": "Volta", "chunks_per_gpu": 1}
+
+
+def _build_trainer(args: argparse.Namespace, corpus: Corpus):
+    """Construct ``args.algo`` through the registry, forwarding only the
+    flags that algorithm accepts; warn about flags it would ignore."""
+    kwargs: dict = {"topics": args.topics, "seed": args.seed}
+    accepted = get_algorithm(args.algo).all_options()
+    for flag, default in _ALGO_FLAG_DEFAULTS.items():
+        value = getattr(args, flag, default)
+        if flag in accepted:
+            kwargs[flag] = value
+        elif value != default:
+            print(
+                f"warning: --{flag.replace('_', '-')} is not accepted by "
+                f"algorithm {args.algo!r}; ignoring",
+                file=sys.stderr,
+            )
+    return create_trainer(args.algo, corpus, **kwargs)
+
+
 def cmd_train(args: argparse.Namespace) -> int:
     corpus = _load_corpus(args)
     st = corpus_stats(corpus)
     print(f"corpus: D={st.num_docs} V={st.num_words} T={st.num_tokens}")
-    config = TrainerConfig(
-        num_topics=args.topics,
-        num_gpus=args.gpus,
-        chunks_per_gpu=args.chunks_per_gpu,
-        seed=args.seed,
-    )
-    trainer = CuLdaTrainer(corpus, config, platform=platform_by_name(args.platform))
-    history = trainer.train(
-        args.iterations, compute_likelihood_every=args.likelihood_every
-    )
-    last = history[-1]
+    trainer = _build_trainer(args, corpus)
+    wants_artifacts = args.output or args.checkpoint
+    if wants_artifacts and not isinstance(trainer.state, LdaState):
+        # Refuse before training, not after the work is done.
+        print(
+            f"error: --output/--checkpoint need the chunked LdaState; "
+            f"algorithm {args.algo!r} trains a dense model only",
+            file=sys.stderr,
+        )
+        return 2
+    result = trainer.fit(args.iterations, likelihood_every=args.likelihood_every)
     print(
-        f"done: {len(history)} iterations, "
+        f"done: {result.num_iterations} iterations of {args.algo}, "
         f"{trainer.average_tokens_per_sec() / 1e6:.1f}M tokens/s (simulated), "
-        f"LL/token {last.log_likelihood_per_token}"
+        f"LL/token {result.final_log_likelihood}"
     )
     if args.output:
         save_model(trainer.state, args.output)
@@ -74,12 +105,21 @@ def cmd_train(args: argparse.Namespace) -> int:
 
 
 def cmd_topics(args: argparse.Namespace) -> int:
-    model = load_model(args.model)
+    try:
+        model = load_model(args.model)
+    except KeyError as exc:
+        # load_model guarantees every REQUIRED_MODEL_KEYS entry in its
+        # return value, so a missing key surfaces here, not downstream.
+        print(
+            f"error: {args.model} is not a usable model file "
+            f"(missing key {exc}; a 'repro train --output' artifact "
+            f"carries {', '.join(REQUIRED_MODEL_KEYS)})",
+            file=sys.stderr,
+        )
+        return 2
     phi = model["phi"]
     terms = None
     if args.vocab:
-        from pathlib import Path
-
         terms = [t for t in Path(args.vocab).read_text().splitlines() if t]
         if len(terms) != model["num_words"]:
             print(
@@ -101,17 +141,41 @@ def cmd_topics(args: argparse.Namespace) -> int:
 
 def cmd_benchmark(args: argparse.Namespace) -> int:
     corpus = _load_corpus(args)
-    config = TrainerConfig(num_topics=args.topics, num_gpus=args.gpus, seed=args.seed)
-    trainer = CuLdaTrainer(corpus, config, platform=platform_by_name(args.platform))
-    trainer.train(args.iterations, compute_likelihood_every=0)
-    shares = trainer.kernel_breakdown()
-    total = sum(shares.values())
+    trainer = _build_trainer(args, corpus)
+    trainer.fit(args.iterations, likelihood_every=0)
+    where = (
+        f" on {args.platform}"
+        if "platform" in get_algorithm(args.algo).all_options()
+        else ""
+    )
     print(
-        f"{args.platform}: {trainer.average_tokens_per_sec() / 1e6:.1f}M tokens/s "
+        f"{args.algo}{where}: "
+        f"{trainer.average_tokens_per_sec() / 1e6:.1f}M tokens/s "
         f"(simulated, {args.iterations} iterations)"
     )
-    rows = [[k, f"{100 * v / total:.1f}%"] for k, v in sorted(shares.items())]
-    print(render_table(["kernel", "share"], rows))
+    breakdown = getattr(trainer, "kernel_breakdown", None)
+    if callable(breakdown):
+        shares = breakdown()
+        total = sum(shares.values())
+        rows = [[k, f"{100 * v / total:.1f}%"] for k, v in sorted(shares.items())]
+        print(render_table(["kernel", "share"], rows))
+    return 0
+
+
+def cmd_algorithms(args: argparse.Namespace) -> int:
+    rows = []
+    for name in algorithm_names():
+        spec = get_algorithm(name)
+        rows.append([name, spec.summary])
+    print(render_table(["algorithm", "description"], rows))
+    print()
+    for name in algorithm_names():
+        spec = get_algorithm(name)
+        opts = spec.all_options()
+        print(f"{name} options:")
+        for opt in sorted(opts):
+            print(f"  {opt:<22} {opts[opt]}")
+        print()
     return 0
 
 
@@ -130,13 +194,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="scale factor for --preset shapes")
         p.add_argument("--seed", type=int, default=0)
 
+    def add_algo_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--algo", default="culda",
+            help="algorithm to train (see 'repro algorithms'; default culda)",
+        )
+
     p_train = sub.add_parser("train", help="train a model")
     add_corpus_args(p_train)
+    add_algo_arg(p_train)
     p_train.add_argument("--topics", type=int, default=128)
     p_train.add_argument("--iterations", type=int, default=30)
-    p_train.add_argument("--gpus", type=int, default=1)
-    p_train.add_argument("--chunks-per-gpu", type=int, default=1)
-    p_train.add_argument("--platform", default="Volta")
+    p_train.add_argument("--gpus", type=int,
+                         default=_ALGO_FLAG_DEFAULTS["gpus"])
+    p_train.add_argument("--chunks-per-gpu", type=int,
+                         default=_ALGO_FLAG_DEFAULTS["chunks_per_gpu"])
+    p_train.add_argument("--platform", default=_ALGO_FLAG_DEFAULTS["platform"])
     p_train.add_argument("--likelihood-every", type=int, default=5)
     p_train.add_argument("--output", help="write model .npz here")
     p_train.add_argument("--checkpoint", help="write resumable checkpoint here")
@@ -152,11 +225,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_bench = sub.add_parser("benchmark", help="quick throughput check")
     add_corpus_args(p_bench)
+    add_algo_arg(p_bench)
     p_bench.add_argument("--topics", type=int, default=256)
     p_bench.add_argument("--iterations", type=int, default=10)
-    p_bench.add_argument("--gpus", type=int, default=1)
-    p_bench.add_argument("--platform", default="Volta")
+    p_bench.add_argument("--gpus", type=int,
+                         default=_ALGO_FLAG_DEFAULTS["gpus"])
+    p_bench.add_argument("--platform", default=_ALGO_FLAG_DEFAULTS["platform"])
     p_bench.set_defaults(func=cmd_benchmark)
+
+    p_algos = sub.add_parser(
+        "algorithms", help="list registered algorithms and their options"
+    )
+    p_algos.set_defaults(func=cmd_algorithms)
 
     return parser
 

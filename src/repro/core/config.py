@@ -6,7 +6,7 @@ Hyper-parameters follow the paper: ``alpha = 50 / K`` and ``beta = 0.01``
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

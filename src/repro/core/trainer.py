@@ -73,6 +73,8 @@ class CuLdaTrainer:
         Run the (expensive) invariant checks every N iterations; 0 off.
     """
 
+    DESCRIPTION = "CuLDA_CGS: multi-GPU sparsity-aware CGS (the paper's system)"
+
     def __init__(
         self,
         corpus: Corpus,
@@ -171,12 +173,25 @@ class CuLdaTrainer:
         self,
         num_iterations: int,
         compute_likelihood_every: int = 1,
+        callbacks=(),
     ) -> list[IterationRecord]:
-        """Run ``num_iterations`` Gibbs iterations; returns their records."""
+        """Run ``num_iterations`` Gibbs iterations; returns their records.
+
+        ``callbacks`` takes :class:`repro.api.callbacks.Callback`
+        instances: they decide the likelihood cadence (superseding
+        ``compute_likelihood_every`` when a cadence callback is present)
+        and may stop training early from ``on_iteration_end``.  The
+        full-featured loop (``on_train_begin``/``end`` hooks, a
+        :class:`~repro.api.protocol.TrainResult`) is
+        ``repro.create_trainer("culda", ...).fit(...)``.
+        """
         if num_iterations < 0:
             raise ValueError("num_iterations must be non-negative")
         if compute_likelihood_every < 0:
             raise ValueError("compute_likelihood_every must be non-negative")
+        callbacks = list(callbacks)
+        if callbacks:
+            from repro.api.callbacks import likelihood_needed
         total_tokens = self.state.num_tokens
         for _ in range(num_iterations):
             it = self._iterations_done
@@ -201,9 +216,13 @@ class CuLdaTrainer:
                 for d in self.devices:
                     verify_phi_consistency(d.phi, d.totals, total_tokens)
 
-            ll = None
-            if compute_likelihood_every and (it + 1) % compute_likelihood_every == 0:
-                ll = log_likelihood_per_token(self.state)
+            if callbacks:
+                need_ll = likelihood_needed(callbacks, it, compute_likelihood_every)
+            else:
+                need_ll = bool(compute_likelihood_every) and (
+                    (it + 1) % compute_likelihood_every == 0
+                )
+            ll = log_likelihood_per_token(self.state) if need_ll else None
             dur = t1 - t0
             self.history.append(
                 IterationRecord(
@@ -222,9 +241,26 @@ class CuLdaTrainer:
                 )
             )
             self._iterations_done += 1
+            if callbacks:
+                # Every callback observes every record (no short-circuit).
+                stops = [cb.on_iteration_end(self, self.history[-1]) for cb in callbacks]
+                if any(stops):
+                    break
         return self.history
 
     # -- reporting --------------------------------------------------------------
+
+    def describe(self) -> dict:
+        """Identity and effective configuration (unified API contract)."""
+        return {
+            "description": self.DESCRIPTION,
+            "num_topics": self.config.num_topics,
+            "num_gpus": self.config.num_gpus,
+            "chunks_per_gpu": self.config.chunks_per_gpu,
+            "alpha": self.config.effective_alpha,
+            "beta": self.config.effective_beta,
+            "seed": self.config.seed,
+        }
 
     def kernel_breakdown(self) -> dict[str, float]:
         """Aggregated share of simulated time per kernel (Table 5 rows).

@@ -1,6 +1,5 @@
 """Tests for the analysis layer (roofline, metrics, reporting)."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.metrics import (

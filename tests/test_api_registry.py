@@ -1,0 +1,164 @@
+"""Algorithm registry: lookup, validation, registration, discovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    LdaTrainer,
+    algorithm_names,
+    create_trainer,
+    get_algorithm,
+    register_algorithm,
+    unregister_algorithm,
+)
+from repro.api.registry import COMMON_OPTIONS
+from repro.corpus.synthetic import generate_synthetic_corpus, small_spec
+
+EXPECTED_BUILTINS = {
+    "culda",
+    "plain_cgs",
+    "sparselda",
+    "warplda",
+    "lightlda",
+    "saberlda",
+    "ldastar",
+}
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_synthetic_corpus(
+        small_spec(num_docs=20, num_words=40, mean_doc_len=10, num_topics=4),
+        seed=9,
+    )
+
+
+class TestLookup:
+    def test_all_seven_builtins_registered(self):
+        assert EXPECTED_BUILTINS <= set(algorithm_names())
+
+    def test_names_sorted(self):
+        names = algorithm_names()
+        assert names == sorted(names)
+
+    def test_lookup_case_insensitive(self):
+        assert get_algorithm("CuLDA").name == "culda"
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ValueError, match="unknown algorithm 'nope'"):
+            get_algorithm("nope")
+        with pytest.raises(ValueError, match="culda"):
+            get_algorithm("nope")
+
+    def test_specs_have_summaries_and_options(self):
+        for name in EXPECTED_BUILTINS:
+            spec = get_algorithm(name)
+            assert spec.summary
+            merged = spec.all_options()
+            assert set(COMMON_OPTIONS) <= set(merged)
+
+
+class TestCreateTrainer:
+    def test_returns_protocol_instance(self, corpus):
+        trainer = create_trainer("sparselda", corpus, topics=6)
+        assert isinstance(trainer, LdaTrainer)
+        assert trainer.name == "sparselda"
+
+    def test_unknown_kwarg_lists_accepted(self, corpus):
+        with pytest.raises(ValueError, match="does not accept"):
+            create_trainer("plain_cgs", corpus, topics=6, gpus=4)
+        with pytest.raises(ValueError, match="topics"):
+            create_trainer("plain_cgs", corpus, topics=6, bogus=1)
+
+    def test_common_options_normalized(self, corpus):
+        """The same keywords configure structurally different trainers."""
+        for name in ("culda", "warplda", "plain_cgs"):
+            trainer = create_trainer(
+                name, corpus, topics=6, alpha=0.4, beta=0.02, seed=3
+            )
+            native = trainer.describe()["native"]
+            assert native["num_topics"] == 6
+            assert native["alpha"] == pytest.approx(0.4)
+            assert native["beta"] == pytest.approx(0.02)
+
+    def test_culda_platform_by_name(self, corpus):
+        from repro.gpusim.platform import PASCAL_PLATFORM
+
+        trainer = create_trainer("culda", corpus, topics=6, platform="Pascal")
+        assert trainer.inner.spec is PASCAL_PLATFORM.gpu
+
+    def test_bad_platform_name(self, corpus):
+        with pytest.raises(KeyError, match="unknown platform"):
+            create_trainer("culda", corpus, topics=6, platform="turing")
+
+
+class TestRegistration:
+    def test_register_and_unregister(self, corpus):
+        calls = []
+
+        def factory(c, topics=4, alpha=None, beta=None, seed=0):
+            calls.append(topics)
+            return create_trainer("plain_cgs", c, topics=topics)
+
+        register_algorithm("custom_test_algo", factory, summary="test-only")
+        try:
+            assert "custom_test_algo" in algorithm_names()
+            trainer = create_trainer("custom_test_algo", corpus, topics=4)
+            assert calls == [4]
+            assert isinstance(trainer, LdaTrainer)
+        finally:
+            unregister_algorithm("custom_test_algo")
+        assert "custom_test_algo" not in algorithm_names()
+
+    def test_decorator_form(self):
+        @register_algorithm("custom_deco_algo", summary="decorated")
+        def factory(c, **kw):  # pragma: no cover - never constructed
+            raise NotImplementedError
+
+        try:
+            assert get_algorithm("custom_deco_algo").summary == "decorated"
+        finally:
+            unregister_algorithm("custom_deco_algo")
+
+    def test_duplicate_rejected_unless_replace(self):
+        def factory(c, **kw):  # pragma: no cover - never constructed
+            raise NotImplementedError
+
+        register_algorithm("custom_dup_algo", factory, summary="v1")
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_algorithm("custom_dup_algo", factory, summary="v2")
+            register_algorithm(
+                "custom_dup_algo", factory, summary="v2", replace=True
+            )
+            assert get_algorithm("custom_dup_algo").summary == "v2"
+        finally:
+            unregister_algorithm("custom_dup_algo")
+
+    def test_invalid_names_rejected(self):
+        def factory(c, **kw):  # pragma: no cover - never constructed
+            raise NotImplementedError
+
+        with pytest.raises(ValueError, match="invalid algorithm name"):
+            register_algorithm("", factory)
+        with pytest.raises(ValueError, match="invalid algorithm name"):
+            register_algorithm("has space", factory)
+
+    def test_factory_must_return_protocol(self, corpus):
+        register_algorithm(
+            "custom_bad_algo", lambda c, **kw: object(), summary="broken"
+        )
+        try:
+            with pytest.raises(TypeError, match="not an LdaTrainer"):
+                create_trainer("custom_bad_algo", corpus)
+        finally:
+            unregister_algorithm("custom_bad_algo")
+
+
+class TestEntryPoints:
+    def test_load_entry_points_tolerates_absence(self):
+        from repro.api import load_entry_points
+
+        # No third-party packages advertise the group in this env.
+        assert load_entry_points() == 0

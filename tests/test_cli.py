@@ -17,6 +17,7 @@ class TestParser:
         args = build_parser().parse_args(["train"])
         assert args.topics == 128
         assert args.platform == "Volta"
+        assert args.algo == "culda"
 
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
@@ -68,6 +69,31 @@ class TestTrain:
         rc = main(["train", "--docword", "/nonexistent/file.txt"])
         assert rc == 2
 
+    def test_train_with_algo(self, capsys):
+        rc = main(["train", "--algo", "warplda", "--topics", "8",
+                   "--iterations", "2", "--likelihood-every", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "warplda" in out and "done:" in out
+
+    def test_train_sequential_algo(self, capsys):
+        rc = main(["train", "--algo", "plain_cgs", "--topics", "6",
+                   "--iterations", "1", "--likelihood-every", "1"])
+        assert rc == 0
+
+    def test_unknown_algo_is_handled(self, capsys):
+        rc = main(["train", "--algo", "frobnicate", "--iterations", "1"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown algorithm" in err and "culda" in err
+
+    def test_model_output_needs_lda_state(self, tmp_path, capsys):
+        rc = main(["train", "--algo", "warplda", "--topics", "6",
+                   "--iterations", "1",
+                   "--output", str(tmp_path / "m.npz")])
+        assert rc == 2
+        assert "LdaState" in capsys.readouterr().err
+
 
 class TestTopics:
     def test_topics_roundtrip(self, tmp_path, capsys):
@@ -104,6 +130,16 @@ class TestTopics:
         rc = main(["topics", "--model", str(model), "--vocab", str(vocab)])
         assert rc == 2
 
+    def test_topics_missing_model_keys(self, tmp_path, capsys):
+        """An npz lacking required keys gets a clear error, not a KeyError."""
+        bad = tmp_path / "bad.npz"
+        np.savez(bad, version=1, kind="model",
+                 topic_totals=np.array([1, 2]), num_words=3)
+        rc = main(["topics", "--model", str(bad)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "phi" in err
+
 
 class TestBenchmark:
     def test_benchmark_runs(self, capsys):
@@ -112,3 +148,25 @@ class TestBenchmark:
         out = capsys.readouterr().out
         assert "tokens/s" in out
         assert "sampling" in out
+
+    def test_benchmark_with_algo(self, capsys):
+        rc = main(["benchmark", "--algo", "lightlda", "--topics", "8",
+                   "--iterations", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "lightlda" in out and "tokens/s" in out
+        # No kernel breakdown for CPU baselines.
+        assert "sampling" not in out
+
+
+class TestAlgorithms:
+    def test_lists_all_registered(self, capsys):
+        from repro.api import algorithm_names
+
+        rc = main(["algorithms"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in algorithm_names():
+            assert name in out
+        assert "options:" in out
+        assert "topics" in out and "seed" in out

@@ -1,0 +1,110 @@
+"""Legacy import paths keep working, behind exactly one DeprecationWarning.
+
+The PR that introduced ``repro.api`` demoted the old entry points —
+``from repro import CuLdaTrainer`` and the package-level baseline
+constructors — to lazy shims.  They must resolve to the same classes as
+the canonical module paths and warn exactly once per name per session.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import repro
+import repro.baselines
+
+
+def _reset(module, *names):
+    """Forget that these aliases already warned (test isolation)."""
+    for name in names:
+        module._warned_aliases.discard(name)
+
+
+class TestTopLevelShim:
+    def test_culda_trainer_resolves_and_warns_once(self):
+        _reset(repro, "CuLdaTrainer")
+        from repro.core.trainer import CuLdaTrainer as canonical
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            first = repro.CuLdaTrainer
+            second = repro.CuLdaTrainer
+        assert first is canonical and second is canonical
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "create_trainer" in str(deprecations[0].message)
+
+    def test_unknown_attribute_still_raises(self):
+        try:
+            repro.NoSuchThing
+        except AttributeError as exc:
+            assert "NoSuchThing" in str(exc)
+        else:
+            raise AssertionError("expected AttributeError")
+
+    def test_new_api_imports_do_not_warn(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            _ = repro.create_trainer
+            _ = repro.TrainerConfig
+            _ = repro.IterationRecord
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+
+
+class TestBaselinesShim:
+    def test_each_constructor_resolves_and_warns_once(self):
+        from repro.baselines import _DEPRECATED_ALIASES
+
+        for name, (module_path, _algo) in _DEPRECATED_ALIASES.items():
+            _reset(repro.baselines, name)
+            module = __import__(module_path, fromlist=[name])
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                first = getattr(repro.baselines, name)
+                second = getattr(repro.baselines, name)
+            assert first is getattr(module, name), name
+            assert second is first, name
+            deprecations = [
+                w for w in caught if issubclass(w.category, DeprecationWarning)
+            ]
+            assert len(deprecations) == 1, name
+            assert "create_trainer" in str(deprecations[0].message)
+
+    def test_module_path_imports_do_not_warn(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            from repro.baselines.plain_cgs import PlainCgsSampler  # noqa: F401
+            from repro.baselines.warplda import WarpLdaTrainer  # noqa: F401
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_non_deprecated_names_stay_eager(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            _ = repro.baselines.AliasTable
+            _ = repro.baselines.PlainCgsModel
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+
+
+class TestLegacySurfaceStillWorks:
+    def test_legacy_training_path(self):
+        """The pre-registry idiom trains end-to-end unchanged."""
+        from repro.corpus.synthetic import generate_synthetic_corpus, small_spec
+
+        corpus = generate_synthetic_corpus(
+            small_spec(num_docs=20, num_words=40, mean_doc_len=10), seed=0
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            trainer = repro.CuLdaTrainer(
+                corpus, repro.TrainerConfig(num_topics=4)
+            )
+        history = trainer.train(2)
+        assert len(history) == 2

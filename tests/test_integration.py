@@ -1,7 +1,6 @@
 """End-to-end integration tests across the whole library."""
 
 import numpy as np
-import pytest
 
 from repro.core import CuLdaTrainer, TrainerConfig
 from repro.corpus.document import Corpus
@@ -93,7 +92,7 @@ class TestPublicSurface:
     def test_version(self):
         import repro
 
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
 
 class TestDeterminismAcrossFeatures:

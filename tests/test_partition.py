@@ -1,6 +1,5 @@
 """Unit and property tests for token-balanced partitioning (Section 4)."""
 
-import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st

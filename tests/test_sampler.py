@@ -13,7 +13,6 @@ from scipy import stats as sps
 
 from repro.core import TrainerConfig
 from repro.core.model import LdaState
-from repro.core.rng import RngPool
 from repro.core.sampler import conditional_distribution, sample_chunk
 from repro.corpus.document import Corpus
 from repro.corpus.synthetic import generate_synthetic_corpus, small_spec

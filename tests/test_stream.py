@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.gpusim.stream import COMPUTE, COPY_D2H, COPY_H2D, Stream, Timeline, barrier
+from repro.gpusim.stream import COMPUTE, COPY_D2H, COPY_H2D, Timeline, barrier
 
 
 class TestTimeline:
