@@ -43,6 +43,7 @@ def _resolve_platform(platform):
         "use_l1_for_indices": "route sparse-index loads via L1 (default True)",
         "overlap_transfers": "pipeline transfers with compute (default True)",
         "tokens_per_block": "token cap per thread block (default 1024)",
+        "compute_dtype": "kernel float dtype: float64 (default) or float32",
         "validate_every": "run invariant checks every N iterations (0 off)",
     },
 )
@@ -61,6 +62,7 @@ def _make_culda(
     use_l1_for_indices: bool = True,
     overlap_transfers: bool = True,
     tokens_per_block: int = 1024,
+    compute_dtype: str = "float64",
     validate_every: int = 0,
 ):
     config = TrainerConfig(
@@ -74,6 +76,7 @@ def _make_culda(
         use_l1_for_indices=use_l1_for_indices,
         overlap_transfers=overlap_transfers,
         tokens_per_block=tokens_per_block,
+        compute_dtype=compute_dtype,
         seed=seed,
     )
     inner = CuLdaTrainer(
@@ -243,6 +246,13 @@ def _make_plain_cgs(
 @register_algorithm(
     "sparselda",
     summary=SparseLdaSampler.DESCRIPTION,
+    options={
+        "batch_words": (
+            "True (default): vectorised word-batched sweeps (chunk-"
+            "snapshot updates, fast); False: exact sequential sweeps "
+            "(per-token updates, the oracle)"
+        ),
+    },
 )
 def _make_sparselda(
     corpus,
@@ -250,13 +260,15 @@ def _make_sparselda(
     alpha: float | None = None,
     beta: float | None = None,
     seed: int = 0,
+    batch_words: bool = True,
 ):
     inner = SparseLdaSampler(
-        corpus, num_topics=topics, alpha=alpha, beta=beta, seed=seed
+        corpus, num_topics=topics, alpha=alpha, beta=beta, seed=seed,
+        batch_words=batch_words,
     )
     return SweepTrainerAdapter(
         inner,
         name="sparselda",
         description=SparseLdaSampler.DESCRIPTION,
-        options={"topics": topics, "seed": seed},
+        options={"topics": topics, "seed": seed, "batch_words": batch_words},
     )

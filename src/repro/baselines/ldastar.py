@@ -36,6 +36,7 @@ from repro.gpusim.clock import cpu_kernel_time
 from repro.gpusim.interconnect import ETHERNET_10G, Link
 from repro.gpusim.platform import XEON_E5_2650_V3
 from repro.gpusim.spec import CpuSpec
+from repro.perf import Workspace
 
 
 class LdaStarTrainer:
@@ -84,6 +85,8 @@ class LdaStarTrainer:
         self.history: list[IterationRecord] = []
         self._sim_time = 0.0
         self._iterations_done = 0
+        # shared kernel arena for all simulated workers' chunk passes
+        self._workspace = Workspace()
 
     def _worker_seconds(self, stats: SamplingStats) -> float:
         """Roofline time of one worker's chunk pass on its CPU."""
@@ -129,6 +132,7 @@ class LdaStarTrainer:
                 result = sample_chunk(
                     cs.chunk, cs.topics, cs.theta, phi_w, totals_w,
                     self.config.effective_alpha, self.config.effective_beta, rng,
+                    workspace=self._workspace,
                 )
                 changed = apply_phi_update(
                     phi_w, totals_w, cs.chunk.token_words, cs.topics,

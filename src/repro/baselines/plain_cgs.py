@@ -17,6 +17,11 @@ import numpy as np
 from scipy.special import gammaln
 
 from repro.corpus.document import Corpus
+from repro.perf import counts_of_counts_lngamma
+
+#: Tokens per block when materialising per-token Python lists in the
+#: sequential sweeps — bounds transient memory at O(block), not O(T).
+_SWEEP_BLOCK = 1 << 20
 
 
 @dataclass
@@ -35,15 +40,20 @@ class PlainCgsModel:
         return int(self.theta.shape[1])
 
     def log_likelihood_per_token(self) -> float:
-        """Joint log p(w, z) / T — same definition as the core metric."""
+        """Joint log p(w, z) / T — same definition as the core metric.
+
+        Count terms are evaluated through the cached ``lnG(n + offset)``
+        tables (see :mod:`repro.perf.tables`): counts-of-counts binning
+        replaces a ``gammaln`` call per non-zero entry.
+        """
         k = self.num_topics
         v = self.phi.shape[1]
         a, b = self.alpha, self.beta
         word = float(k * gammaln(v * b))
-        word += float(np.sum(gammaln(self.phi[self.phi > 0] + b) - gammaln(b)))
+        word += counts_of_counts_lngamma(np.bincount(self.phi.reshape(-1)), b)
         word -= float(np.sum(gammaln(self.topic_totals + v * b)))
         doc = float(self.theta.shape[0] * gammaln(k * a))
-        doc += float(np.sum(gammaln(self.theta[self.theta > 0] + a) - gammaln(a)))
+        doc += counts_of_counts_lngamma(np.bincount(self.theta.reshape(-1)), a)
         doc -= float(np.sum(gammaln(self.theta.sum(axis=1) + k * a)))
         return (word + doc) / self.z.shape[0]
 
@@ -90,25 +100,69 @@ class PlainCgsSampler:
         )
 
     def sweep(self) -> None:
-        """One full CGS iteration: every token resampled, exactly."""
+        """One full CGS iteration: every token resampled, exactly.
+
+        The loop is unavoidably sequential (each draw sees every earlier
+        update), but its per-token invariants are hoisted: the token's
+        randoms are pre-drawn in one batch (same stream as per-token
+        draws), ``phi`` columns are walked through a contiguous ``(V, K)``
+        transpose, the ``totals + beta*V`` denominator is maintained by
+        two exact scalar writes instead of a K-vector rebuild, and the
+        conditional/CDF buffers are reused across tokens.  Bit-identical
+        to the historical per-token-allocating loop under a fixed seed
+        (tests/test_golden_regression.py).
+        """
         m = self.model
-        beta_v = self.beta * self.corpus.num_words
-        for i in range(m.z.shape[0]):
-            d = self.doc_ids[i]
-            v = self.word_ids[i]
-            old = m.z[i]
-            m.theta[d, old] -= 1
-            m.phi[old, v] -= 1
-            m.topic_totals[old] -= 1
-            p = (m.theta[d] + self.alpha) * (m.phi[:, v] + self.beta)
-            p /= m.topic_totals + beta_v
-            cdf = np.cumsum(p)
-            new = int(np.searchsorted(cdf, self.rng.random() * cdf[-1], side="right"))
-            new = min(new, self.k - 1)
-            m.z[i] = new
-            m.theta[d, new] += 1
-            m.phi[new, v] += 1
-            m.topic_totals[new] += 1
+        k = self.k
+        alpha, beta = self.alpha, self.beta
+        beta_v = beta * self.corpus.num_words
+        t = m.z.shape[0]
+        # contiguous per-word columns; synced back to m.phi after the loop
+        phi_t = np.ascontiguousarray(m.phi.T)
+        theta = m.theta
+        # scalar-only state lives in Python lists for the loop's duration
+        # (scalar ndarray indexing is ~10x a list access); token-indexed
+        # lists are materialised in bounded blocks so transient memory
+        # stays O(block), not O(T).  Batched block draws consume the same
+        # RNG stream as per-token scalar draws (bit-identical).
+        totals = m.topic_totals.tolist()
+        # denom[j] == totals[j] + beta_v, kept exact by scalar rewrites
+        denom = np.add(m.topic_totals, beta_v, dtype=np.float64)
+        p = np.empty(k, dtype=np.float64)
+        tmp = np.empty(k, dtype=np.float64)
+        cdf = np.empty(k, dtype=np.float64)
+        for lo in range(0, t, _SWEEP_BLOCK):
+            hi = min(lo + _SWEEP_BLOCK, t)
+            u_all = self.rng.random(hi - lo).tolist()
+            doc_ids = self.doc_ids[lo:hi].tolist()
+            word_ids = self.word_ids[lo:hi].tolist()
+            z = m.z[lo:hi].tolist()
+            for i in range(hi - lo):
+                d = doc_ids[i]
+                v = word_ids[i]
+                old = z[i]
+                theta_d = theta[d]
+                phi_col = phi_t[v]
+                theta_d[old] -= 1
+                phi_col[old] -= 1
+                totals[old] -= 1
+                denom[old] = totals[old] + beta_v
+                np.add(theta_d, alpha, out=p)
+                np.add(phi_col, beta, out=tmp)
+                np.multiply(p, tmp, out=p)
+                np.divide(p, denom, out=p)
+                np.cumsum(p, out=cdf)
+                new = int(np.searchsorted(cdf, u_all[i] * cdf[-1], side="right"))
+                if new >= k:
+                    new = k - 1
+                z[i] = new
+                theta_d[new] += 1
+                phi_col[new] += 1
+                totals[new] += 1
+                denom[new] = totals[new] + beta_v
+            m.z[lo:hi] = z
+        m.phi[...] = phi_t.T
+        m.topic_totals[...] = totals
 
     def train(self, num_iterations: int) -> list[float]:
         """Run sweeps; returns log-likelihood per token after each."""

@@ -54,7 +54,12 @@ def _load_corpus(args: argparse.Namespace) -> Corpus:
 
 #: Defaults for flags only some algorithms accept — the single source for
 #: both the argparse definitions and the "flag ignored" warning below.
-_ALGO_FLAG_DEFAULTS = {"gpus": 1, "platform": "Volta", "chunks_per_gpu": 1}
+_ALGO_FLAG_DEFAULTS = {
+    "gpus": 1,
+    "platform": "Volta",
+    "chunks_per_gpu": 1,
+    "compute_dtype": "float64",
+}
 
 
 def _build_trainer(args: argparse.Namespace, corpus: Corpus):
@@ -210,6 +215,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--chunks-per-gpu", type=int,
                          default=_ALGO_FLAG_DEFAULTS["chunks_per_gpu"])
     p_train.add_argument("--platform", default=_ALGO_FLAG_DEFAULTS["platform"])
+    p_train.add_argument(
+        "--compute-dtype", dest="compute_dtype",
+        choices=("float64", "float32"),
+        default=_ALGO_FLAG_DEFAULTS["compute_dtype"],
+        help="sampling-kernel float dtype (float32 = half bandwidth, "
+             "different but statistically equivalent chain)",
+    )
     p_train.add_argument("--likelihood-every", type=int, default=5)
     p_train.add_argument("--output", help="write model .npz here")
     p_train.add_argument("--checkpoint", help="write resumable checkpoint here")
@@ -231,6 +243,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--gpus", type=int,
                          default=_ALGO_FLAG_DEFAULTS["gpus"])
     p_bench.add_argument("--platform", default=_ALGO_FLAG_DEFAULTS["platform"])
+    p_bench.add_argument(
+        "--compute-dtype", dest="compute_dtype",
+        choices=("float64", "float32"),
+        default=_ALGO_FLAG_DEFAULTS["compute_dtype"],
+        help="sampling-kernel float dtype",
+    )
     p_bench.set_defaults(func=cmd_benchmark)
 
     p_algos = sub.add_parser(

@@ -38,6 +38,11 @@ class TrainerConfig:
         Pipeline transfers with compute in WorkSchedule2 (Section 5.1).
     tokens_per_block:
         Upper bound on tokens per thread block (Figure 6 splitting).
+    compute_dtype:
+        Floating dtype of the sampling kernel: ``"float64"`` (default,
+        bit-identical to the historical kernel under a fixed seed) or
+        ``"float32"`` (half the bandwidth; a different but statistically
+        equivalent chain — see docs/PERFORMANCE.md).
     seed:
         RNG seed for the whole run (reproducible).
     """
@@ -52,6 +57,7 @@ class TrainerConfig:
     use_l1_for_indices: bool = True
     overlap_transfers: bool = True
     tokens_per_block: int = 1024
+    compute_dtype: str = "float64"
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -67,6 +73,11 @@ class TrainerConfig:
             raise ValueError(f"alpha must be positive, got {self.alpha}")
         if self.beta is not None and self.beta <= 0:
             raise ValueError(f"beta must be positive, got {self.beta}")
+        if self.compute_dtype not in ("float32", "float64"):
+            raise ValueError(
+                f"compute_dtype must be 'float32' or 'float64', "
+                f"got {self.compute_dtype!r}"
+            )
 
     @property
     def effective_alpha(self) -> float:

@@ -17,6 +17,11 @@ the token count against elapsed (here: simulated) time.
 Computed sparsely: zero entries of phi/theta contribute ``lnG(beta)`` /
 ``lnG(alpha)`` which fold into closed-form constants, so cost is
 O(nnz(phi) + nnz(theta)), not O(KV + DK).
+
+``lnG`` over the counts is served from a cached lookup table
+(:func:`repro.perf.lngamma_table`): counts are small integers, so the
+whole pass is integer binning/gathers plus one table read per *distinct*
+count value — no per-element transcendental evaluation.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ import numpy as np
 from scipy.special import gammaln
 
 from repro.core.model import LdaState
+from repro.perf import counts_of_counts_lngamma, lngamma_table
 
 
 def log_likelihood(state: LdaState) -> float:
@@ -36,20 +42,21 @@ def log_likelihood(state: LdaState) -> float:
     # --- word side: phi is dense int, but only non-zeros differ from the
     # lnG(beta) baseline, which folds into the closed form:
     #   K lnG(V*beta) + sum_nz [lnG(val+beta) - lnG(beta)] - sum_k lnG(N_k+V*beta)
-    nz_mask = state.phi > 0
-    nz_vals = state.phi[nz_mask].astype(np.float64)
+    hist = np.bincount(state.phi.reshape(-1))
     word_side = float(k * gammaln(v * beta))
-    word_side += float(np.sum(gammaln(nz_vals + beta) - gammaln(beta)))
+    word_side += counts_of_counts_lngamma(hist, beta)
     word_side -= float(
         np.sum(gammaln(state.topic_totals.astype(np.float64) + v * beta))
     )
 
-    # --- document side: theta replicas are CSR, same folding with alpha.
+    # --- document side: theta replicas are CSR (already nnz-only); the
+    # cached table turns lnG(val + alpha) into a gather per entry.
     num_docs = sum(cs.chunk.num_local_docs for cs in state.chunks)
     doc_side = float(num_docs * gammaln(k * alpha))
     for cs in state.chunks:
-        vals = cs.theta.data.astype(np.float64)
-        doc_side += float(np.sum(gammaln(vals + alpha) - gammaln(alpha)))
+        vals = cs.theta.data.astype(np.int64)
+        table = lngamma_table(alpha, int(vals.max(initial=0)) + 1)
+        doc_side += float(np.sum(table[vals] - table[0]))
         lens = np.diff(cs.chunk.doc_offsets).astype(np.float64)
         doc_side -= float(np.sum(gammaln(lens + k * alpha)))
     return word_side + doc_side

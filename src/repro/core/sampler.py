@@ -33,6 +33,21 @@ p1(k), so S, Q and both prefix-sum searches are corrected with
 constant-time per-token adjustments (a shifted-CDF three-case search for
 p2, a single-entry rewrite for p1) — never a per-token rebuild of the
 shared structures.  This is exactly why the block-shared tree is sound.
+
+Workspace reuse and compute dtype
+---------------------------------
+Every large temporary of this kernel (the K x Wp shared trees, the
+sum-Kd gather arrays, the per-token vectors) is drawn from a
+:class:`repro.perf.Workspace` when one is passed, so steady-state
+iterations reuse buffers instead of reallocating them — the NumPy
+analogue of the static device buffers a real GPU kernel would use.
+Chunk-invariant data (present words, token->word-column map) is
+memoised per chunk inside the workspace, mirroring the paper's one-time
+CPU preprocessing.  With ``workspace=None`` (or any float64 workspace)
+the arithmetic is **bit-identical** to the historical allocating kernel
+(asserted by tests/test_golden_regression.py).  A float32 workspace
+selects the opt-in reduced-precision path: same algorithm, half the
+bandwidth, a different but statistically equivalent chain.
 """
 
 from __future__ import annotations
@@ -41,9 +56,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.corpus.encoding import DeviceChunk
 from repro.core.costs import SamplingStats, tree_depth_for
-from repro.core.sparse import CsrCounts, gather_rows
+from repro.core.sparse import CsrCounts
+from repro.corpus.encoding import DeviceChunk
+from repro.perf import Workspace
+
+#: dtype instances for hot-path Workspace.take calls (no per-call np.dtype())
+_I64 = np.dtype(np.int64)
+_I32 = np.dtype(np.int32)
+_BOOL = np.dtype(np.bool_)
 
 
 @dataclass(frozen=True)
@@ -54,11 +75,10 @@ class SampleResult:
     stats: SamplingStats
 
 
-def _segment_sums(values: np.ndarray, seg_offsets: np.ndarray) -> np.ndarray:
-    """Sum of each ``[seg_offsets[i], seg_offsets[i+1])`` slice of values."""
-    csum = np.zeros(values.shape[0] + 1, dtype=np.float64)
-    np.cumsum(values, out=csum[1:])
-    return csum[seg_offsets[1:]] - csum[seg_offsets[:-1]]
+def _fill_random(rng: np.random.Generator, out: np.ndarray) -> np.ndarray:
+    """``rng.random`` into a preallocated buffer (dtype-matched)."""
+    rng.random(out=out, dtype=out.dtype.type)
+    return out
 
 
 def sample_chunk(
@@ -70,6 +90,7 @@ def sample_chunk(
     alpha: float,
     beta: float,
     rng: np.random.Generator,
+    workspace: Workspace | None = None,
 ) -> SampleResult:
     """Sample a new topic for every token of ``chunk``.
 
@@ -89,6 +110,10 @@ def sample_chunk(
         Hyper-parameters of Eq. 1.
     rng:
         Per-(iteration, chunk) generator from :class:`~repro.core.rng.RngPool`.
+    workspace:
+        Optional :class:`~repro.perf.Workspace` supplying reusable
+        buffers and the compute dtype.  ``None`` allocates fresh float64
+        buffers (identical results, more allocator churn).
 
     Returns
     -------
@@ -109,53 +134,139 @@ def sample_chunk(
             stats=SamplingStats(0, 0, 0, 0, 0, 0, num_topics, tree_depth_for(num_topics)),
         )
 
-    z_old = topics.astype(np.int64)
-    words = chunk.token_words.astype(np.int64)
-    docs = chunk.token_docs.astype(np.int64)
+    ws = workspace if workspace is not None else Workspace()
     beta_v = beta * num_words
-    denom = topic_totals.astype(np.float64) + beta_v  # K
+
+    # ---- chunk-invariant data (CPU preprocessing, done once per chunk) ---
+    def _build_static():
+        words64 = chunk.token_words.astype(np.int64)
+        docs64 = chunk.token_docs.astype(np.int64)
+        spans = np.diff(chunk.word_offsets)
+        present = np.nonzero(spans)[0]
+        counts_present = spans[present]
+        # token -> present-word column index (tokens are word-first sorted).
+        wcol = np.repeat(
+            np.arange(present.shape[0], dtype=np.int64), counts_present
+        )
+        for a in (words64, docs64, present, wcol):
+            a.setflags(write=False)
+        return words64, docs64, present, wcol
+
+    words, docs, present, wcol = ws.memo(
+        ("chunk-static", int(chunk.spec.chunk_id)), _build_static
+    )
+    wp = present.shape[0]
+
+    z_old = ws.take("z_old", n, _I64)
+    np.copyto(z_old, topics, casting="safe")
 
     # ---- per-word shared structures (the block-shared p* tree) ----------
-    spans = np.diff(chunk.word_offsets)
-    present = np.nonzero(spans)[0]
-    wp = present.shape[0]
-    counts_present = spans[present]
+    denom = ws.take("denom", num_topics)
+    np.add(topic_totals, beta_v, out=denom, casting="same_kind")  # K
+    phi_g = ws.take("phi_gather", (num_topics, wp), phi.dtype)
+    np.take(phi, present, axis=1, out=phi_g)
     # p_sub[k, c] = p*(k) for present word c; one column per word.
-    p_sub = (phi[:, present].astype(np.float64) + beta) / denom[:, None]
-    p_w = p_sub.sum(axis=0)  # per-word total P = sum_k p*(k)
-    cdf_sub = np.cumsum(p_sub, axis=0)  # K x Wp prefix sums (index tree)
+    p_sub = ws.take("p_sub", (num_topics, wp))
+    np.add(phi_g, beta, out=p_sub, casting="same_kind")
+    np.divide(p_sub, denom[:, None], out=p_sub)
+    p_w = ws.take("p_w", wp)  # per-word total P = sum_k p*(k)
+    np.sum(p_sub, axis=0, out=p_w)
+    cdf_sub = ws.take("cdf_sub", (num_topics, wp))  # K x Wp prefix sums
+    np.cumsum(p_sub, axis=0, out=cdf_sub)
     # Column-major flattened, per-column normalised CDF for one-shot
     # vectorised per-column searches (the SIMD index-tree descent).
-    flat_cdf = (cdf_sub / p_w[None, :]).T.ravel()
-    flat_cdf += np.repeat(np.arange(wp, dtype=np.float64), num_topics)
-
-    # token -> present-word column index (tokens are word-first sorted).
-    wcol = np.repeat(np.arange(wp, dtype=np.int64), counts_present)
+    norm = ws.take("norm_cdf", (num_topics, wp))
+    np.divide(cdf_sub, p_w[None, :], out=norm)
+    flat2d = ws.take("flat_cdf", (wp, num_topics))
+    np.copyto(flat2d, norm.T)
+    np.add(flat2d, ws.arange(wp)[:, None], out=flat2d, casting="same_kind")
+    flat_cdf = flat2d.reshape(-1)
 
     # ---- per-token exclusion scalars ------------------------------------
-    phi_zv = phi[z_old, words].astype(np.float64)
-    tot_z = topic_totals[z_old].astype(np.float64)
-    p_star_z = (phi_zv + beta) / (tot_z + beta_v)
-    p_z_excl = (phi_zv - 1.0 + beta) / (tot_z - 1.0 + beta_v)
+    tokflat = ws.take("tok_flat_idx", n, _I64)
+    np.multiply(z_old, num_words, out=tokflat)
+    np.add(tokflat, words, out=tokflat)
+    phi_zv = ws.take("phi_zv", n, phi.dtype)
+    np.take(phi.reshape(-1), tokflat, out=phi_zv)
+    tot_z = ws.take("tot_z", n, topic_totals.dtype)
+    np.take(topic_totals, z_old, out=tot_z)
+    p_star_z = ws.take("p_star_z", n)
+    den_z = ws.take("den_z", n)
+    np.add(phi_zv, beta, out=p_star_z, casting="same_kind")
+    np.add(tot_z, beta_v, out=den_z, casting="same_kind")
+    np.divide(p_star_z, den_z, out=p_star_z)
+    p_z_excl = ws.take("p_z_excl", n)
+    np.subtract(phi_zv, 1.0, out=p_z_excl, casting="same_kind")
+    np.add(p_z_excl, beta, out=p_z_excl)
+    np.subtract(tot_z, 1.0, out=den_z, casting="same_kind")
+    np.add(den_z, beta_v, out=den_z)
+    np.divide(p_z_excl, den_z, out=p_z_excl)
 
     # ---- compute S: walk each token's theta row (sum Kd work) -----------
-    seg_offsets, gcols_raw, gvals, lens = gather_rows(theta, docs)
+    starts = ws.take("row_starts", n, _I64)
+    np.take(theta.indptr, docs, out=starts)
+    lens = ws.take("row_lens", n, _I64)
+    np.take(theta.indptr[1:], docs, out=lens)
+    np.subtract(lens, starts, out=lens)
+    seg_offsets = ws.take("seg_offsets", n + 1, _I64)
+    seg_offsets[0] = 0
+    np.cumsum(lens, out=seg_offsets[1:])
     total_nnz = int(seg_offsets[-1])
     # Token/topic products fit 32-bit arithmetic at any realistic scale;
-    # fall back to 64-bit only when n*K would overflow.
+    # fall back to 64-bit only when n*K would overflow (index bandwidth
+    # on the nnz-sized arrays is the kernel's memory bottleneck).
     wide = (n * num_topics >= 2**31) or (num_topics * wp >= 2**31)
-    idx_t = np.int64 if wide else np.int32
-    gcols = gcols_raw.astype(idx_t, copy=False)
-    gvals_f = gvals.astype(np.float64)
-    wcol_seg = np.repeat(wcol.astype(idx_t, copy=False), lens)
-    # flat gather from p_sub: row-major (k, c) -> k*Wp + c
-    w1 = gvals_f * p_sub.ravel()[gcols * idx_t(wp) + wcol_seg]
+    idx_t = _I64 if wide else _I32
+    bnd = seg_offsets[1:-1]  # segment-start slots for tokens 1..n-1
+
+    # Every nnz-sized helper below is piecewise-constant (or piecewise
+    # arithmetic) over the segments, so it is materialised with a
+    # boundary-delta scatter + cumsum — sequential passes, no gathers.
+    # Offsets are strictly increasing because every token's document has
+    # at least one theta non-zero.
+    seg_ids = ws.zeros("seg_ids", total_nnz, idx_t)
+    seg_ids[bnd] = 1
+    np.cumsum(seg_ids, dtype=idx_t, out=seg_ids)
+    # pos[j] walks each segment [starts[i], starts[i]+lens[i]): delta 1
+    # inside a segment, boundary delta rebases to the next row's start.
+    pos = ws.take("gather_pos", total_nnz, idx_t)
+    pos[...] = 1
+    pos[0] = starts[0]
+    db = ws.take("boundary_delta", n - 1, _I64)
+    np.subtract(starts[1:], starts[:-1], out=db)
+    np.subtract(db, lens[:-1], out=db)
+    np.add(db, 1, out=db)
+    pos[bnd] = db
+    np.cumsum(pos, dtype=idx_t, out=pos)
+    # wcol_seg[j] = wcol[seg_ids[j]] via the same delta trick.
+    wcol_seg = ws.zeros("wcol_seg", total_nnz, idx_t)
+    wcol_seg[0] = wcol[0]
+    dwc = ws.take("wcol_delta", n - 1, idx_t)
+    np.subtract(wcol[1:], wcol[:-1], out=dwc, casting="same_kind")
+    wcol_seg[bnd] = dwc
+    np.cumsum(wcol_seg, dtype=idx_t, out=wcol_seg)
+
+    gcols = ws.take("gcols", total_nnz, theta.indices.dtype)
+    np.take(theta.indices, pos, out=gcols)
+    gvals = ws.take("gvals", total_nnz, theta.data.dtype)
+    np.take(theta.data, pos, out=gvals)
+    # flat gather from p_sub: row-major (k, c) -> k*Wp + c, gathered
+    # straight into w1 and scaled in place (one nnz-sized pass saved).
+    flat_pos = ws.take("flat_pos", total_nnz, idx_t)
+    np.multiply(gcols, idx_t.type(wp), out=flat_pos)
+    np.add(flat_pos, wcol_seg, out=flat_pos)
+    w1 = ws.take("w1", total_nnz)
+    np.take(p_sub.reshape(-1), flat_pos, out=w1)
+    np.multiply(w1, gvals, out=w1)
 
     # locate each token's own (d, z_old) entry inside its row segment;
     # columns are sorted within rows, so global keys are sorted.
-    seg_ids = np.repeat(np.arange(n, dtype=idx_t), lens)
-    keys = seg_ids * num_topics + gcols
-    targets_z = np.arange(n, dtype=idx_t) * num_topics + z_old.astype(idx_t)
+    keys = flat_pos  # flat_pos is dead past this point; reuse its buffer
+    np.multiply(seg_ids, idx_t.type(num_topics), out=keys)
+    np.add(keys, gcols, out=keys)
+    targets_z = ws.take("targets_z", n, idx_t)
+    np.multiply(ws.arange(n), num_topics, out=targets_z, casting="same_kind")
+    np.add(targets_z, z_old, out=targets_z, casting="same_kind")
     pos_z = np.searchsorted(keys, targets_z)
     if pos_z.max(initial=-1) >= keys.shape[0] or not np.array_equal(
         keys[pos_z], targets_z
@@ -164,50 +275,91 @@ def sample_chunk(
             "token's current topic missing from its theta row — theta is "
             "out of sync with the topic assignments"
         )
-    w1_adj = w1  # modified in place; w1 is not reused unadjusted
-    w1_adj[pos_z] = (gvals_f[pos_z] - 1.0) * p_z_excl
+    gv_z = ws.take("gvals_at_z", n, theta.data.dtype)
+    np.take(gvals, pos_z, out=gv_z)
+    adj = ws.take("w1_adj", n)
+    np.subtract(gv_z, 1.0, out=adj, casting="same_kind")
+    np.multiply(adj, p_z_excl, out=adj)
+    w1[pos_z] = adj
 
     # One cumulative sum serves both the segment totals S and the
     # bucket-1 prefix-sum search below (the per-warp tree, built once).
-    gcs = np.zeros(total_nnz + 1, dtype=np.float64)
-    np.cumsum(w1_adj, out=gcs[1:])
-    s = gcs[seg_offsets[1:]] - gcs[seg_offsets[:-1]]
+    gcs = ws.take("gcs", total_nnz + 1)
+    gcs[0] = 0.0
+    np.cumsum(w1, out=gcs[1:])
+    s = ws.take("s", n)
+    base = ws.take("s_base", n)
+    np.take(gcs, seg_offsets[1:], out=s)
+    np.take(gcs, seg_offsets[:-1], out=base)
+    np.subtract(s, base, out=s)
     np.maximum(s, 0.0, out=s)  # guard cancellation noise
 
     # ---- compute Q (shared P with O(1) exclusion fix) --------------------
-    q = alpha * (p_w[wcol] - p_star_z + p_z_excl)
+    pw_tok = ws.take("pw_tok", n)
+    np.take(p_w, wcol, out=pw_tok)
+    w2 = ws.take("w2", n)
+    np.subtract(pw_tok, p_star_z, out=w2)
+    np.add(w2, p_z_excl, out=w2)
+    q = ws.take("q", n)
+    np.multiply(w2, alpha, out=q)
 
     # ---- bucket choice: u < S / (S + Q)  (Algorithm 2 line 6) ------------
-    u_sel = rng.random(n)
-    take_p1 = u_sel * (s + q) < s
+    u_sel = _fill_random(rng, ws.take("u_sel", n))
+    tmp_n = ws.take("tmp_n", n)
+    np.add(s, q, out=tmp_n)
+    np.multiply(u_sel, tmp_n, out=tmp_n)
+    take_p1 = ws.take("take_p1", n, _BOOL)
+    np.less(tmp_n, s, out=take_p1)
 
     # ---- draw from p1: prefix-sum search in the private (per-warp) tree --
-    t1 = rng.random(n) * s
-    base = gcs[seg_offsets[:-1]]
-    pos1 = np.searchsorted(gcs[1:], base + t1, side="right")
-    pos1 = np.clip(pos1, seg_offsets[:-1], seg_offsets[1:] - 1)
-    z_p1 = gcols[pos1]
+    t1 = _fill_random(rng, ws.take("t1", n))
+    np.multiply(t1, s, out=t1)
+    np.add(base, t1, out=t1)
+    pos1 = np.searchsorted(gcs[1:], t1, side="right")
+    clip_hi = ws.take("clip_hi", n, _I64)
+    np.subtract(seg_offsets[1:], 1, out=clip_hi)
+    np.clip(pos1, seg_offsets[:-1], clip_hi, out=pos1)
+    z_p1 = ws.take("z_p1", n, theta.indices.dtype)
+    np.take(gcols, pos1, out=z_p1)
 
     # ---- draw from p2: shifted-CDF search in the shared tree -------------
     # The exclusion changes one atom (z_old: p_star_z -> p_z_excl), which
     # shifts the CDF by delta for all k >= z_old.  Split the target into
     # three cases instead of rebuilding the shared tree per token.
-    w2 = p_w[wcol] - p_star_z + p_z_excl
-    t2 = rng.random(n) * w2
-    cdf_before_z = cdf_sub[z_old, wcol] - p_star_z
-    case_a = t2 < cdf_before_z
-    case_b = (~case_a) & (t2 < cdf_before_z + p_z_excl)
-    target = np.where(case_a, t2, t2 - p_z_excl + p_star_z)
+    t2 = _fill_random(rng, ws.take("t2", n))
+    np.multiply(t2, w2, out=t2)
+    cbz_idx = tokflat  # tokflat is dead past this point; reuse it
+    np.multiply(z_old, wp, out=cbz_idx)
+    np.add(cbz_idx, wcol, out=cbz_idx)
+    cbz = ws.take("cdf_before_z", n)
+    np.take(cdf_sub.reshape(-1), cbz_idx, out=cbz)
+    np.subtract(cbz, p_star_z, out=cbz)
+    case_a = ws.take("case_a", n, _BOOL)
+    np.less(t2, cbz, out=case_a)
+    np.add(cbz, p_z_excl, out=tmp_n)
+    case_b = ws.take("case_b", n, _BOOL)
+    np.less(t2, tmp_n, out=case_b)
+    not_a = ws.take("not_a", n, _BOOL)
+    np.logical_not(case_a, out=not_a)
+    np.logical_and(case_b, not_a, out=case_b)
+    target = ws.take("p2_target", n)
+    np.subtract(t2, p_z_excl, out=target)
+    np.add(target, p_star_z, out=target)
+    np.copyto(target, t2, where=case_a)
     # guard: keep targets strictly inside (0, P) for the normalised search
-    np.minimum(target, np.nextafter(p_w[wcol], 0.0), out=target)
+    np.nextafter(pw_tok, 0.0, out=tmp_n)
+    np.minimum(target, tmp_n, out=target)
     np.maximum(target, 0.0, out=target)
-    pos2 = np.searchsorted(
-        flat_cdf, wcol + target / p_w[wcol], side="right"
-    ) - wcol * num_topics
-    z_p2 = np.clip(pos2, 0, num_topics - 1)
-    z_p2 = np.where(case_b, z_old, z_p2)
+    np.divide(target, pw_tok, out=target)
+    np.add(target, wcol, out=target, casting="same_kind")
+    pos2 = np.searchsorted(flat_cdf, target, side="right")
+    base2 = ws.take("p2_base", n, _I64)
+    np.multiply(wcol, num_topics, out=base2)
+    np.subtract(pos2, base2, out=pos2)
+    np.clip(pos2, 0, num_topics - 1, out=pos2)
+    np.copyto(pos2, z_old, where=case_b)
 
-    z_new = np.where(take_p1, z_p1, z_p2).astype(np.int64)
+    z_new = np.where(take_p1, z_p1, pos2)  # fresh: this is the output
 
     stats = SamplingStats(
         num_tokens=n,

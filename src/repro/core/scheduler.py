@@ -38,16 +38,24 @@ from repro.core.updates import apply_phi_update
 from repro.gpusim.cache import gpu_l1_index_factor
 from repro.gpusim.device import SimulatedGPU
 from repro.gpusim.stream import Stream, barrier
+from repro.perf import Workspace
 
 
 @dataclass
 class DeviceState:
-    """One GPU's replica and its round-robin chunk assignment."""
+    """One GPU's replica and its round-robin chunk assignment.
+
+    ``workspace`` is the device's reusable kernel arena: the sampling
+    kernel draws every large temporary from it, so after the first pass
+    over the device's chunks the steady state allocates (almost)
+    nothing — the NumPy analogue of static device buffers.
+    """
 
     gpu: SimulatedGPU
     phi: np.ndarray  # int32[K, V] replica
     totals: np.ndarray  # int64[K] replica
     chunk_ids: list[int] = field(default_factory=list)
+    workspace: Workspace | None = None
 
 
 @dataclass(frozen=True)
@@ -98,6 +106,7 @@ def run_chunk_kernels(
     result = sample_chunk(
         cs.chunk, cs.topics, cs.theta, dev.phi, dev.totals,
         alpha=config.effective_alpha, beta=config.effective_beta, rng=rng,
+        workspace=dev.workspace,
     )
     stats = result.stats
 

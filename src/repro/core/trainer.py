@@ -40,6 +40,7 @@ from repro.gpusim.device import SimulatedGPU
 from repro.gpusim.platform import Platform, VOLTA_PLATFORM
 from repro.gpusim.spec import DeviceSpec
 from repro.gpusim.stream import barrier
+from repro.perf import Workspace
 
 
 @dataclass(frozen=True)
@@ -111,6 +112,7 @@ class CuLdaTrainer:
                 phi=self.state.phi.copy(),
                 totals=self.state.topic_totals.copy(),
                 chunk_ids=[c.chunk_id for c in per_gpu[g]],
+                workspace=Workspace(config.compute_dtype),
             )
             self.devices.append(dev)
         self._allocate_device_memory()
@@ -229,7 +231,7 @@ class CuLdaTrainer:
                     iteration=it,
                     sim_seconds=dur,
                     cumulative_seconds=t1,
-                    tokens_per_sec=total_tokens / dur if dur > 0 else float("inf"),
+                    tokens_per_sec=total_tokens / dur if dur > 0 else 0.0,
                     log_likelihood_per_token=ll,
                     mean_kd=outcome.sum_kd / total_tokens if total_tokens else 0.0,
                     p1_fraction=(
@@ -259,8 +261,17 @@ class CuLdaTrainer:
             "chunks_per_gpu": self.config.chunks_per_gpu,
             "alpha": self.config.effective_alpha,
             "beta": self.config.effective_beta,
+            "compute_dtype": self.config.compute_dtype,
             "seed": self.config.seed,
         }
+
+    def workspace_stats(self) -> list[dict]:
+        """Per-device kernel-arena occupancy (see docs/PERFORMANCE.md)."""
+        return [
+            dev.workspace.describe()
+            for dev in self.devices
+            if dev.workspace is not None
+        ]
 
     def kernel_breakdown(self) -> dict[str, float]:
         """Aggregated share of simulated time per kernel (Table 5 rows).

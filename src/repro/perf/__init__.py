@@ -1,0 +1,21 @@
+"""Kernel performance layer: reusable workspaces and cached tables.
+
+The paper's contribution is making collapsed Gibbs sampling fast; this
+package removes the Python-side costs that stand between the NumPy
+expression of those kernels and the hardware:
+
+- :class:`~repro.perf.workspace.Workspace` — a grow-only buffer pool
+  keyed by (role, dtype) so steady-state sampling iterations reuse the
+  same arrays instead of reallocating ~15 temporaries per chunk pass;
+- :mod:`~repro.perf.tables` — cached ``lnG(n + offset)`` lookup tables
+  turning the likelihood's per-element ``gammaln`` calls into gathers.
+
+Everything here is value-preserving by construction: a kernel given a
+workspace produces bit-identical float64 results to the same kernel
+allocating fresh arrays (asserted by tests/test_golden_regression.py).
+"""
+
+from repro.perf.tables import counts_of_counts_lngamma, lngamma_table
+from repro.perf.workspace import Workspace
+
+__all__ = ["Workspace", "counts_of_counts_lngamma", "lngamma_table"]

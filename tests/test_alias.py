@@ -106,3 +106,58 @@ class TestColumns:
     def test_rejects_1d(self):
         with pytest.raises(ValueError):
             build_alias_columns(np.ones(3), offset=0.1)
+
+
+class TestBatchedBuild:
+    """build_alias_tables must replay the scalar build bit-for-bit."""
+
+    def _random_rows(self, seed, num_rows=40, n=37, zero_frac=0.6):
+        rng = np.random.default_rng(seed)
+        w = rng.integers(0, 50, size=(num_rows, n)).astype(np.float64)
+        w[rng.random((num_rows, n)) < zero_frac] = 0.0
+        return w + 0.01  # phi + beta shape: strictly positive
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_bit_identical_to_scalar_build(self, seed):
+        from repro.baselines.alias import build_alias_tables
+
+        w = self._random_rows(seed)
+        prob, alias = build_alias_tables(w)
+        for r in range(w.shape[0]):
+            t = AliasTable(w[r])
+            assert np.array_equal(t.prob, prob[r])
+            assert np.array_equal(t.alias, alias[r])
+
+    def test_uniform_rows(self):
+        from repro.baselines.alias import build_alias_tables
+
+        w = np.ones((3, 8))
+        prob, alias = build_alias_tables(w)
+        assert np.array_equal(prob, np.ones((3, 8)))
+        assert np.array_equal(alias, np.tile(np.arange(8), (3, 1)))
+
+    def test_single_column(self):
+        from repro.baselines.alias import build_alias_tables
+
+        prob, alias = build_alias_tables(np.array([[3.0], [1.0]]))
+        assert np.array_equal(prob, np.ones((2, 1)))
+        assert np.array_equal(alias, np.zeros((2, 1), dtype=np.int64))
+
+    def test_rejects_bad_input(self):
+        from repro.baselines.alias import build_alias_tables
+
+        with pytest.raises(ValueError):
+            build_alias_tables(np.ones(4))  # 1-D
+        with pytest.raises(ValueError):
+            build_alias_tables(np.array([[1.0, -1.0]]))
+        with pytest.raises(ValueError):
+            build_alias_tables(np.array([[0.0, 0.0]]))
+
+    @given(weights_strategy)
+    def test_matches_scalar_on_hypothesis_rows(self, w):
+        from repro.baselines.alias import build_alias_tables
+
+        prob, alias = build_alias_tables(w[None, :])
+        t = AliasTable(w)
+        assert np.array_equal(t.prob, prob[0])
+        assert np.array_equal(t.alias, alias[0])

@@ -1,0 +1,101 @@
+"""Golden fixed-seed regressions: the perf overhaul is value-preserving.
+
+``tests/golden/seed_assignments.json`` holds topic assignments captured
+on the pre-overhaul seed tree (commit bb018e3) for fixed seeds.  These
+tests replay the same runs on the current tree and assert the draws are
+**bit-identical** on the default float64 paths:
+
+- culda under both work schedules (workspace-backed kernel);
+- plain CGS and exact-mode SparseLDA (hoisted sequential loops);
+- LightLDA (batched Vose alias builds).
+
+Any arithmetic reordering, RNG stream change, or buffer-aliasing bug in
+the kernels shows up here as a hard failure.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import create_trainer
+from repro.baselines.lightlda import LightLdaTrainer
+from repro.baselines.plain_cgs import PlainCgsSampler
+from repro.baselines.sparselda import SparseLdaSampler
+from repro.corpus.synthetic import SyntheticSpec, generate_synthetic_corpus
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "golden" / "seed_assignments.json").read_text()
+)
+
+
+def expected(case: str) -> np.ndarray:
+    return np.asarray(GOLDEN["cases"][case]["z"], dtype=np.int64)
+
+
+def meta(case: str) -> dict:
+    return GOLDEN["cases"][case]["meta"]
+
+
+@pytest.fixture(scope="module")
+def golden_corpus():
+    return generate_synthetic_corpus(
+        SyntheticSpec(**GOLDEN["corpus"]["spec"]), seed=GOLDEN["corpus"]["seed"]
+    )
+
+
+class TestCuLdaGolden:
+    @pytest.mark.parametrize("case", ["culda_ws1", "culda_ws2"])
+    def test_assignments_bit_identical(self, golden_corpus, case):
+        m = meta(case)
+        trainer = create_trainer(
+            "culda",
+            golden_corpus,
+            topics=m["topics"],
+            seed=m["seed"],
+            gpus=m["gpus"],
+            chunks_per_gpu=m["chunks_per_gpu"],
+        )
+        trainer.fit(m["iterations"], likelihood_every=0)
+        z = np.concatenate(
+            [cs.topics.astype(np.int64) for cs in trainer.state.chunks]
+        )
+        assert np.array_equal(z, expected(case))
+
+    def test_workspace_actually_reused(self, golden_corpus):
+        """The golden run must go through the pooled-buffer path."""
+        m = meta("culda_ws1")
+        trainer = create_trainer(
+            "culda", golden_corpus, topics=m["topics"], seed=m["seed"]
+        )
+        trainer.fit(m["iterations"], likelihood_every=0)
+        stats = trainer.inner.workspace_stats()
+        assert stats and stats[0]["hits"] > stats[0]["misses"]
+
+
+class TestSequentialGolden:
+    def test_sparselda_exact(self, golden_corpus):
+        m = meta("sparselda_exact")
+        s = SparseLdaSampler(
+            golden_corpus, num_topics=m["topics"], seed=m["seed"]
+        )
+        assert s.batch_words is False  # the golden pins the exact mode
+        for _ in range(m["sweeps"]):
+            s.sweep()
+        assert np.array_equal(s.model.z, expected("sparselda_exact"))
+
+    def test_plain_cgs(self, golden_corpus):
+        m = meta("plain_cgs")
+        p = PlainCgsSampler(golden_corpus, num_topics=m["topics"], seed=m["seed"])
+        for _ in range(m["sweeps"]):
+            p.sweep()
+        assert np.array_equal(p.model.z, expected("plain_cgs"))
+
+    def test_lightlda(self, golden_corpus):
+        m = meta("lightlda")
+        t = LightLdaTrainer(golden_corpus, num_topics=m["topics"], seed=m["seed"])
+        t.train(m["iterations"], compute_likelihood_every=0)
+        assert np.array_equal(t.model.z, expected("lightlda"))

@@ -1,0 +1,60 @@
+"""Smoke test for the wall-clock benchmark (the CI perf artifact)."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def test_bench_wallclock_writes_report(tmp_path):
+    out = tmp_path / "BENCH_wallclock.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(REPO / "benchmarks" / "bench_wallclock.py"),
+            "--out", str(out),
+            "--scale", "0.15",
+            "--topics", "16",
+            "--warmup", "0",
+            "--iterations", "1",
+        ],
+        env=env,
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    report = json.loads(out.read_text())
+    algos = report["algorithms"]
+    for name in (
+        "culda", "plain_cgs", "sparselda", "warplda",
+        "lightlda", "saberlda", "ldastar",
+    ):
+        assert algos[name]["after_tokens_per_sec"] > 0
+        # scaled smoke run: protocol differs from the committed baseline,
+        # so no before/after pairing may be fabricated
+        assert "speedup" not in algos[name]
+    assert "sparselda_exact" in report["extras"]
+    assert report["protocol"]["num_tokens"] > 0
+
+
+def test_committed_report_has_required_speedups():
+    """The committed trajectory must carry the acceptance numbers."""
+    report = json.loads((REPO / "BENCH_wallclock.json").read_text())
+    algos = report["algorithms"]
+    assert len(algos) == 7
+    for entry in algos.values():
+        assert entry["before_tokens_per_sec"] > 0
+        assert entry["after_tokens_per_sec"] > 0
+    assert algos["sparselda"]["speedup"] >= 3.0
+    assert algos["lightlda"]["speedup"] >= 3.0
