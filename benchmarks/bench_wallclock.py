@@ -16,18 +16,31 @@ Usage::
 
     PYTHONPATH=src python benchmarks/bench_wallclock.py \
         --out BENCH_wallclock.json
+    PYTHONPATH=src python benchmarks/bench_wallclock.py \
+        --preset medium --execution process --num-workers 4
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --scaling-sweep
 
 Protocol: per algorithm, construct through the registry (the same path
 ``repro train --algo <name>`` takes), run ``--warmup`` untimed
 iterations, then time single iterations with likelihood evaluation off
 and keep the fastest (min over ``--iterations``, robust to scheduler
 noise).  ``tokens/sec = T / best_iteration_seconds``.
+
+``--execution process`` measures the algorithms that support the
+parallel engine (culda, ldastar) on OS workers *and* pairs each with a
+same-corpus serial measurement (``process_speedup``).  The
+``--scaling-sweep`` mode records a real device/worker scaling curve —
+culda with 4 simulated devices executed serially and with 1/2/4 OS
+workers on the medium preset — under ``report["scaling"]``.  Interpret
+both against ``environment.cpu_count``: process mode cannot beat serial
+without real cores to run on.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -37,14 +50,28 @@ import numpy as np
 from repro.api import algorithm_names, create_trainer
 from repro.corpus.synthetic import SyntheticSpec, generate_synthetic_corpus
 
-#: Corpus shape of the wall-clock protocol (~20k tokens at scale 1.0).
-SMALL_SPEC = {
-    "name": "wallclock-small",
-    "num_docs": 400,
-    "num_words": 800,
-    "mean_doc_len": 50.0,
-    "doc_len_sigma": 0.7,
-    "num_topics": 20,
+#: Corpus shapes of the wall-clock protocol, by preset name.
+#: ``small`` (~20k tokens) seeds the per-algorithm trajectory (matches
+#: the committed seed baseline); ``medium`` (~120k tokens) is the
+#: scaling-sweep workload, big enough for per-iteration parallelism to
+#: outweigh the process-barrier overhead.
+PRESETS = {
+    "small": {
+        "name": "wallclock-small",
+        "num_docs": 400,
+        "num_words": 800,
+        "mean_doc_len": 50.0,
+        "doc_len_sigma": 0.7,
+        "num_topics": 20,
+    },
+    "medium": {
+        "name": "wallclock-medium",
+        "num_docs": 1600,
+        "num_words": 1600,
+        "mean_doc_len": 75.0,
+        "doc_len_sigma": 0.7,
+        "num_topics": 20,
+    },
 }
 CORPUS_SEED = 1234
 DEFAULT_TOPICS = 64
@@ -52,11 +79,28 @@ DEFAULT_TOPICS = 64
 #: Keyword overrides keeping simulated-cluster algorithms cheap to build.
 SMALL_SCALE_KWARGS = {"ldastar": {"workers": 4}}
 
+#: Worker counts of the --scaling-sweep curve (plus a serial anchor).
+SWEEP_WORKERS = (1, 2, 4)
+SWEEP_DEVICES = 4
+
+#: Algorithms whose registry surface accepts the parallel-engine knobs,
+#: with the device-loop shape the process measurement runs on.  culda's
+#: registry default of one simulated device would cap the engine at one
+#: worker, so the process path measures the 4-device (Pascal, Table 2)
+#: configuration — serial and process alike, for a fair pairing;
+#: ldastar's group count comes from its 4 cluster workers
+#: (SMALL_SCALE_KWARGS).
+PARALLEL_ALGOS = ("culda", "ldastar")
+PROCESS_BASE_KWARGS = {
+    "culda": {"gpus": SWEEP_DEVICES, "platform": "Pascal"},
+    "ldastar": {},
+}
+
 DEFAULT_BASELINE = Path(__file__).resolve().parent / "wallclock_baseline_seed.json"
 
 
-def make_corpus(scale: float = 1.0):
-    spec = dict(SMALL_SPEC)
+def make_corpus(scale: float = 1.0, preset: str = "small"):
+    spec = dict(PRESETS[preset])
     if scale != 1.0:
         spec["num_docs"] = max(8, int(round(spec["num_docs"] * scale)))
         spec["num_words"] = max(16, int(round(spec["num_words"] * scale)))
@@ -75,16 +119,71 @@ def measure_algorithm(
     kwargs = dict(SMALL_SCALE_KWARGS.get(name, {}))
     kwargs.update(extra_kwargs or {})
     trainer = create_trainer(name, corpus, topics=topics, seed=0, **kwargs)
-    if warmup:
-        trainer.partial_fit(warmup, compute_likelihood=False)
-    best = float("inf")
-    for _ in range(iterations):
-        t0 = time.perf_counter()
-        trainer.partial_fit(1, compute_likelihood=False)
-        best = min(best, time.perf_counter() - t0)
+    try:
+        if warmup:
+            trainer.partial_fit(warmup, compute_likelihood=False)
+        best = float("inf")
+        for _ in range(iterations):
+            t0 = time.perf_counter()
+            trainer.partial_fit(1, compute_likelihood=False)
+            best = min(best, time.perf_counter() - t0)
+    finally:
+        close = getattr(trainer, "close", None)
+        if callable(close):
+            close()
     return {
         "tokens_per_sec": corpus.num_tokens / best,
         "seconds_per_iteration": best,
+    }
+
+
+def run_scaling_sweep(
+    topics: int,
+    warmup: int,
+    iterations: int,
+    scale: float = 1.0,
+    workers: tuple[int, ...] = SWEEP_WORKERS,
+) -> dict:
+    """culda device/worker scaling curve on the medium preset.
+
+    One corpus, ``SWEEP_DEVICES`` simulated devices, identical draws in
+    every configuration (execution mode cannot change the chain) — only
+    the wall clock moves.
+    """
+    corpus, spec = make_corpus(scale, preset="medium")
+    # Pascal is the Table 2 platform with 4 GPUs (the sweep's G).
+    base = {"gpus": SWEEP_DEVICES, "platform": "Pascal"}
+    serial = measure_algorithm(
+        "culda", corpus, topics, warmup, iterations, extra_kwargs=base
+    )
+    points = {}
+    for w in workers:
+        proc = measure_algorithm(
+            "culda", corpus, topics, warmup, iterations,
+            extra_kwargs={**base, "execution": "process", "num_workers": w},
+        )
+        points[str(w)] = {
+            "tokens_per_sec": proc["tokens_per_sec"],
+            "seconds_per_iteration": proc["seconds_per_iteration"],
+            "speedup_vs_serial": (
+                proc["tokens_per_sec"] / serial["tokens_per_sec"]
+            ),
+        }
+        print(
+            f"scaling  {SWEEP_DEVICES} devices / {w} workers "
+            f"{proc['tokens_per_sec'] / 1e3:10.1f}k tok/s   "
+            f"{points[str(w)]['speedup_vs_serial']:5.2f}x vs serial"
+        )
+    return {
+        "preset": "medium",
+        "corpus": {"spec": spec, "seed": CORPUS_SEED, "num_tokens": corpus.num_tokens},
+        "devices": SWEEP_DEVICES,
+        "serial": serial,
+        "process_workers": points,
+        "note": (
+            "same draws in every configuration; speedups bounded by "
+            "environment.cpu_count"
+        ),
     }
 
 
@@ -96,8 +195,12 @@ def run(
     scale: float = 1.0,
     algos: list[str] | None = None,
     baseline_path: Path | None = DEFAULT_BASELINE,
+    preset: str = "small",
+    execution: str = "serial",
+    num_workers: int | None = None,
+    scaling_sweep: bool = False,
 ) -> dict:
-    corpus, spec = make_corpus(scale)
+    corpus, spec = make_corpus(scale, preset=preset)
     names = algos or algorithm_names()
     baseline = None
     if baseline_path is not None and Path(baseline_path).exists():
@@ -115,12 +218,43 @@ def run(
 
     results: dict[str, dict] = {}
     for name in names:
-        after = measure_algorithm(name, corpus, topics, warmup, iterations)
+        process_run = execution == "process" and name in PARALLEL_ALGOS
+        base_kwargs = dict(PROCESS_BASE_KWARGS[name]) if process_run else {}
+        exec_kwargs: dict = dict(base_kwargs)
+        if process_run:
+            exec_kwargs.update(
+                {"execution": "process", "num_workers": num_workers}
+            )
+        after = measure_algorithm(
+            name, corpus, topics, warmup, iterations, extra_kwargs=exec_kwargs
+        )
         entry = {
             "after_tokens_per_sec": after["tokens_per_sec"],
             "after_seconds_per_iteration": after["seconds_per_iteration"],
         }
-        if baseline and name in baseline.get("algorithms", {}):
+        if process_run:
+            from repro.parallel import resolve_num_workers
+
+            num_groups = (
+                SWEEP_DEVICES if name == "culda"
+                else SMALL_SCALE_KWARGS["ldastar"]["workers"]
+            )
+            # paired serial run on the same device-loop shape
+            serial = measure_algorithm(
+                name, corpus, topics, warmup, iterations,
+                extra_kwargs=base_kwargs,
+            )
+            entry["execution"] = "process"
+            entry["num_workers_requested"] = num_workers
+            entry["num_workers"] = resolve_num_workers(num_workers, num_groups)
+            entry["devices"] = num_groups
+            entry["serial_tokens_per_sec"] = serial["tokens_per_sec"]
+            entry["process_speedup"] = (
+                after["tokens_per_sec"] / serial["tokens_per_sec"]
+            )
+        # the seed baseline ran the registry-default shape; a process run
+        # measures a different device-loop shape, so no before/after pair
+        if not process_run and baseline and name in baseline.get("algorithms", {}):
             before = baseline["algorithms"][name]
             entry["before_tokens_per_sec"] = before["tokens_per_sec"]
             entry["before_seconds_per_iteration"] = before[
@@ -131,9 +265,11 @@ def run(
             )
         results[name] = entry
         spd = entry.get("speedup")
+        pspd = entry.get("process_speedup")
         print(
             f"{name:12s} {after['tokens_per_sec'] / 1e3:10.1f}k tok/s"
             + (f"   {spd:5.2f}x vs seed" if spd else "")
+            + (f"   {pspd:5.2f}x vs serial" if pspd else "")
         )
 
     extras: dict[str, dict] = {}
@@ -160,13 +296,19 @@ def run(
             + (f"   {spd:5.2f}x vs seed" if spd else "")
         )
 
+    scaling = None
+    if scaling_sweep:
+        scaling = run_scaling_sweep(topics, warmup, iterations, scale)
+
     report = {
         "protocol": {
             "corpus": {"spec": spec, "seed": CORPUS_SEED},
             "num_tokens": corpus.num_tokens,
+            "preset": preset,
             "topics": topics,
             "warmup_iterations": warmup,
             "measured_iterations": iterations,
+            "execution": execution,
             "timing": (
                 "min wall-clock seconds over measured single iterations, "
                 "likelihood off"
@@ -177,6 +319,7 @@ def run(
             "python": platform.python_version(),
             "numpy": np.__version__,
             "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
         },
         "baseline": (
             baseline.get("captured_at") if baseline else "not available"
@@ -191,6 +334,8 @@ def run(
         "algorithms": results,
         "extras": extras,
     }
+    if scaling is not None:
+        report["scaling"] = scaling
     out_path = Path(out_path)
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"report written to {out_path}")
@@ -207,6 +352,18 @@ def main(argv: list[str] | None = None) -> int:
                     help="timed single iterations per algorithm (min kept)")
     ap.add_argument("--scale", type=float, default=1.0,
                     help="corpus scale factor (CI smoke uses < 1)")
+    ap.add_argument("--preset", choices=sorted(PRESETS), default="small",
+                    help="corpus preset (medium = the scaling workload)")
+    ap.add_argument("--execution", choices=("serial", "process"),
+                    default="serial",
+                    help="measure culda/ldastar on the process engine, "
+                         "paired with a serial run (process_speedup)")
+    ap.add_argument("--num-workers", dest="num_workers", type=int,
+                    default=None,
+                    help="OS worker processes for --execution process")
+    ap.add_argument("--scaling-sweep", action="store_true",
+                    help="record the culda 4-device x {1,2,4}-worker "
+                         "scaling curve on the medium preset")
     ap.add_argument("--algos", nargs="*", default=None,
                     help="subset of registry names (default: all)")
     ap.add_argument("--baseline", default=str(DEFAULT_BASELINE),
@@ -221,6 +378,10 @@ def main(argv: list[str] | None = None) -> int:
         scale=args.scale,
         algos=args.algos,
         baseline_path=Path(args.baseline) if args.baseline else None,
+        preset=args.preset,
+        execution=args.execution,
+        num_workers=args.num_workers,
+        scaling_sweep=args.scaling_sweep,
     )
     return 0
 

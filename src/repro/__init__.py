@@ -40,7 +40,7 @@ from repro.api import (
 )
 from repro.core import LdaState, TrainerConfig, log_likelihood_per_token
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     # unified API

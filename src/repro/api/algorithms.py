@@ -44,6 +44,10 @@ def _resolve_platform(platform):
         "overlap_transfers": "pipeline transfers with compute (default True)",
         "tokens_per_block": "token cap per thread block (default 1024)",
         "compute_dtype": "kernel float dtype: float64 (default) or float32",
+        "execution": "device-loop executor: serial (default) or process "
+                     "(real OS workers over shared memory; same draws)",
+        "num_workers": "OS worker processes for execution=process "
+                       "(default min(gpus, cpu_count))",
         "validate_every": "run invariant checks every N iterations (0 off)",
     },
 )
@@ -63,6 +67,8 @@ def _make_culda(
     overlap_transfers: bool = True,
     tokens_per_block: int = 1024,
     compute_dtype: str = "float64",
+    execution: str = "serial",
+    num_workers: int | None = None,
     validate_every: int = 0,
 ):
     config = TrainerConfig(
@@ -77,6 +83,8 @@ def _make_culda(
         overlap_transfers=overlap_transfers,
         tokens_per_block=tokens_per_block,
         compute_dtype=compute_dtype,
+        execution=execution,
+        num_workers=num_workers,
         seed=seed,
     )
     inner = CuLdaTrainer(
@@ -91,6 +99,7 @@ def _make_culda(
         name="culda",
         description=CuLdaTrainer.DESCRIPTION,
         options={"topics": topics, "gpus": gpus, "chunks_per_gpu": chunks_per_gpu,
+                 "execution": execution, "num_workers": num_workers,
                  "seed": seed},
         state_attr="state",
     )
@@ -131,6 +140,10 @@ def _make_saberlda(
         "workers": "cluster machines behind the parameter server (default 20)",
         "cpu": "worker CpuSpec (default Xeon E5-2650 v3)",
         "network": "shared Link to the parameter server (default 10 GbE)",
+        "execution": "cluster-worker executor: serial (default) or process "
+                     "(real OS workers over shared memory; same draws)",
+        "num_workers": "OS worker processes for execution=process "
+                       "(default min(workers, cpu_count))",
     },
 )
 def _make_ldastar(
@@ -142,8 +155,13 @@ def _make_ldastar(
     workers: int = 20,
     cpu=None,
     network=None,
+    execution: str = "serial",
+    num_workers: int | None = None,
 ):
-    kwargs = {"num_workers": workers, "alpha": alpha, "beta": beta, "seed": seed}
+    kwargs = {
+        "num_workers": workers, "alpha": alpha, "beta": beta, "seed": seed,
+        "execution": execution, "num_processes": num_workers,
+    }
     if cpu is not None:
         kwargs["cpu"] = cpu
     if network is not None:
@@ -153,7 +171,9 @@ def _make_ldastar(
         inner,
         name="ldastar",
         description=LdaStarTrainer.DESCRIPTION,
-        options={"topics": topics, "workers": workers, "seed": seed},
+        options={"topics": topics, "workers": workers,
+                 "execution": execution, "num_workers": num_workers,
+                 "seed": seed},
         state_attr="state",
     )
 

@@ -62,13 +62,26 @@ class LdaStarTrainer:
         alpha: float | None = None,
         beta: float | None = None,
         seed: int = 0,
+        execution: str = "serial",
+        num_processes: int | None = None,
     ):
+        """``execution="process"`` runs the cluster workers' chunk passes
+        on ``num_processes`` real OS workers over shared memory (see
+        :mod:`repro.parallel`); draws are bit-identical to serial."""
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
+        if execution not in ("serial", "process"):
+            raise ValueError(
+                f"execution must be 'serial' or 'process', got {execution!r}"
+            )
+        if num_processes is not None and num_processes < 1:
+            raise ValueError("num_processes must be >= 1 (or None)")
         self.corpus = corpus
         self.num_workers = num_workers
         self.cpu = cpu
         self.network = network
+        self.execution = execution
+        self.num_processes = num_processes
         # Reuse the core chunked state: one chunk per worker.
         self.config = TrainerConfig(
             num_topics=num_topics,
@@ -87,6 +100,10 @@ class LdaStarTrainer:
         self._iterations_done = 0
         # shared kernel arena for all simulated workers' chunk passes
         self._workspace = Workspace()
+        #: reused int64 delta accumulators (avoid per-iteration allocs)
+        self._deltas = np.zeros_like(self.state.phi, dtype=np.int64)
+        self._delta_totals = np.zeros_like(self.state.topic_totals)
+        self._engine = None
 
     def _worker_seconds(self, stats: SamplingStats) -> float:
         """Roofline time of one worker's chunk pass on its CPU."""
@@ -110,6 +127,100 @@ class LdaStarTrainer:
         pull_bytes = self.num_workers * self.state.phi.nbytes
         return self.network.transfer_time(delta_bytes + pull_bytes)
 
+    # -- parallel execution ---------------------------------------------------
+
+    def _ensure_engine(self):
+        """Delta-mode engine: one group per cluster worker, all sampling
+        against the single shared model snapshot (the parameter-server
+        pull), updates scattered into per-OS-worker delta accumulators
+        (the push) — memory scales with OS workers, not cluster size."""
+        if self._engine is None:
+            from repro.parallel import ProcessEngine
+
+            self._engine = ProcessEngine(
+                chunks={
+                    cs.chunk.spec.chunk_id: cs for cs in self.state.chunks
+                },
+                groups=[[w] for w in range(self.num_workers)],
+                replicas=[(self.state.phi, self.state.topic_totals)],
+                num_topics=self.config.num_topics,
+                alpha=self.config.effective_alpha,
+                beta=self.config.effective_beta,
+                compress=False,
+                seed=self.config.seed,
+                num_workers=self.num_processes,
+                mode="delta",
+            )
+            self._engine.start()
+        return self._engine
+
+    def close(self) -> None:
+        """Shut down process-mode workers and shared memory (if any)."""
+        if self._engine is not None:
+            self._engine.close()
+            self._engine = None
+
+    def __enter__(self) -> "LdaStarTrainer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _sample_workers_serial(self, it: int) -> tuple[list, int, int]:
+        """All workers' chunk passes in-process against the iteration-start
+        snapshot, scattering updates into the reused delta accumulators.
+
+        ``self.state.phi``/``topic_totals`` are *read-only* during the
+        loop (every worker samples against the same pulled model), so no
+        per-worker replica copies are needed — the deltas alone carry the
+        push half of the PS exchange.
+        """
+        deltas, dtot = self._deltas, self._delta_totals
+        deltas[...] = 0
+        dtot[...] = 0
+        worker_times = []
+        changed_total = 0
+        sum_kd = 0
+        for w, cs in enumerate(self.state.chunks):
+            rng = self.pool.chunk_stream(it, w)
+            result = sample_chunk(
+                cs.chunk, cs.topics, cs.theta,
+                self.state.phi, self.state.topic_totals,
+                self.config.effective_alpha, self.config.effective_beta, rng,
+                workspace=self._workspace,
+            )
+            changed = apply_phi_update(
+                deltas, dtot, cs.chunk.token_words, cs.topics,
+                result.new_topics,
+            )
+            cs.topics = result.new_topics
+            cs.rebuild_theta(self.config.num_topics, compress=False)
+            worker_times.append(self._worker_seconds(result.stats))
+            changed_total += changed
+            sum_kd += result.stats.sum_kd
+        np.add(self.state.phi, deltas, out=self.state.phi, casting="unsafe")
+        self.state.topic_totals += dtot
+        return worker_times, changed_total, sum_kd
+
+    def _sample_workers_process(self, it: int) -> tuple[list, int, int]:
+        """All workers' chunk passes on the OS-process engine."""
+        engine = self._ensure_engine()
+        engine.model_phi()[...] = self.state.phi  # the PS pull
+        engine.model_totals()[...] = self.state.topic_totals
+        results = engine.run_iteration(it)
+        for dphi, dtot in engine.worker_deltas():  # merge the pushes
+            np.add(self.state.phi, dphi, out=self.state.phi, casting="unsafe")
+            self.state.topic_totals += dtot
+        worker_times = []
+        changed_total = 0
+        sum_kd = 0
+        for w in range(self.num_workers):
+            r = results[w]
+            worker_times.append(self._worker_seconds(r.stats))
+            changed_total += r.changed
+            sum_kd += r.stats.sum_kd
+        return worker_times, changed_total, sum_kd
+
     def train(
         self, num_iterations: int, compute_likelihood_every: int = 1
     ) -> list[IterationRecord]:
@@ -119,35 +230,14 @@ class LdaStarTrainer:
         total_tokens = self.state.num_tokens
         for _ in range(num_iterations):
             it = self._iterations_done
-            phi_ref = self.state.phi.copy()
-            totals_ref = self.state.topic_totals.copy()
-            worker_times = []
-            changed_total = 0
-            sum_kd = 0
-            deltas = np.zeros_like(self.state.phi, dtype=np.int64)
-            for w, cs in enumerate(self.state.chunks):
-                phi_w = phi_ref.copy()
-                totals_w = totals_ref.copy()
-                rng = self.pool.chunk_stream(it, w)
-                result = sample_chunk(
-                    cs.chunk, cs.topics, cs.theta, phi_w, totals_w,
-                    self.config.effective_alpha, self.config.effective_beta, rng,
-                    workspace=self._workspace,
+            if self.execution == "process":
+                worker_times, changed_total, sum_kd = (
+                    self._sample_workers_process(it)
                 )
-                changed = apply_phi_update(
-                    phi_w, totals_w, cs.chunk.token_words, cs.topics,
-                    result.new_topics,
+            else:
+                worker_times, changed_total, sum_kd = (
+                    self._sample_workers_serial(it)
                 )
-                cs.topics = result.new_topics
-                cs.rebuild_theta(self.config.num_topics, compress=False)
-                deltas += phi_w.astype(np.int64) - phi_ref.astype(np.int64)
-                worker_times.append(self._worker_seconds(result.stats))
-                changed_total += changed
-                sum_kd += result.stats.sum_kd
-            self.state.phi[...] = (phi_ref.astype(np.int64) + deltas).astype(
-                self.state.phi.dtype
-            )
-            self.state.topic_totals[...] = self.state.phi.sum(axis=1, dtype=np.int64)
 
             dur = max(worker_times) + self._network_seconds(changed_total)
             self._sim_time += dur
@@ -184,6 +274,8 @@ class LdaStarTrainer:
             "alpha": self.config.effective_alpha,
             "beta": self.config.effective_beta,
             "network": self.network.name,
+            "execution": self.execution,
+            "num_processes": self.num_processes,
         }
 
     @property

@@ -59,6 +59,8 @@ _ALGO_FLAG_DEFAULTS = {
     "platform": "Volta",
     "chunks_per_gpu": 1,
     "compute_dtype": "float64",
+    "execution": "serial",
+    "num_workers": None,
 }
 
 
@@ -80,6 +82,13 @@ def _build_trainer(args: argparse.Namespace, corpus: Corpus):
     return create_trainer(args.algo, corpus, **kwargs)
 
 
+def _close_trainer(trainer) -> None:
+    """Release process-mode workers/shared memory, if the trainer has any."""
+    close = getattr(trainer, "close", None)
+    if callable(close):
+        close()
+
+
 def cmd_train(args: argparse.Namespace) -> int:
     corpus = _load_corpus(args)
     st = corpus_stats(corpus)
@@ -94,7 +103,12 @@ def cmd_train(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    result = trainer.fit(args.iterations, likelihood_every=args.likelihood_every)
+    try:
+        result = trainer.fit(
+            args.iterations, likelihood_every=args.likelihood_every
+        )
+    finally:
+        _close_trainer(trainer)
     print(
         f"done: {result.num_iterations} iterations of {args.algo}, "
         f"{trainer.average_tokens_per_sec() / 1e6:.1f}M tokens/s (simulated), "
@@ -147,7 +161,10 @@ def cmd_topics(args: argparse.Namespace) -> int:
 def cmd_benchmark(args: argparse.Namespace) -> int:
     corpus = _load_corpus(args)
     trainer = _build_trainer(args, corpus)
-    trainer.fit(args.iterations, likelihood_every=0)
+    try:
+        trainer.fit(args.iterations, likelihood_every=0)
+    finally:
+        _close_trainer(trainer)
     where = (
         f" on {args.platform}"
         if "platform" in get_algorithm(args.algo).all_options()
@@ -222,6 +239,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="sampling-kernel float dtype (float32 = half bandwidth, "
              "different but statistically equivalent chain)",
     )
+    p_train.add_argument(
+        "--execution", choices=("serial", "process"),
+        default=_ALGO_FLAG_DEFAULTS["execution"],
+        help="device-loop executor: process = real OS workers over shared "
+             "memory (bit-identical draws; see docs/PERFORMANCE.md)",
+    )
+    p_train.add_argument(
+        "--num-workers", dest="num_workers", type=int,
+        default=_ALGO_FLAG_DEFAULTS["num_workers"],
+        help="OS worker processes for --execution process "
+             "(default: min(devices, cpu_count))",
+    )
     p_train.add_argument("--likelihood-every", type=int, default=5)
     p_train.add_argument("--output", help="write model .npz here")
     p_train.add_argument("--checkpoint", help="write resumable checkpoint here")
@@ -248,6 +277,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("float64", "float32"),
         default=_ALGO_FLAG_DEFAULTS["compute_dtype"],
         help="sampling-kernel float dtype",
+    )
+    p_bench.add_argument(
+        "--execution", choices=("serial", "process"),
+        default=_ALGO_FLAG_DEFAULTS["execution"],
+        help="device-loop executor (process = OS workers over shared memory)",
+    )
+    p_bench.add_argument(
+        "--num-workers", dest="num_workers", type=int,
+        default=_ALGO_FLAG_DEFAULTS["num_workers"],
+        help="OS worker processes for --execution process",
     )
     p_bench.set_defaults(func=cmd_benchmark)
 

@@ -43,6 +43,14 @@ class TrainerConfig:
         bit-identical to the historical kernel under a fixed seed) or
         ``"float32"`` (half the bandwidth; a different but statistically
         equivalent chain — see docs/PERFORMANCE.md).
+    execution:
+        ``"serial"`` (default) runs the device loop in-process;
+        ``"process"`` runs each simulated device's per-iteration work on
+        real OS workers over shared memory (see :mod:`repro.parallel`).
+        Both modes produce bit-identical draws for the same seed.
+    num_workers:
+        OS worker processes for ``execution="process"``; ``None`` uses
+        ``min(num_gpus, os.cpu_count())``.  Ignored in serial mode.
     seed:
         RNG seed for the whole run (reproducible).
     """
@@ -58,6 +66,8 @@ class TrainerConfig:
     overlap_transfers: bool = True
     tokens_per_block: int = 1024
     compute_dtype: str = "float64"
+    execution: str = "serial"
+    num_workers: int | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -77,6 +87,15 @@ class TrainerConfig:
             raise ValueError(
                 f"compute_dtype must be 'float32' or 'float64', "
                 f"got {self.compute_dtype!r}"
+            )
+        if self.execution not in ("serial", "process"):
+            raise ValueError(
+                f"execution must be 'serial' or 'process', "
+                f"got {self.execution!r}"
+            )
+        if self.num_workers is not None and self.num_workers < 1:
+            raise ValueError(
+                f"num_workers must be >= 1 (or None), got {self.num_workers}"
             )
 
     @property

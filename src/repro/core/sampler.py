@@ -81,6 +81,21 @@ def _fill_random(rng: np.random.Generator, out: np.ndarray) -> np.ndarray:
     return out
 
 
+def index_dtype_for(n: int, num_topics: int, wp: int) -> np.dtype:
+    """Index dtype of the kernel's nnz-sized gather/scatter helpers.
+
+    Token/topic products fit 32-bit arithmetic at any realistic scale;
+    fall back to 64-bit when the largest flattened index the kernel
+    forms — ``n * K`` (the p1 target keys) or ``K * Wp`` (the flattened
+    shared-tree gather) — would overflow int32.  Index bandwidth on the
+    nnz-sized arrays is the kernel's memory bottleneck, hence the
+    aggressive 32-bit default.
+    """
+    if n * num_topics >= 2**31 or num_topics * wp >= 2**31:
+        return _I64
+    return _I32
+
+
 def sample_chunk(
     chunk: DeviceChunk,
     topics: np.ndarray,
@@ -212,11 +227,7 @@ def sample_chunk(
     seg_offsets[0] = 0
     np.cumsum(lens, out=seg_offsets[1:])
     total_nnz = int(seg_offsets[-1])
-    # Token/topic products fit 32-bit arithmetic at any realistic scale;
-    # fall back to 64-bit only when n*K would overflow (index bandwidth
-    # on the nnz-sized arrays is the kernel's memory bottleneck).
-    wide = (n * num_topics >= 2**31) or (num_topics * wp >= 2**31)
-    idx_t = _I64 if wide else _I32
+    idx_t = index_dtype_for(n, num_topics, wp)
     bnd = seg_offsets[1:-1]  # segment-start slots for tokens 1..n-1
 
     # Every nnz-sized helper below is piecewise-constant (or piecewise

@@ -87,6 +87,72 @@ class IterationOutcome:
     chunk_records: list[ChunkRecord] = field(default_factory=list)
 
 
+def charge_chunk_costs(
+    dev: DeviceState,
+    config: TrainerConfig,
+    stats,
+    theta_nnz_pre: int,
+    theta_nnz_post: int,
+    num_local_docs: int,
+    stream: Stream | None = None,
+) -> None:
+    """Charge one chunk pass's three kernel launches on the device clock.
+
+    Pure accounting — touches only the simulated timeline, never the
+    arrays — so serial execution calls it inline while process execution
+    calls it on the master with worker-reported statistics.
+    """
+    if config.use_l1_for_indices:
+        from repro.core.costs import int_bytes
+
+        index_ws = theta_nnz_pre * int_bytes(config.compress) / dev.gpu.spec.num_sms
+        l1f = gpu_l1_index_factor(dev.gpu.spec, index_ws)
+    else:
+        l1f = 1.0
+    dev.gpu.launch(
+        "sampling",
+        sampling_cost(stats, config.compress, config.share_p2_tree, l1f),
+        stream,
+    )
+    dev.gpu.launch(
+        "update_phi", update_phi_cost(stats.num_tokens, config.compress), stream
+    )
+    dev.gpu.launch(
+        "update_theta",
+        update_theta_cost(
+            stats.num_tokens,
+            num_local_docs,
+            config.num_topics,
+            theta_nnz_post,
+            config.compress,
+        ),
+        stream,
+    )
+
+
+def record_chunk_outcome(
+    outcome: IterationOutcome,
+    stats,
+    changed: int,
+    num_local_docs: int,
+    theta_nnz_pre: int,
+    theta_nnz_post: int,
+) -> None:
+    """Fold one chunk pass's statistics into the iteration outcome."""
+    outcome.sum_kd += stats.sum_kd
+    outcome.num_p1_draws += stats.num_p1_draws
+    outcome.num_p2_draws += stats.num_p2_draws
+    outcome.changed_tokens += changed
+    outcome.chunk_records.append(
+        ChunkRecord(
+            stats=stats,
+            num_local_docs=num_local_docs,
+            theta_nnz_pre=theta_nnz_pre,
+            theta_nnz_post=theta_nnz_post,
+        )
+    )
+
+
 def run_chunk_kernels(
     dev: DeviceState,
     cs: ChunkState,
@@ -103,6 +169,7 @@ def run_chunk_kernels(
     effects: three kernel launches charged with Table-1-derived costs.
     """
     rng = pool.chunk_stream(iteration, cs.chunk.spec.chunk_id)
+    theta_nnz_pre = cs.theta.nnz
     result = sample_chunk(
         cs.chunk, cs.topics, cs.theta, dev.phi, dev.totals,
         alpha=config.effective_alpha, beta=config.effective_beta, rng=rng,
@@ -110,52 +177,18 @@ def run_chunk_kernels(
     )
     stats = result.stats
 
-    theta_nnz_pre = cs.theta.nnz
-    if config.use_l1_for_indices:
-        from repro.core.costs import int_bytes
-
-        index_ws = theta_nnz_pre * int_bytes(config.compress) / dev.gpu.spec.num_sms
-        l1f = gpu_l1_index_factor(dev.gpu.spec, index_ws)
-    else:
-        l1f = 1.0
-    dev.gpu.launch(
-        "sampling",
-        sampling_cost(stats, config.compress, config.share_p2_tree, l1f),
-        stream,
-    )
-
     changed = apply_phi_update(
         dev.phi, dev.totals, cs.chunk.token_words, cs.topics, result.new_topics
     )
-    dev.gpu.launch(
-        "update_phi", update_phi_cost(stats.num_tokens, config.compress), stream
-    )
-
     cs.topics = result.new_topics
     cs.rebuild_theta(config.num_topics, config.compress)
-    dev.gpu.launch(
-        "update_theta",
-        update_theta_cost(
-            stats.num_tokens,
-            cs.chunk.num_local_docs,
-            config.num_topics,
-            cs.theta.nnz,
-            config.compress,
-        ),
-        stream,
+    charge_chunk_costs(
+        dev, config, stats, theta_nnz_pre, cs.theta.nnz,
+        cs.chunk.num_local_docs, stream,
     )
-
-    outcome.sum_kd += stats.sum_kd
-    outcome.num_p1_draws += stats.num_p1_draws
-    outcome.num_p2_draws += stats.num_p2_draws
-    outcome.changed_tokens += changed
-    outcome.chunk_records.append(
-        ChunkRecord(
-            stats=stats,
-            num_local_docs=cs.chunk.num_local_docs,
-            theta_nnz_pre=theta_nnz_pre,
-            theta_nnz_post=cs.theta.nnz,
-        )
+    record_chunk_outcome(
+        outcome, stats, changed, cs.chunk.num_local_docs,
+        theta_nnz_pre, cs.theta.nnz,
     )
 
 
@@ -223,3 +256,60 @@ def run_iteration(
     if config.chunks_per_gpu == 1:
         return work_schedule_1(devices, state, config, iteration, pool)
     return work_schedule_2(devices, state, config, iteration, pool)
+
+
+def run_iteration_parallel(
+    devices: list[DeviceState],
+    state: LdaState,
+    config: TrainerConfig,
+    iteration: int,
+    engine,
+) -> IterationOutcome:
+    """One iteration with the functional work on the process engine.
+
+    The workers mutate the shared replicas/topics/theta in
+    serial-schedule order per device; this master-side pass then replays
+    the *accounting* of the matching schedule — kernel launches from the
+    worker-reported statistics, plus WorkSchedule2's per-chunk transfers
+    — so the simulated clocks are identical to serial execution.
+    """
+    results = engine.run_iteration(iteration)
+    outcome = IterationOutcome(iteration)
+    streamed = config.chunks_per_gpu > 1
+    for dev in devices:
+        if streamed and config.overlap_transfers:
+            streams = [dev.gpu.create_stream(), dev.gpu.create_stream()]
+        else:
+            streams = [dev.gpu.default_stream]
+        for slot, cid in enumerate(dev.chunk_ids):
+            cs = state.chunks[cid]
+            r = results[cid]
+            stream = streams[slot % len(streams)] if streamed else None
+            if streamed:
+                chunk_bytes = cs.chunk.nbytes()
+                dev.gpu.h2d(
+                    "transfer",
+                    chunk_bytes
+                    + theta_replica_bytes(
+                        r.theta_nnz_pre, cs.chunk.num_local_docs, config.compress
+                    ),
+                    stream,
+                )
+            charge_chunk_costs(
+                dev, config, r.stats, r.theta_nnz_pre, r.theta_nnz,
+                cs.chunk.num_local_docs, stream,
+            )
+            if streamed:
+                dev.gpu.d2h(
+                    "transfer",
+                    theta_replica_bytes(
+                        r.theta_nnz, cs.chunk.num_local_docs, config.compress
+                    ),
+                    stream,
+                )
+            record_chunk_outcome(
+                outcome, r.stats, r.changed, cs.chunk.num_local_docs,
+                r.theta_nnz_pre, r.theta_nnz,
+            )
+    barrier([d.gpu.timeline for d in devices])
+    return outcome

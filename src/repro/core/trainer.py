@@ -33,7 +33,7 @@ from repro.core.costs import phi_replica_bytes, theta_replica_bytes
 from repro.core.likelihood import log_likelihood_per_token
 from repro.core.model import LdaState
 from repro.core.rng import RngPool
-from repro.core.scheduler import DeviceState, run_iteration
+from repro.core.scheduler import DeviceState, run_iteration, run_iteration_parallel
 from repro.core.sync import synchronize
 from repro.core.updates import verify_phi_consistency
 from repro.gpusim.device import SimulatedGPU
@@ -121,6 +121,8 @@ class CuLdaTrainer:
         #: per-iteration ChunkRecords, consumed by repro.analysis.replay
         self.outcomes: list = []
         self._iterations_done = 0
+        #: lazy ProcessEngine for config.execution == "process"
+        self._engine = None
 
     # -- setup ----------------------------------------------------------------
 
@@ -169,6 +171,55 @@ class CuLdaTrainer:
                     dev.gpu.h2d("transfer", self.state.chunks[cid].chunk.nbytes(tdtype))
         barrier([d.gpu.timeline for d in self.devices])
 
+    # -- parallel execution ---------------------------------------------------
+
+    def _ensure_engine(self):
+        """Build/start the process engine and point the device replicas at
+        its shared-memory views (values preserved)."""
+        if self._engine is None:
+            from repro.parallel import ProcessEngine
+
+            self._engine = ProcessEngine(
+                chunks={
+                    cs.chunk.spec.chunk_id: cs for cs in self.state.chunks
+                },
+                groups=[list(dev.chunk_ids) for dev in self.devices],
+                replicas=[(dev.phi, dev.totals) for dev in self.devices],
+                num_topics=self.config.num_topics,
+                alpha=self.config.effective_alpha,
+                beta=self.config.effective_beta,
+                compress=self.config.compress,
+                compute_dtype=self.config.compute_dtype,
+                seed=self.config.seed,
+                num_workers=self.config.num_workers,
+            )
+            self._engine.start()
+            for g, dev in enumerate(self.devices):
+                dev.phi = self._engine.phi(g)
+                dev.totals = self._engine.totals(g)
+        return self._engine
+
+    def close(self) -> None:
+        """Shut down process-mode workers and shared memory (if any).
+
+        The trainer stays fully usable afterwards: state is copied back
+        to private arrays, and a later ``train`` in process mode builds a
+        fresh engine from the current state.  No-op in serial mode.
+        """
+        if self._engine is not None:
+            if self._engine.started:
+                for dev in self.devices:
+                    dev.phi = np.array(dev.phi)
+                    dev.totals = np.array(dev.totals)
+            self._engine.close()
+            self._engine = None
+
+    def __enter__(self) -> "CuLdaTrainer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     # -- training -------------------------------------------------------------
 
     def train(
@@ -195,10 +246,20 @@ class CuLdaTrainer:
         if callbacks:
             from repro.api.callbacks import likelihood_needed
         total_tokens = self.state.num_tokens
+        engine = (
+            self._ensure_engine() if self.config.execution == "process" else None
+        )
         for _ in range(num_iterations):
             it = self._iterations_done
             t0 = max(d.gpu.sync() for d in self.devices)
-            outcome = run_iteration(self.devices, self.state, self.config, it, self.pool)
+            if engine is not None:
+                outcome = run_iteration_parallel(
+                    self.devices, self.state, self.config, it, engine
+                )
+            else:
+                outcome = run_iteration(
+                    self.devices, self.state, self.config, it, self.pool
+                )
             self.outcomes.append(outcome)
             phi_new, totals_new = synchronize(
                 self.state.phi,
@@ -262,14 +323,32 @@ class CuLdaTrainer:
             "alpha": self.config.effective_alpha,
             "beta": self.config.effective_beta,
             "compute_dtype": self.config.compute_dtype,
+            "execution": self.config.execution,
+            "num_workers": (
+                self._engine.num_workers if self._engine is not None
+                else self.config.num_workers
+            ),
             "seed": self.config.seed,
         }
 
     def workspace_stats(self) -> list[dict]:
-        """Per-device kernel-arena occupancy (see docs/PERFORMANCE.md)."""
+        """Per-device kernel-arena occupancy (see docs/PERFORMANCE.md).
+
+        Entries are in device order and carry a ``group`` index.  In
+        process mode the arenas live in the worker processes and their
+        stats are gathered over the control pipes — only while the
+        engine is running; after :meth:`close` this returns ``[]``
+        (the master-side pools never ran a kernel in process mode, so
+        reporting them would present zero counters as the run's
+        occupancy).
+        """
+        if self._engine is not None and self._engine.started:
+            return self._engine.workspace_stats()
+        if self.config.execution == "process":
+            return []
         return [
-            dev.workspace.describe()
-            for dev in self.devices
+            {"group": g, **dev.workspace.describe()}
+            for g, dev in enumerate(self.devices)
             if dev.workspace is not None
         ]
 

@@ -1,0 +1,38 @@
+"""Parallel multi-device execution engine (true shared-memory parallelism).
+
+The paper's headline result is multi-GPU *scaling*; this package makes
+the reproduction's simulated-device loop actually scale on real
+hardware.  ``TrainerConfig(execution="process", num_workers=N)`` (CLI:
+``--execution process --num-workers N``) runs each simulated device's
+per-iteration work — sampling, phi/theta updates — on persistent OS
+worker processes over ``multiprocessing.shared_memory``-backed count
+matrices and token arrays, with the existing Figure-4 tree
+reduce/broadcast applied to the replica deltas at iteration barriers.
+
+Layers:
+
+- :mod:`repro.parallel.shm` — the shared-memory array arena;
+- :mod:`repro.parallel.worker` — worker process: the functional chunk
+  pass (sample -> update-phi -> rebuild-theta) against shared replicas;
+- :mod:`repro.parallel.engine` — master-side orchestration, lifecycle
+  and the iteration barrier.
+
+Determinism: RNG streams are keyed by (seed, iteration, chunk), and
+chunks within a device run in serial-schedule order, so process
+execution is **bit-identical** to serial execution for the same config —
+asserted against the serial golden captures by
+``tests/test_parallel_engine.py``.
+"""
+
+from repro.parallel.engine import ProcessEngine, resolve_num_workers
+from repro.parallel.shm import ShmArena
+from repro.parallel.worker import ChunkResult, WorkerPlan, worker_main
+
+__all__ = [
+    "ProcessEngine",
+    "resolve_num_workers",
+    "ShmArena",
+    "ChunkResult",
+    "WorkerPlan",
+    "worker_main",
+]

@@ -1,0 +1,406 @@
+"""Master-side process execution engine.
+
+:class:`ProcessEngine` runs the per-iteration functional work of a set
+of *replica groups* (simulated devices for CuLDA, parameter-server
+workers for LDA*) on persistent OS worker processes, with all bulk state
+— token arrays, topic assignments, theta CSR buffers, per-replica
+phi/totals count matrices — in one :class:`~repro.parallel.shm.ShmArena`
+shared-memory block.  The master keeps everything else: the simulated
+GPU clocks, cost charging, phi synchronization (``core/sync.py`` tree
+reduce at the iteration barrier), likelihood, callbacks.
+
+Execution model per ``run_iteration``:
+
+1. master broadcasts ``("iter", i)`` to every worker (replicas already
+   hold the synchronized model — the master writes into the shared
+   views, so no copy crosses a process boundary);
+2. each worker samples its groups' chunks in serial-schedule order and
+   publishes topics/theta/phi-replica updates into the shared block;
+3. master collects the per-chunk statistics, refreshes its theta views
+   and hands the results to the caller for cost accounting and sync.
+
+The engine is start-lazy, restartable (a closed engine can be rebuilt
+from current master state), and cleans up its shared segment and worker
+processes on :meth:`close` — with a finalizer backstop for abandoned
+instances.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import weakref
+
+import numpy as np
+
+from repro.core.model import ChunkState
+from repro.core.sparse import CsrCounts, index_dtype
+from repro.parallel.shm import ShmArena
+from repro.parallel.worker import ChunkMeta, ChunkResult, WorkerPlan, worker_main
+
+__all__ = ["ProcessEngine", "resolve_num_workers"]
+
+#: Seconds between liveness checks while waiting on a worker reply.
+_POLL_SECONDS = 1.0
+
+
+class _WorkerDied(RuntimeError):
+    """A worker process exited without replying."""
+
+    def __init__(self, worker: int, exitcode):
+        super().__init__(
+            f"execution worker {worker} died (exit code {exitcode}); "
+            f"its traceback, if any, went to stderr.  A 'spawn' start "
+            f"method requires an importable __main__ (not stdin/REPL)."
+        )
+
+
+def resolve_num_workers(requested: int | None, num_groups: int) -> int:
+    """Effective worker count: requested (or all cores), capped by groups."""
+    if requested is None:
+        requested = os.cpu_count() or 1
+    if requested < 1:
+        raise ValueError(f"num_workers must be >= 1, got {requested}")
+    return max(1, min(requested, num_groups))
+
+
+def _pick_context() -> mp.context.BaseContext:
+    """``fork`` where available (cheap start; no inherited state is relied
+    on — workers get everything via the pickled plan), else ``spawn``."""
+    method = os.environ.get("REPRO_MP_START")
+    if method:
+        return mp.get_context(method)
+    if "fork" in mp.get_all_start_methods():
+        return mp.get_context("fork")
+    return mp.get_context("spawn")  # pragma: no cover - non-POSIX
+
+
+class ProcessEngine:
+    """Shared-memory data-parallel executor for the device loop.
+
+    Parameters
+    ----------
+    chunks:
+        Master-side chunk states keyed by chunk id.  On start, each
+        state's ``topics`` is rebound to the shared view (values
+        preserved) and its ``theta`` is refreshed from the shared CSR
+        buffers after every iteration.
+    groups:
+        Ordered chunk-id lists, one per group.
+    replicas:
+        ``mode="replica"``: initial ``(phi, totals)`` contents, one per
+        group; group ``g`` samples against replica ``g`` *cumulatively*,
+        in list order — exactly the serial schedule's semantics.
+        ``mode="delta"``: a single ``[(phi, totals)]`` snapshot shared
+        read-only by every group; each chunk's updates are scattered
+        into per-OS-worker int64 delta accumulators instead (the
+        parameter-server push — one delta pair per worker, not a model
+        replica per group, so memory scales with ``num_workers``).
+    """
+
+    def __init__(
+        self,
+        chunks: dict[int, ChunkState],
+        groups: list[list[int]],
+        replicas: list[tuple[np.ndarray, np.ndarray]],
+        *,
+        num_topics: int,
+        alpha: float,
+        beta: float,
+        compress: bool,
+        compute_dtype: str = "float64",
+        seed: int = 0,
+        num_workers: int | None = None,
+        mode: str = "replica",
+    ):
+        if mode not in ("replica", "delta"):
+            raise ValueError(f"mode must be 'replica' or 'delta', got {mode!r}")
+        if len(replicas) != (1 if mode == "delta" else len(groups)):
+            raise ValueError(
+                "need one replica per group (replica mode) or exactly one "
+                "shared snapshot (delta mode)"
+            )
+        if not groups:
+            raise ValueError("need at least one group")
+        self.mode = mode
+        self._chunks = chunks
+        self._groups = [list(g) for g in groups]
+        self._init_replicas = replicas
+        self._num_topics = num_topics
+        self._alpha = alpha
+        self._beta = beta
+        self._compress = compress
+        self._compute_dtype = compute_dtype
+        self._seed = seed
+        self.num_workers = resolve_num_workers(num_workers, len(groups))
+        self._arena: ShmArena | None = None
+        self._procs: list = []
+        self._conns: list = []
+        self._finalizer = None
+        self._closed = False
+
+    # -- lifecycle --------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return self._arena is not None
+
+    def start(self) -> None:
+        """Allocate the arena, copy current state in, spawn the workers."""
+        if self.started:
+            return
+        if self._closed:
+            # The initial replica contents captured at construction are
+            # stale by now (training mutated the arena, not them), so a
+            # restart would silently pair old counts with new topics.
+            raise RuntimeError(
+                "ProcessEngine is closed; build a new engine from the "
+                "current trainer state instead of restarting this one"
+            )
+        specs: dict[str, tuple[tuple[int, ...], np.dtype]] = {}
+        idx_dt = index_dtype(self._num_topics, self._compress)
+        for cid, cs in self._chunks.items():
+            dc = cs.chunk
+            n = dc.num_tokens
+            d = dc.num_local_docs
+            specs[f"chunk{cid}/token_words"] = (dc.token_words.shape, dc.token_words.dtype)
+            specs[f"chunk{cid}/token_docs"] = (dc.token_docs.shape, dc.token_docs.dtype)
+            specs[f"chunk{cid}/word_offsets"] = (dc.word_offsets.shape, dc.word_offsets.dtype)
+            specs[f"chunk{cid}/doc_order"] = (dc.doc_order.shape, dc.doc_order.dtype)
+            specs[f"chunk{cid}/doc_offsets"] = (dc.doc_offsets.shape, dc.doc_offsets.dtype)
+            specs[f"chunk{cid}/topics"] = (cs.topics.shape, cs.topics.dtype)
+            # theta CSR at worst-case capacity: nnz can never exceed tokens.
+            specs[f"chunk{cid}/theta_indptr"] = ((d + 1,), np.dtype(np.int64))
+            specs[f"chunk{cid}/theta_indices"] = ((n,), idx_dt)
+            specs[f"chunk{cid}/theta_data"] = ((n,), np.dtype(np.int32))
+        if self.mode == "delta":
+            phi, totals = self._init_replicas[0]
+            specs["model/phi"] = (phi.shape, phi.dtype)
+            specs["model/totals"] = (totals.shape, totals.dtype)
+            for w in range(self.num_workers):
+                specs[f"wdelta{w}/phi"] = (phi.shape, np.dtype(np.int64))
+                specs[f"wdelta{w}/totals"] = (totals.shape, np.dtype(np.int64))
+        else:
+            for g, (phi, totals) in enumerate(self._init_replicas):
+                specs[f"rep{g}/phi"] = (phi.shape, phi.dtype)
+                specs[f"rep{g}/totals"] = (totals.shape, totals.dtype)
+
+        arena = ShmArena.create(specs)
+        for cid, cs in self._chunks.items():
+            dc = cs.chunk
+            arena.view(f"chunk{cid}/token_words")[...] = dc.token_words
+            arena.view(f"chunk{cid}/token_docs")[...] = dc.token_docs
+            arena.view(f"chunk{cid}/word_offsets")[...] = dc.word_offsets
+            arena.view(f"chunk{cid}/doc_order")[...] = dc.doc_order
+            arena.view(f"chunk{cid}/doc_offsets")[...] = dc.doc_offsets
+            arena.view(f"chunk{cid}/topics")[...] = cs.topics
+            nnz = cs.theta.nnz
+            arena.view(f"chunk{cid}/theta_indptr")[...] = cs.theta.indptr
+            arena.view(f"chunk{cid}/theta_indices")[:nnz] = cs.theta.indices
+            arena.view(f"chunk{cid}/theta_data")[:nnz] = cs.theta.data
+            # Master now reads topics/theta through the shared pages.
+            cs.topics = arena.view(f"chunk{cid}/topics")
+            cs.theta = self._theta_view(arena, cid, nnz)
+        if self.mode == "delta":
+            phi, totals = self._init_replicas[0]
+            arena.view("model/phi")[...] = phi
+            arena.view("model/totals")[...] = totals
+        else:
+            for g, (phi, totals) in enumerate(self._init_replicas):
+                arena.view(f"rep{g}/phi")[...] = phi
+                arena.view(f"rep{g}/totals")[...] = totals
+
+        ctx = _pick_context()
+        procs, conns = [], []
+        try:
+            for w in range(self.num_workers):
+                owned = [
+                    (g, tuple(self._chunk_meta(cid) for cid in self._groups[g]))
+                    for g in range(len(self._groups))
+                    if g % self.num_workers == w
+                ]
+                plan = WorkerPlan(
+                    layout=arena.layout,
+                    groups=tuple(owned),
+                    num_topics=self._num_topics,
+                    alpha=self._alpha,
+                    beta=self._beta,
+                    compress=self._compress,
+                    compute_dtype=self._compute_dtype,
+                    seed=self._seed,
+                    mode=self.mode,
+                    worker_index=w,
+                )
+                parent, child = ctx.Pipe()
+                p = ctx.Process(
+                    target=worker_main, args=(child, plan),
+                    name=f"repro-exec-{w}", daemon=True,
+                )
+                p.start()
+                child.close()
+                procs.append(p)
+                conns.append(parent)
+        except Exception:
+            for p in procs:
+                p.terminate()
+            arena.close()
+            arena.unlink()
+            raise
+        self._arena = arena
+        self._procs = procs
+        self._conns = conns
+        self._finalizer = weakref.finalize(
+            self, _shutdown, arena, procs, list(conns)
+        )
+
+    def close(self) -> None:
+        """Stop workers, copy shared state back to private arrays, unlink.
+
+        After close the master's chunk states hold ordinary arrays again,
+        so the owning trainer remains fully usable — by constructing a
+        *new* engine from that state; a closed engine refuses to restart
+        (its construction-time replica snapshot is stale).
+        """
+        self._closed = True
+        if not self.started:
+            return
+        for cid, cs in self._chunks.items():
+            cs.topics = np.array(cs.topics)
+            cs.theta = CsrCounts(
+                indptr=np.array(cs.theta.indptr),
+                indices=np.array(cs.theta.indices),
+                data=np.array(cs.theta.data),
+                num_cols=cs.theta.num_cols,
+            )
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        _shutdown(self._arena, self._procs, self._conns)
+        self._arena = None
+        self._procs = []
+        self._conns = []
+
+    def __enter__(self) -> "ProcessEngine":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- shared views the master writes between iterations ----------------
+
+    def phi(self, group: int) -> np.ndarray:
+        return self._arena.view(f"rep{group}/phi")
+
+    def totals(self, group: int) -> np.ndarray:
+        return self._arena.view(f"rep{group}/totals")
+
+    def model_phi(self) -> np.ndarray:
+        """Delta mode: the shared snapshot every chunk samples against."""
+        return self._arena.view("model/phi")
+
+    def model_totals(self) -> np.ndarray:
+        return self._arena.view("model/totals")
+
+    def worker_deltas(self):
+        """Delta mode: the per-OS-worker int64 update accumulators."""
+        return [
+            (
+                self._arena.view(f"wdelta{w}/phi"),
+                self._arena.view(f"wdelta{w}/totals"),
+            )
+            for w in range(self.num_workers)
+        ]
+
+    # -- iteration barrier -------------------------------------------------
+
+    def run_iteration(self, iteration: int) -> dict[int, ChunkResult]:
+        """One parallel pass over every group; returns results by chunk id."""
+        self.start()
+        for conn in self._conns:
+            conn.send(("iter", iteration))
+        results: dict[int, ChunkResult] = {}
+        for w, conn in enumerate(self._conns):
+            kind, payload = self._recv(w, conn)
+            if kind != "done":  # pragma: no cover - protocol misuse
+                raise RuntimeError(f"unexpected worker reply {kind!r}")
+            for r in payload:
+                results[r.chunk_id] = r
+        for cid, r in results.items():
+            self._chunks[cid].theta = self._theta_view(
+                self._arena, cid, r.theta_nnz
+            )
+        return results
+
+    def workspace_stats(self) -> list[dict]:
+        """Per-group kernel-arena occupancy, gathered from the workers.
+
+        Returned in group (device) order regardless of which worker owns
+        which group; each entry carries its ``group`` index.  In delta
+        mode the groups of one worker share an arena, so the same stats
+        appear under each of that worker's groups.
+        """
+        if not self.started:
+            return []
+        for conn in self._conns:
+            conn.send(("stats",))
+        out: list[tuple[int, dict]] = []
+        for w, conn in enumerate(self._conns):
+            kind, payload = self._recv(w, conn)
+            if kind != "stats":  # pragma: no cover - protocol misuse
+                raise RuntimeError(f"unexpected worker reply {kind!r}")
+            out.extend(payload)
+        out.sort(key=lambda pair: pair[0])
+        return [{"group": gi, **stats} for gi, stats in out]
+
+    # -- internals ---------------------------------------------------------
+
+    def _recv(self, w: int, conn) -> tuple:
+        try:
+            while not conn.poll(_POLL_SECONDS):
+                if not self._procs[w].is_alive():
+                    raise _WorkerDied(w, self._procs[w].exitcode)
+            msg = conn.recv()
+        except (EOFError, ConnectionError) as exc:
+            raise _WorkerDied(w, self._procs[w].exitcode) from exc
+        if msg[0] == "error":
+            raise RuntimeError(f"execution worker {w} failed:\n{msg[1]}")
+        return msg
+
+    def _chunk_meta(self, cid: int) -> ChunkMeta:
+        dc = self._chunks[cid].chunk
+        return ChunkMeta(
+            chunk_id=cid,
+            spec=dc.spec,
+            num_words=dc.num_words,
+            block_plan=dc.block_plan,
+        )
+
+    def _theta_view(self, arena: ShmArena, cid: int, nnz: int) -> CsrCounts:
+        return CsrCounts(
+            indptr=arena.view(f"chunk{cid}/theta_indptr"),
+            indices=arena.view(f"chunk{cid}/theta_indices")[:nnz],
+            data=arena.view(f"chunk{cid}/theta_data")[:nnz],
+            num_cols=self._num_topics,
+        )
+
+
+def _shutdown(arena: ShmArena, procs: list, conns: list) -> None:
+    """Stop workers and destroy the shared segment (idempotent)."""
+    for conn in conns:
+        try:
+            conn.send(("stop",))
+        except Exception:
+            pass
+    for p in procs:
+        p.join(timeout=2.0)
+        if p.is_alive():  # pragma: no cover - hung worker
+            p.terminate()
+            p.join(timeout=1.0)
+    for conn in conns:
+        try:
+            conn.close()
+        except Exception:
+            pass
+    arena.close()
+    arena.unlink()

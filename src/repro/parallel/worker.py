@@ -1,0 +1,255 @@
+"""Worker-process side of the parallel execution engine.
+
+Each OS worker owns a fixed subset of *replica groups* — for CuLDA a
+group is one simulated device (its phi/totals replica plus its chunk
+list), for the LDA* baseline a group is one parameter-server worker.
+Per iteration barrier the worker runs, for every chunk of every owned
+group in order:
+
+    sample_chunk  ->  apply_phi_update  ->  theta rebuild
+
+against the group's shared-memory phi/totals replica, writing new topic
+assignments and the rebuilt theta CSR straight into the shared block.
+Only the small per-chunk statistics travel back over the pipe.
+
+Determinism: the RNG stream of a chunk pass is keyed by
+``(seed, iteration, chunk_id)`` (see :class:`repro.core.rng.RngPool`),
+and chunks within a group run in the same order as the serial schedule,
+so the draws are **bit-identical** to serial execution no matter how
+groups are mapped to workers.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.rng import RngPool
+from repro.core.sampler import sample_chunk
+from repro.core.sparse import from_assignments
+from repro.core.updates import apply_phi_update
+from repro.corpus.encoding import BlockPlan, DeviceChunk
+from repro.corpus.partition import ChunkSpec
+from repro.parallel.shm import ArenaLayout, ShmArena
+from repro.perf import Workspace
+
+__all__ = ["ChunkMeta", "ChunkResult", "WorkerPlan", "worker_main"]
+
+
+@dataclass(frozen=True)
+class ChunkMeta:
+    """Everything a worker needs to rebuild one chunk from the arena."""
+
+    chunk_id: int
+    spec: ChunkSpec
+    num_words: int
+    block_plan: BlockPlan  # small arrays; picklable
+
+
+@dataclass(frozen=True)
+class ChunkResult:
+    """Per-chunk statistics returned to the master each iteration."""
+
+    chunk_id: int
+    stats: object  # SamplingStats
+    changed: int
+    theta_nnz_pre: int
+    theta_nnz: int  # after the rebuild
+
+
+@dataclass(frozen=True)
+class WorkerPlan:
+    """Picklable start-up bundle for one worker process.
+
+    ``mode`` selects the update contract:
+
+    - ``"replica"`` (CuLDA): group ``g`` samples against replica ``g``
+      *cumulatively* — each chunk pass applies its updates to the
+      replica before the next chunk of the group samples;
+    - ``"delta"`` (LDA*): every chunk samples against the single shared
+      ``model/*`` snapshot (read-only within an iteration) and scatters
+      its updates into this worker's ``wdelta{w}/*`` accumulators —
+      the parameter-server push, one delta matrix per OS worker instead
+      of a full model replica per simulated cluster worker.
+    """
+
+    layout: ArenaLayout
+    groups: tuple[tuple[int, tuple[ChunkMeta, ...]], ...]  # (group idx, chunks)
+    num_topics: int
+    alpha: float
+    beta: float
+    compress: bool
+    compute_dtype: str
+    seed: int
+    mode: str = "replica"
+    worker_index: int = 0
+
+
+class _LocalChunk:
+    """A worker's live handle on one chunk: shm views + private theta."""
+
+    def __init__(self, meta: ChunkMeta, arena: ShmArena, num_topics: int,
+                 compress: bool):
+        cid = meta.chunk_id
+        self.meta = meta
+        self.chunk = DeviceChunk(
+            spec=meta.spec,
+            num_words=meta.num_words,
+            token_words=arena.view(f"chunk{cid}/token_words"),
+            token_docs=arena.view(f"chunk{cid}/token_docs"),
+            word_offsets=arena.view(f"chunk{cid}/word_offsets"),
+            doc_order=arena.view(f"chunk{cid}/doc_order"),
+            doc_offsets=arena.view(f"chunk{cid}/doc_offsets"),
+            block_plan=meta.block_plan,
+        )
+        self.topics = arena.view(f"chunk{cid}/topics")
+        self.theta_indptr = arena.view(f"chunk{cid}/theta_indptr")
+        self.theta_indices = arena.view(f"chunk{cid}/theta_indices")
+        self.theta_data = arena.view(f"chunk{cid}/theta_data")
+        # Private theta: rebuilt from the shared assignments, identical to
+        # the master's (from_assignments is deterministic).
+        self.theta = from_assignments(
+            self.chunk.token_docs,
+            self.topics.astype(np.int64),
+            num_rows=self.chunk.num_local_docs,
+            num_cols=num_topics,
+            compress=compress,
+        )
+
+    def publish_theta(self) -> None:
+        """Copy the rebuilt CSR into the shared slots (capacity = tokens)."""
+        nnz = self.theta.nnz
+        self.theta_indptr[...] = self.theta.indptr
+        np.copyto(self.theta_indices[:nnz], self.theta.indices, casting="same_kind")
+        np.copyto(self.theta_data[:nnz], self.theta.data, casting="same_kind")
+
+
+def run_chunk_pass(
+    lc: _LocalChunk,
+    phi: np.ndarray,
+    totals: np.ndarray,
+    iteration: int,
+    pool: RngPool,
+    num_topics: int,
+    alpha: float,
+    beta: float,
+    compress: bool,
+    workspace: Workspace,
+    update_phi: np.ndarray | None = None,
+    update_totals: np.ndarray | None = None,
+) -> ChunkResult:
+    """The functional half of one chunk pass (no simulated-clock charges).
+
+    Mirrors :func:`repro.core.scheduler.run_chunk_kernels` minus the
+    ``gpu.launch`` accounting, which stays on the master where the
+    simulated devices live.  ``update_phi``/``update_totals`` redirect
+    the count updates away from the sampled-against arrays (delta mode);
+    by default the updates land on ``phi``/``totals`` themselves.
+    """
+    rng = pool.chunk_stream(iteration, lc.meta.chunk_id)
+    theta_nnz_pre = lc.theta.nnz
+    result = sample_chunk(
+        lc.chunk, lc.topics, lc.theta, phi, totals,
+        alpha=alpha, beta=beta, rng=rng, workspace=workspace,
+    )
+    changed = apply_phi_update(
+        phi if update_phi is None else update_phi,
+        totals if update_totals is None else update_totals,
+        lc.chunk.token_words, lc.topics, result.new_topics,
+    )
+    np.copyto(lc.topics, result.new_topics, casting="same_kind")
+    lc.theta = from_assignments(
+        lc.chunk.token_docs,
+        lc.topics.astype(np.int64),
+        num_rows=lc.chunk.num_local_docs,
+        num_cols=num_topics,
+        compress=compress,
+    )
+    lc.publish_theta()
+    return ChunkResult(
+        chunk_id=lc.meta.chunk_id,
+        stats=result.stats,
+        changed=changed,
+        theta_nnz_pre=theta_nnz_pre,
+        theta_nnz=lc.theta.nnz,
+    )
+
+
+def worker_main(conn, plan: WorkerPlan) -> None:
+    """Entry point of one worker process: attach, loop on the pipe.
+
+    Protocol (master -> worker): ``("iter", i)`` runs iteration ``i``
+    over every owned group and answers ``("done", [ChunkResult...])``;
+    ``("stats",)`` answers ``("stats", [workspace descriptions])``;
+    ``("stop",)`` exits.  Any exception answers ``("error", traceback)``
+    and exits.
+    """
+    arena = None
+    try:
+        arena = ShmArena.attach(plan.layout)
+        pool = RngPool(plan.seed)
+        delta = plan.mode == "delta"
+        delta_phi = delta_totals = None
+        if delta:
+            # One snapshot, one per-worker delta pair, one workspace —
+            # mirrors the serial LDA* loop's shared-arena structure.
+            shared_ws = Workspace(plan.compute_dtype)
+            model_phi = arena.view("model/phi")
+            model_totals = arena.view("model/totals")
+            delta_phi = arena.view(f"wdelta{plan.worker_index}/phi")
+            delta_totals = arena.view(f"wdelta{plan.worker_index}/totals")
+        groups = []
+        for group_idx, metas in plan.groups:
+            if delta:
+                phi, totals, ws = model_phi, model_totals, shared_ws
+            else:
+                phi = arena.view(f"rep{group_idx}/phi")
+                totals = arena.view(f"rep{group_idx}/totals")
+                ws = Workspace(plan.compute_dtype)
+            chunks = [
+                _LocalChunk(m, arena, plan.num_topics, plan.compress)
+                for m in metas
+            ]
+            groups.append((group_idx, phi, totals, chunks, ws))
+        while True:
+            msg = conn.recv()
+            cmd = msg[0]
+            if cmd == "stop":
+                break
+            if cmd == "stats":
+                conn.send(
+                    ("stats", [(gi, ws.describe()) for gi, _, _, _, ws in groups])
+                )
+                continue
+            if cmd != "iter":  # pragma: no cover - protocol misuse
+                raise ValueError(f"unknown worker command {cmd!r}")
+            iteration = msg[1]
+            if delta:
+                delta_phi[...] = 0
+                delta_totals[...] = 0
+            results = []
+            for _, phi, totals, chunks, workspace in groups:
+                for lc in chunks:
+                    results.append(
+                        run_chunk_pass(
+                            lc, phi, totals, iteration, pool,
+                            plan.num_topics, plan.alpha, plan.beta,
+                            plan.compress, workspace,
+                            update_phi=delta_phi,
+                            update_totals=delta_totals,
+                        )
+                    )
+            conn.send(("done", results))
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - shutdown races
+        pass
+    except Exception:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:  # pragma: no cover - master already gone
+            pass
+    finally:
+        if arena is not None:
+            arena.close()
+        conn.close()

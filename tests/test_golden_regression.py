@@ -1,13 +1,19 @@
 """Golden fixed-seed regressions: the perf overhaul is value-preserving.
 
 ``tests/golden/seed_assignments.json`` holds topic assignments captured
-on the pre-overhaul seed tree (commit bb018e3) for fixed seeds.  These
-tests replay the same runs on the current tree and assert the draws are
+on the pre-overhaul seed tree (commit bb018e3) for fixed seeds, plus
+warplda/saberlda captures pinned on the PR-3 tree.  These tests replay
+the same runs on the current tree and assert the draws are
 **bit-identical** on the default float64 paths:
 
-- culda under both work schedules (workspace-backed kernel);
+- culda under both work schedules (workspace-backed kernel), in both
+  serial and process execution;
 - plain CGS and exact-mode SparseLDA (hoisted sequential loops);
-- LightLDA (batched Vose alias builds).
+- LightLDA (batched Vose alias builds);
+- WarpLDA (vectorised MH passes) and SaberLDA (shared CuLDA core on the
+  degraded cost levers);
+- LDA* (delta-accumulation worker loop — verified bit-identical to the
+  pre-PR-3 per-replica loop when captured), in both execution modes.
 
 Any arithmetic reordering, RNG stream change, or buffer-aliasing bug in
 the kernels shows up here as a hard failure.
@@ -24,7 +30,9 @@ import pytest
 from repro.api import create_trainer
 from repro.baselines.lightlda import LightLdaTrainer
 from repro.baselines.plain_cgs import PlainCgsSampler
+from repro.baselines.saberlda import SaberLdaTrainer
 from repro.baselines.sparselda import SparseLdaSampler
+from repro.baselines.warplda import WarpLdaConfig, WarpLdaTrainer
 from repro.corpus.synthetic import SyntheticSpec, generate_synthetic_corpus
 
 GOLDEN = json.loads(
@@ -65,6 +73,29 @@ class TestCuLdaGolden:
         )
         assert np.array_equal(z, expected(case))
 
+    @pytest.mark.parametrize("case", ["culda_ws1", "culda_ws2"])
+    def test_process_execution_matches_serial_goldens(self, golden_corpus, case):
+        """OS-worker execution must reproduce the serial captures bit-for-bit."""
+        m = meta(case)
+        trainer = create_trainer(
+            "culda",
+            golden_corpus,
+            topics=m["topics"],
+            seed=m["seed"],
+            gpus=m["gpus"],
+            chunks_per_gpu=m["chunks_per_gpu"],
+            execution="process",
+            num_workers=2,
+        )
+        try:
+            trainer.fit(m["iterations"], likelihood_every=0)
+            z = np.concatenate(
+                [cs.topics.astype(np.int64) for cs in trainer.state.chunks]
+            )
+        finally:
+            trainer.close()
+        assert np.array_equal(z, expected(case))
+
     def test_workspace_actually_reused(self, golden_corpus):
         """The golden run must go through the pooled-buffer path."""
         m = meta("culda_ws1")
@@ -99,3 +130,39 @@ class TestSequentialGolden:
         t = LightLdaTrainer(golden_corpus, num_topics=m["topics"], seed=m["seed"])
         t.train(m["iterations"], compute_likelihood_every=0)
         assert np.array_equal(t.model.z, expected("lightlda"))
+
+    def test_warplda(self, golden_corpus):
+        m = meta("warplda")
+        t = WarpLdaTrainer(
+            golden_corpus,
+            WarpLdaConfig(
+                num_topics=m["topics"], seed=m["seed"], mh_rounds=m["mh_rounds"]
+            ),
+        )
+        t.train(m["iterations"], compute_likelihood_every=0)
+        assert np.array_equal(t.model.z.astype(np.int64), expected("warplda"))
+
+    def test_saberlda(self, golden_corpus):
+        m = meta("saberlda")
+        t = SaberLdaTrainer(golden_corpus, num_topics=m["topics"], seed=m["seed"])
+        t.train(m["iterations"], compute_likelihood_every=0)
+        z = np.concatenate([cs.topics.astype(np.int64) for cs in t.state.chunks])
+        assert np.array_equal(z, expected("saberlda"))
+
+    @pytest.mark.parametrize("execution", ["serial", "process"])
+    def test_ldastar(self, golden_corpus, execution):
+        from repro.baselines.ldastar import LdaStarTrainer
+
+        m = meta("ldastar")
+        t = LdaStarTrainer(
+            golden_corpus, num_topics=m["topics"], num_workers=m["workers"],
+            seed=m["seed"], execution=execution, num_processes=2,
+        )
+        try:
+            t.train(m["iterations"], compute_likelihood_every=0)
+            z = np.concatenate(
+                [cs.topics.astype(np.int64) for cs in t.state.chunks]
+            )
+        finally:
+            t.close()
+        assert np.array_equal(z, expected("ldastar"))

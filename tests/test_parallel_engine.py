@@ -1,0 +1,257 @@
+"""Process execution engine: bit-identity, lifecycle, cleanup.
+
+The golden suite already pins culda process mode against the serial
+captures; these tests cover the rest of the engine contract: the shm
+arena, LDA* process equivalence, simulated clocks, engine restart,
+worker-side workspace stats, shared-segment cleanup, and the
+config/registry surface.
+"""
+
+from __future__ import annotations
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.api import create_trainer
+from repro.baselines.ldastar import LdaStarTrainer
+from repro.core.config import TrainerConfig
+from repro.core.trainer import CuLdaTrainer
+from repro.corpus.synthetic import SyntheticSpec, generate_synthetic_corpus
+from repro.parallel import ShmArena, resolve_num_workers
+
+SPEC = SyntheticSpec(
+    name="par", num_docs=50, num_words=90, mean_doc_len=20.0,
+    doc_len_sigma=0.5, num_topics=5,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_synthetic_corpus(SPEC, seed=11)
+
+
+def _run_culda(corpus, execution, **cfg_kwargs):
+    cfg = TrainerConfig(
+        num_topics=12, seed=5, execution=execution, **cfg_kwargs
+    )
+    t = CuLdaTrainer(corpus, cfg)
+    try:
+        t.train(3, compute_likelihood_every=1)
+        z = np.concatenate(
+            [cs.topics.astype(np.int64) for cs in t.state.chunks]
+        )
+        return (
+            z,
+            t.state.phi.copy(),
+            [r.sim_seconds for r in t.history],
+            [r.log_likelihood_per_token for r in t.history],
+        )
+    finally:
+        t.close()
+
+
+class TestShmArena:
+    def test_roundtrip_and_layout(self):
+        arena = ShmArena.create(
+            {"a": ((4, 3), np.dtype(np.int32)), "b": ((7,), np.dtype(np.float64))}
+        )
+        try:
+            arena.view("a")[...] = np.arange(12).reshape(4, 3)
+            arena.view("b")[...] = 0.5
+            # attach through the picklable layout, as a worker would
+            other = ShmArena.attach(arena.layout)
+            assert np.array_equal(
+                other.view("a"), np.arange(12).reshape(4, 3)
+            )
+            other.view("b")[0] = 2.5
+            assert arena.view("b")[0] == 2.5
+            other.close()
+        finally:
+            arena.close()
+            arena.unlink()
+
+    def test_views_are_aligned_and_disjoint(self):
+        arena = ShmArena.create(
+            {"x": ((5,), np.dtype(np.int8)), "y": ((5,), np.dtype(np.int64))}
+        )
+        try:
+            arena.view("x")[...] = 1
+            arena.view("y")[...] = -1
+            assert np.all(arena.view("x") == 1)
+            for spec in arena.layout.arrays:
+                assert spec.offset % 64 == 0
+        finally:
+            arena.close()
+            arena.unlink()
+
+
+class TestResolveNumWorkers:
+    def test_caps_at_groups(self):
+        assert resolve_num_workers(8, 3) == 3
+
+    def test_default_is_cpu_bound(self):
+        import os
+
+        assert resolve_num_workers(None, 64) == min(64, os.cpu_count() or 1)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            resolve_num_workers(0, 4)
+
+
+class TestCuLdaProcessExecution:
+    @pytest.mark.parametrize("gpus,m", [(2, 1), (2, 2)])
+    def test_bit_identical_to_serial(self, corpus, gpus, m):
+        serial = _run_culda(corpus, "serial", num_gpus=gpus, chunks_per_gpu=m)
+        proc = _run_culda(
+            corpus, "process", num_gpus=gpus, chunks_per_gpu=m, num_workers=2
+        )
+        assert np.array_equal(serial[0], proc[0])  # assignments
+        assert np.array_equal(serial[1], proc[1])  # phi
+        assert serial[2] == proc[2]  # simulated clocks
+        assert serial[3] == proc[3]  # likelihood trajectory
+
+    def test_close_then_resume_continues_same_chain(self, corpus):
+        cfg = TrainerConfig(num_topics=12, num_gpus=2, seed=5, execution="process",
+                            num_workers=2)
+        t = CuLdaTrainer(corpus, cfg)
+        t.train(2, compute_likelihood_every=0)
+        t.close()  # engine torn down; state copied back to private arrays
+        t.train(1, compute_likelihood_every=0)  # fresh engine from current state
+        z = np.concatenate([cs.topics.astype(np.int64) for cs in t.state.chunks])
+        t.close()
+
+        ref = CuLdaTrainer(
+            corpus, TrainerConfig(num_topics=12, num_gpus=2, seed=5)
+        )
+        ref.train(3, compute_likelihood_every=0)
+        z_ref = np.concatenate(
+            [cs.topics.astype(np.int64) for cs in ref.state.chunks]
+        )
+        assert np.array_equal(z, z_ref)
+
+    def test_state_usable_and_valid_after_close(self, corpus):
+        cfg = TrainerConfig(num_topics=12, num_gpus=2, seed=5,
+                            execution="process", num_workers=2)
+        with CuLdaTrainer(corpus, cfg) as t:
+            t.train(2, compute_likelihood_every=0)
+        t.state.validate()
+        assert t.state.phi.sum() == corpus.num_tokens
+
+    def test_workspace_stats_come_from_workers(self, corpus):
+        cfg = TrainerConfig(num_topics=12, num_gpus=2, seed=5,
+                            execution="process", num_workers=2)
+        t = CuLdaTrainer(corpus, cfg)
+        try:
+            t.train(2, compute_likelihood_every=0)
+            stats = t.workspace_stats()
+            assert len(stats) == 2  # one arena per device, across workers
+            assert all(s["hits"] > 0 for s in stats)
+        finally:
+            t.close()
+
+    def test_describe_reports_execution(self, corpus):
+        cfg = TrainerConfig(num_topics=12, seed=5, execution="process",
+                            num_workers=1)
+        t = CuLdaTrainer(corpus, cfg)
+        try:
+            assert t.describe()["execution"] == "process"
+        finally:
+            t.close()
+
+    def test_closed_engine_refuses_restart(self, corpus):
+        """A closed engine's construction-time snapshot is stale; the
+        trainer must build a fresh engine instead (and does)."""
+        cfg = TrainerConfig(num_topics=12, num_gpus=2, seed=5,
+                            execution="process", num_workers=2)
+        t = CuLdaTrainer(corpus, cfg)
+        t.train(1, compute_likelihood_every=0)
+        engine = t._engine
+        t.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.run_iteration(1)
+        t.train(1, compute_likelihood_every=0)  # trainer path: fresh engine
+        assert t._engine is not engine
+        t.close()
+
+    def test_no_leaked_segments(self, corpus):
+        before = set(glob.glob("/dev/shm/psm_*"))
+        cfg = TrainerConfig(num_topics=12, num_gpus=2, seed=5,
+                            execution="process", num_workers=2)
+        t = CuLdaTrainer(corpus, cfg)
+        t.train(1, compute_likelihood_every=0)
+        t.close()
+        assert set(glob.glob("/dev/shm/psm_*")) <= before
+
+
+class TestLdaStarProcessExecution:
+    def test_bit_identical_to_serial(self, corpus):
+        runs = {}
+        for execution in ("serial", "process"):
+            t = LdaStarTrainer(
+                corpus, num_topics=10, num_workers=3, seed=9,
+                execution=execution, num_processes=2,
+            )
+            try:
+                t.train(3, compute_likelihood_every=1)
+                runs[execution] = (
+                    np.concatenate(
+                        [cs.topics.astype(np.int64) for cs in t.state.chunks]
+                    ),
+                    [r.sim_seconds for r in t.history],
+                    [r.log_likelihood_per_token for r in t.history],
+                )
+                t.state.validate()
+            finally:
+                t.close()
+        assert np.array_equal(runs["serial"][0], runs["process"][0])
+        assert runs["serial"][1] == runs["process"][1]
+        assert runs["serial"][2] == runs["process"][2]
+
+    def test_rejects_bad_execution(self, corpus):
+        with pytest.raises(ValueError, match="execution"):
+            LdaStarTrainer(corpus, num_topics=10, execution="threads")
+
+
+class TestConfigAndRegistrySurface:
+    def test_config_rejects_bad_execution(self):
+        with pytest.raises(ValueError, match="execution"):
+            TrainerConfig(num_topics=8, execution="gpu")
+
+    def test_config_rejects_bad_num_workers(self):
+        with pytest.raises(ValueError, match="num_workers"):
+            TrainerConfig(num_topics=8, num_workers=0)
+
+    def test_create_trainer_forwards_execution(self, corpus):
+        t = create_trainer(
+            "culda", corpus, topics=12, gpus=2, execution="process",
+            num_workers=2, seed=5,
+        )
+        try:
+            t.partial_fit(2, compute_likelihood=False)
+            z = np.concatenate(
+                [cs.topics.astype(np.int64) for cs in t.state.chunks]
+            )
+        finally:
+            t.close()
+        ref_t = CuLdaTrainer(
+            corpus, TrainerConfig(num_topics=12, num_gpus=2, seed=5)
+        )
+        ref_t.train(2, compute_likelihood_every=0)
+        z_ref = np.concatenate(
+            [cs.topics.astype(np.int64) for cs in ref_t.state.chunks]
+        )
+        assert np.array_equal(z, z_ref)
+
+    def test_create_trainer_forwards_ldastar_execution(self, corpus):
+        t = create_trainer(
+            "ldastar", corpus, topics=10, workers=3, execution="process",
+            num_workers=2, seed=9,
+        )
+        try:
+            t.partial_fit(1, compute_likelihood=False)
+            assert t.describe()["native"]["execution"] == "process"
+        finally:
+            t.close()

@@ -58,3 +58,20 @@ def test_committed_report_has_required_speedups():
         assert entry["after_tokens_per_sec"] > 0
     assert algos["sparselda"]["speedup"] >= 3.0
     assert algos["lightlda"]["speedup"] >= 3.0
+    # PR 3: the ldastar wall-clock regression (0.95x after PR 2) is fixed
+    assert algos["ldastar"]["speedup"] >= 1.0
+
+
+def test_committed_report_has_scaling_curve():
+    """PR 3: the committed JSON records a real device/worker sweep."""
+    report = json.loads((REPO / "BENCH_wallclock.json").read_text())
+    scaling = report["scaling"]
+    assert scaling["devices"] == 4
+    assert scaling["preset"] == "medium"
+    assert scaling["serial"]["tokens_per_sec"] > 0
+    assert set(scaling["process_workers"]) == {"1", "2", "4"}
+    for point in scaling["process_workers"].values():
+        assert point["tokens_per_sec"] > 0
+        assert point["speedup_vs_serial"] > 0
+    # the sweep is only interpretable next to the machine it ran on
+    assert report["environment"]["cpu_count"] >= 1
