@@ -137,6 +137,79 @@ def measure_algorithm(
     }
 
 
+def run_inference_bench(
+    topics: int = DEFAULT_TOPICS,
+    num_docs: int = 400,
+    num_sweeps: int = 10,
+    burn_in: int = 4,
+    train_iterations: int = 3,
+    scale: float = 1.0,
+) -> dict:
+    """Fold-in inference throughput: sequential sampler vs batched session.
+
+    Trains a quick culda model on the **medium** preset, splits off
+    ``num_docs`` unseen documents, and times topic-mixture inference for
+    them twice: one document at a time
+    (:class:`repro.core.inference.FoldInSampler.infer_corpus`) and
+    batched (:class:`repro.model.InferenceSession.transform`).  The two
+    produce bit-identical mixtures (asserted here), so the ratio is pure
+    batching speedup — the serving-path analogue of the training
+    trajectory above.
+    """
+    from repro.core.inference import FoldInSampler
+    from repro.model import InferenceSession
+
+    corpus, spec = make_corpus(scale, preset="medium")
+    split = max(1, corpus.num_docs - max(8, int(round(num_docs * scale))))
+    train, test = corpus.subset(0, split), corpus.subset(split, corpus.num_docs)
+    trainer = create_trainer("culda", train, topics=topics, seed=0)
+    trainer.fit(train_iterations, likelihood_every=0)
+    model = trainer.export_model()
+
+    sampler = FoldInSampler.from_state(trainer.state)
+    t0 = time.perf_counter()
+    ref = sampler.infer_corpus(
+        test, num_sweeps=num_sweeps, burn_in=burn_in, seed=7
+    )
+    sequential_s = time.perf_counter() - t0
+
+    session = InferenceSession(model, num_sweeps=num_sweeps, burn_in=burn_in)
+    session.transform(test.subset(0, min(8, test.num_docs)), seed=7)  # warmup
+    t0 = time.perf_counter()
+    theta = session.transform(test, seed=7)
+    batched_s = time.perf_counter() - t0
+
+    if not np.array_equal(ref, theta):
+        raise AssertionError(
+            "batched inference diverged from the sequential sampler"
+        )
+    tokens = test.num_tokens
+    result = {
+        "preset": "medium",
+        "corpus": {"spec": spec, "seed": CORPUS_SEED},
+        "documents": test.num_docs,
+        "tokens": tokens,
+        "num_sweeps": num_sweeps,
+        "burn_in": burn_in,
+        "sequential": {
+            "seconds": sequential_s,
+            "tokens_per_sec": tokens / sequential_s,
+        },
+        "batched": {
+            "seconds": batched_s,
+            "tokens_per_sec": tokens / batched_s,
+        },
+        "speedup": sequential_s / batched_s,
+        "note": "mixtures bit-identical between the two paths (asserted)",
+    }
+    print(
+        f"inference    sequential {tokens / sequential_s / 1e3:8.1f}k tok/s   "
+        f"batched {tokens / batched_s / 1e3:8.1f}k tok/s   "
+        f"{result['speedup']:5.2f}x"
+    )
+    return result
+
+
 def run_scaling_sweep(
     topics: int,
     warmup: int,
@@ -199,6 +272,7 @@ def run(
     execution: str = "serial",
     num_workers: int | None = None,
     scaling_sweep: bool = False,
+    inference: bool = True,
 ) -> dict:
     corpus, spec = make_corpus(scale, preset=preset)
     names = algos or algorithm_names()
@@ -300,6 +374,10 @@ def run(
     if scaling_sweep:
         scaling = run_scaling_sweep(topics, warmup, iterations, scale)
 
+    inference_report = None
+    if inference:
+        inference_report = run_inference_bench(topics=topics, scale=scale)
+
     report = {
         "protocol": {
             "corpus": {"spec": spec, "seed": CORPUS_SEED},
@@ -336,6 +414,8 @@ def run(
     }
     if scaling is not None:
         report["scaling"] = scaling
+    if inference_report is not None:
+        report["inference"] = inference_report
     out_path = Path(out_path)
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"report written to {out_path}")
@@ -364,6 +444,9 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--scaling-sweep", action="store_true",
                     help="record the culda 4-device x {1,2,4}-worker "
                          "scaling curve on the medium preset")
+    ap.add_argument("--no-inference", dest="inference", action="store_false",
+                    help="skip the fold-in inference throughput section "
+                         "(sequential vs batched, medium preset)")
     ap.add_argument("--algos", nargs="*", default=None,
                     help="subset of registry names (default: all)")
     ap.add_argument("--baseline", default=str(DEFAULT_BASELINE),
@@ -382,6 +465,7 @@ def main(argv: list[str] | None = None) -> int:
         execution=args.execution,
         num_workers=args.num_workers,
         scaling_sweep=args.scaling_sweep,
+        inference=args.inference,
     )
     return 0
 

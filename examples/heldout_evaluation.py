@@ -4,9 +4,9 @@
 The full downstream workflow a CuLDA_CGS user runs after training:
 
 1. split a corpus into train/test documents,
-2. train on the train split (multi-GPU), checkpoint the model,
-3. reload the model artifact,
-4. fold in topic mixtures for unseen test documents,
+2. train on the train split (multi-GPU), export the TopicModel artifact,
+3. reload the artifact from its versioned .npz,
+4. fold in topic mixtures for unseen test documents (batched),
 5. report document-completion perplexity and topic quality metrics.
 
     python examples/heldout_evaluation.py
@@ -24,8 +24,7 @@ from repro.analysis.topics import (
     topic_diversity,
     umass_coherence,
 )
-from repro.core.inference import FoldInSampler
-from repro.core.snapshot import load_model, save_model
+from repro.model import InferenceSession, TopicModel
 from repro.corpus.synthetic import generate_synthetic_corpus, small_spec
 from repro.gpusim.platform import PASCAL_PLATFORM
 
@@ -49,14 +48,13 @@ def main() -> None:
 
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "model.npz"
-        save_model(trainer.state, path)
-        model = load_model(path)
-        print(f"model artifact: {path.stat().st_size / 1024:.0f} KB on disk")
+        trainer.export_model().save(path)
+        model = TopicModel.load(path)
+        print(f"model artifact: {path.stat().st_size / 1024:.0f} KB on disk "
+              f"(schema v2, algorithm={model.metadata['algorithm']})")
 
-        sampler = FoldInSampler(
-            model["phi"], model["topic_totals"], model["alpha"], model["beta"]
-        )
-        result = document_completion(sampler, test, num_sweeps=20, burn_in=8)
+        session = InferenceSession(model, num_sweeps=20, burn_in=8)
+        result = document_completion(session, test)
 
     print(
         "\n"

@@ -39,8 +39,9 @@ from repro.api import (
     register_algorithm,
 )
 from repro.core import LdaState, TrainerConfig, log_likelihood_per_token
+from repro.model import InferenceSession, TopicModel
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     # unified API
@@ -55,6 +56,9 @@ __all__ = [
     "EarlyStopping",
     "Checkpointer",
     "ProgressLogger",
+    # model artifacts + inference
+    "TopicModel",
+    "InferenceSession",
     # core building blocks
     "TrainerConfig",
     "LdaState",

@@ -55,6 +55,13 @@ class _DelegatingAdapter(LdaTrainer):
             info["native"] = native()
         return info
 
+    def _export_metadata(self) -> dict[str, Any]:
+        # The shared export_model default does the artifact work; the
+        # adapters only add their normalized construction options.
+        meta = super()._export_metadata()
+        meta["options"] = dict(self._options)
+        return meta
+
     def __getattr__(self, attr: str) -> Any:
         # Only called for attributes not found on the adapter itself.
         return getattr(self.inner, attr)

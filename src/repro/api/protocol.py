@@ -22,12 +22,15 @@ from __future__ import annotations
 import abc
 from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro.api.callbacks import Callback, likelihood_needed
 from repro.core.trainer import IterationRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.model import TopicModel
 
 __all__ = ["IterationRecord", "LdaTrainer", "TrainResult"]
 
@@ -146,6 +149,31 @@ class LdaTrainer(abc.ABC):
         if not records:
             raise ValueError("no iterations recorded yet")
         return float(np.mean([r.tokens_per_sec for r in records]))
+
+    def _export_metadata(self) -> dict[str, Any]:
+        """Provenance recorded in :meth:`export_model` artifacts.
+
+        Subclasses extend this (JSON-serializable values only) rather
+        than reimplementing ``export_model``.
+        """
+        return {"algorithm": self.name, "iterations": self.iterations_done}
+
+    def export_model(self) -> "TopicModel":
+        """Freeze the current model into a :class:`~repro.model.TopicModel`.
+
+        Works for every algorithm: the artifact needs only ``phi``,
+        ``topic_totals`` and the hyper-parameters, which all state types
+        expose.  Attaches the training corpus's vocabulary when one is
+        reachable; metadata comes from :meth:`_export_metadata`.
+        """
+        from repro.model import TopicModel
+
+        corpus = getattr(self, "corpus", None)
+        return TopicModel.from_state(
+            self.state,
+            vocabulary=getattr(corpus, "vocabulary", None),
+            metadata=self._export_metadata(),
+        )
 
     def fit(
         self,

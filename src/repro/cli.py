@@ -1,17 +1,21 @@
-"""Command-line interface: train, inspect, and evaluate LDA models.
+"""Command-line interface: train, inspect, infer with, and evaluate LDA models.
 
-    python -m repro train --preset nytimes --scale 0.003 --topics 128 \
-        --iterations 30 --platform volta --output model.npz
-    python -m repro train --algo warplda --topics 64 --iterations 20
+    python -m repro train --algo warplda --topics 64 --iterations 20 \
+        --output model.npz
     python -m repro topics --model model.npz --vocab vocab.txt --top 10
+    python -m repro infer --model model.npz --docword new_docs.txt \
+        --output theta.npz
+    python -m repro evaluate --model model.npz --docword test_docs.txt
     python -m repro benchmark --algo lightlda --topics 256
     python -m repro algorithms
 
 Every trainer is constructed through the unified registry
 (:func:`repro.api.create_trainer`), so ``--algo`` accepts any registered
-algorithm name; ``repro algorithms`` lists them with their options.
-Kept dependency-free beyond the library itself; every command prints the
-same metrics the paper reports.
+algorithm name and ``train --output`` exports a
+:class:`~repro.model.TopicModel` artifact for **any** of them;
+``infer``/``evaluate`` serve that artifact through the batched
+:class:`~repro.model.InferenceSession`.  Kept dependency-free beyond the
+library itself; every command prints the same metrics the paper reports.
 """
 
 from __future__ import annotations
@@ -23,10 +27,11 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.analysis.heldout import document_completion
 from repro.analysis.reporting import render_table
 from repro.api import algorithm_names, create_trainer, get_algorithm
 from repro.core.model import LdaState
-from repro.core.snapshot import load_model, save_checkpoint, save_model
+from repro.core.snapshot import save_checkpoint
 from repro.corpus.document import Corpus
 from repro.corpus.io import read_uci_bow
 from repro.corpus.stats import corpus_stats
@@ -36,11 +41,9 @@ from repro.corpus.synthetic import (
     generate_synthetic_corpus,
     small_spec,
 )
+from repro.model import InferenceSession, TopicModel
 
 PRESETS = {"nytimes": NYTIMES_LIKE, "pubmed": PUBMED_LIKE}
-
-#: Model keys `repro topics` requires; validated with a clear error.
-REQUIRED_MODEL_KEYS = ("phi", "topic_totals", "num_words")
 
 
 def _load_corpus(args: argparse.Namespace) -> Corpus:
@@ -94,12 +97,12 @@ def cmd_train(args: argparse.Namespace) -> int:
     st = corpus_stats(corpus)
     print(f"corpus: D={st.num_docs} V={st.num_words} T={st.num_tokens}")
     trainer = _build_trainer(args, corpus)
-    wants_artifacts = args.output or args.checkpoint
-    if wants_artifacts and not isinstance(trainer.state, LdaState):
-        # Refuse before training, not after the work is done.
+    if args.checkpoint and not isinstance(trainer.state, LdaState):
+        # Refuse before training, not after the work is done.  (--output
+        # works for every algorithm via export_model.)
         print(
-            f"error: --output/--checkpoint need the chunked LdaState; "
-            f"algorithm {args.algo!r} trains a dense model only",
+            f"error: --checkpoint needs the chunked LdaState; algorithm "
+            f"{args.algo!r} trains a dense model only",
             file=sys.stderr,
         )
         return 2
@@ -107,54 +110,127 @@ def cmd_train(args: argparse.Namespace) -> int:
         result = trainer.fit(
             args.iterations, likelihood_every=args.likelihood_every
         )
+        print(
+            f"done: {result.num_iterations} iterations of {args.algo}, "
+            f"{trainer.average_tokens_per_sec() / 1e6:.1f}M tokens/s "
+            f"(simulated), LL/token {result.final_log_likelihood}"
+        )
+        if args.output:
+            trainer.export_model().save(args.output)
+            print(f"model written to {args.output}")
+        if args.checkpoint:
+            save_checkpoint(trainer.state, args.checkpoint)
+            print(f"checkpoint written to {args.checkpoint}")
     finally:
         _close_trainer(trainer)
-    print(
-        f"done: {result.num_iterations} iterations of {args.algo}, "
-        f"{trainer.average_tokens_per_sec() / 1e6:.1f}M tokens/s (simulated), "
-        f"LL/token {result.final_log_likelihood}"
-    )
-    if args.output:
-        save_model(trainer.state, args.output)
-        print(f"model written to {args.output}")
-    if args.checkpoint:
-        save_checkpoint(trainer.state, args.checkpoint)
-        print(f"checkpoint written to {args.checkpoint}")
     return 0
 
 
-def cmd_topics(args: argparse.Namespace) -> int:
-    try:
-        model = load_model(args.model)
-    except KeyError as exc:
-        # load_model guarantees every REQUIRED_MODEL_KEYS entry in its
-        # return value, so a missing key surfaces here, not downstream.
-        print(
-            f"error: {args.model} is not a usable model file "
-            f"(missing key {exc}; a 'repro train --output' artifact "
-            f"carries {', '.join(REQUIRED_MODEL_KEYS)})",
-            file=sys.stderr,
+def _load_vocab_terms(path: str | Path, num_words: int) -> list[str]:
+    """Vocabulary lines with **positional** alignment preserved.
+
+    Word id == line number: a blank line mid-file stays in place (it is
+    a placeholder term, not a gap to close up), so every later word id
+    keeps its term.  Only trailing blank lines (a final newline, padding)
+    are dropped.  The only error is a count mismatch.
+    """
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    while lines and not lines[-1].strip():
+        lines.pop()
+    if len(lines) != num_words:
+        raise ValueError(
+            f"vocab has {len(lines)} terms, model expects {num_words}"
         )
-        return 2
-    phi = model["phi"]
-    terms = None
+    return lines
+
+
+def cmd_topics(args: argparse.Namespace) -> int:
+    model = TopicModel.load(args.model)
+    terms: list[str] | None = None
     if args.vocab:
-        terms = [t for t in Path(args.vocab).read_text().splitlines() if t]
-        if len(terms) != model["num_words"]:
-            print(
-                f"error: vocab has {len(terms)} terms, model expects "
-                f"{model['num_words']}",
-                file=sys.stderr,
-            )
+        try:
+            terms = _load_vocab_terms(args.vocab, model.num_words)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
             return 2
-    totals = model["topic_totals"]
-    order = np.argsort(totals)[::-1][: args.num_topics]
+    order = model.topics_by_size()[: args.num_topics]
     rows = []
     for k in order:
-        top = np.argsort(phi[k])[::-1][: args.top]
-        words = [terms[i] if terms else f"w{i}" for i in top]
-        rows.append([int(k), int(totals[k]), " ".join(words)])
+        if terms is not None:
+            words = [terms[int(i)] for i in model.top_words(int(k), args.top)]
+        else:
+            words = model.top_terms(int(k), args.top)
+        rows.append([int(k), int(model.topic_totals[k]), " ".join(words)])
     print(render_table(["topic", "#tokens", "top words"], rows))
+    return 0
+
+
+def _check_model_covers(model: TopicModel, corpus: Corpus) -> None:
+    if corpus.num_words > model.num_words:
+        raise ValueError(
+            f"corpus vocabulary ({corpus.num_words}) exceeds the trained "
+            f"vocabulary ({model.num_words})"
+        )
+
+
+def cmd_infer(args: argparse.Namespace) -> int:
+    model = TopicModel.load(args.model)
+    corpus = _load_corpus(args)
+    _check_model_covers(model, corpus)
+    session = InferenceSession(
+        model,
+        num_sweeps=args.sweeps,
+        burn_in=args.burn_in,
+        batch_docs=args.batch_docs,
+    )
+    theta = session.transform(corpus, seed=args.inference_seed)
+    print(
+        f"inferred mixtures for {corpus.num_docs} documents "
+        f"({corpus.num_tokens} tokens, K={model.num_topics})"
+    )
+    if args.output:
+        np.savez_compressed(Path(args.output), theta=theta)
+        print(f"theta written to {args.output}")
+    ids, weights = session.top_topics(corpus, n=args.top, theta=theta)
+    show = min(corpus.num_docs, args.show_docs)
+    rows = []
+    for d in range(show):
+        mix = " ".join(
+            f"{int(t)}:{w:.2f}" for t, w in zip(ids[d], weights[d])
+        )
+        rows.append([d, corpus.doc_length(d), mix])
+    if rows:
+        print(render_table(["doc", "#tokens", "top topics"], rows))
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    model = TopicModel.load(args.model)
+    corpus = _load_corpus(args)
+    _check_model_covers(model, corpus)
+    result = document_completion(
+        model,
+        corpus,
+        observed_fraction=args.observed_fraction,
+        num_sweeps=args.sweeps,
+        burn_in=args.burn_in,
+        seed=args.inference_seed,
+    )
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["documents", result.num_documents],
+                ["scored tokens", result.num_scored_tokens],
+                [
+                    "log predictive / token",
+                    f"{result.log_predictive_per_token:.4f}",
+                ],
+                ["perplexity", f"{result.perplexity:.2f}"],
+            ],
+            title="Document-completion evaluation",
+        )
+    )
     return 0
 
 
@@ -263,6 +339,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_topics.add_argument("--num-topics", type=int, default=10,
                           help="how many topics to print")
     p_topics.set_defaults(func=cmd_topics)
+
+    def add_inference_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--model", required=True,
+                       help="model .npz from 'repro train --output'")
+        p.add_argument("--sweeps", type=int, default=25,
+                       help="fold-in Gibbs sweeps per document")
+        p.add_argument("--burn-in", dest="burn_in", type=int, default=10,
+                       help="sweeps discarded before averaging theta")
+        p.add_argument("--inference-seed", dest="inference_seed", type=int,
+                       default=0,
+                       help="seed of the fold-in draws (per-document "
+                            "streams; --seed shapes the corpus)")
+
+    p_infer = sub.add_parser(
+        "infer", help="batched topic-mixture inference for new documents"
+    )
+    add_corpus_args(p_infer)
+    add_inference_args(p_infer)
+    p_infer.add_argument("--output", help="write theta (D x K) .npz here")
+    p_infer.add_argument("--top", type=int, default=3,
+                         help="top topics shown per document")
+    p_infer.add_argument("--show-docs", dest="show_docs", type=int, default=10,
+                         help="documents to print (all are inferred)")
+    p_infer.add_argument("--batch-docs", dest="batch_docs", type=int,
+                         default=256,
+                         help="documents per lockstep batch (memory knob; "
+                              "results are identical for any value)")
+    p_infer.set_defaults(func=cmd_infer)
+
+    p_eval = sub.add_parser(
+        "evaluate", help="document-completion perplexity of a saved model"
+    )
+    add_corpus_args(p_eval)
+    add_inference_args(p_eval)
+    p_eval.add_argument("--observed-fraction", dest="observed_fraction",
+                        type=float, default=0.5,
+                        help="fraction of each document folded in; the "
+                             "rest is scored")
+    p_eval.set_defaults(func=cmd_evaluate)
 
     p_bench = sub.add_parser("benchmark", help="quick throughput check")
     add_corpus_args(p_bench)

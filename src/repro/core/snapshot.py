@@ -12,6 +12,7 @@ corrupted invariants rather than silently mis-training.
 
 from __future__ import annotations
 
+import warnings
 from pathlib import Path
 
 import numpy as np
@@ -21,57 +22,63 @@ from repro.corpus.document import Corpus
 from repro.corpus.encoding import encode_chunk
 from repro.corpus.partition import ChunkSpec
 
+#: Version written for checkpoint artifacts.  The layout is unchanged
+#: since v1, so checkpoints keep writing 1 — older builds stay able to
+#: read them.  Model artifacts are owned by :mod:`repro.model.serialize`
+#: (schema v2 with a v1 compat loader); its READABLE_VERSIONS is shared
+#: here so a v2 model file handed to ``load_checkpoint`` reports "not a
+#: checkpoint", not a version error.
 FORMAT_VERSION = 1
 
 
 def save_model(state: LdaState, path: str | Path) -> None:
-    """Persist the trained model (phi + hyper-parameters) to ``path``.
+    """Deprecated: persist the trained model to ``path``.
 
-    This is the *inference* artifact: enough to compute p*(k) for new
-    documents (see :mod:`repro.core.inference`), not enough to resume
-    training — use :func:`save_checkpoint` for that.
+    Shim over the :class:`~repro.model.TopicModel` artifact (writes the
+    current schema-v2 format).  Use ``trainer.export_model().save(path)``
+    instead.
     """
-    np.savez_compressed(
-        Path(path),
-        version=FORMAT_VERSION,
-        kind="model",
-        phi=state.phi,
-        topic_totals=state.topic_totals,
-        alpha=state.alpha,
-        beta=state.beta,
-        num_topics=state.num_topics,
-        num_words=state.num_words,
+    warnings.warn(
+        "repro.core.snapshot.save_model is deprecated; use "
+        "trainer.export_model().save(path) (repro.model.TopicModel)",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    from repro.model import TopicModel
+
+    TopicModel.from_state(state).save(path)
 
 
 def load_model(path: str | Path) -> dict:
-    """Load a model artifact; returns a dict of arrays and scalars.
+    """Deprecated: load a model artifact as a dict of arrays and scalars.
+
+    Shim over :meth:`repro.model.TopicModel.load` (reads schema v1 and
+    v2); returns the legacy key-checked dict.  Use ``TopicModel.load``
+    directly for the typed artifact.
 
     Raises
     ------
     ValueError
         On version mismatch, wrong artifact kind, or violated invariants.
     """
-    with np.load(Path(path), allow_pickle=False) as z:
-        data = {k: z[k] for k in z.files}
-    _check_version(data)
-    if str(data["kind"]) != "model":
-        raise ValueError(f"not a model artifact: kind={data['kind']}")
-    phi = data["phi"]
-    totals = data["topic_totals"]
-    if phi.ndim != 2 or phi.shape[0] != int(data["num_topics"]):
-        raise ValueError("model snapshot has inconsistent phi shape")
-    if not np.array_equal(phi.sum(axis=1), totals):
-        raise ValueError("model snapshot corrupted: totals do not match phi")
-    if np.any(phi < 0):
-        raise ValueError("model snapshot corrupted: negative counts")
+    warnings.warn(
+        "repro.core.snapshot.load_model is deprecated; use "
+        "repro.model.TopicModel.load(path)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.model import TopicModel
+
+    m = TopicModel.load(path)
+    # Writable copies: the artifact's arrays are frozen, but this legacy
+    # surface always handed out arrays the caller could mutate.
     return {
-        "phi": phi,
-        "topic_totals": totals,
-        "alpha": float(data["alpha"]),
-        "beta": float(data["beta"]),
-        "num_topics": int(data["num_topics"]),
-        "num_words": int(data["num_words"]),
+        "phi": np.array(m.phi),
+        "topic_totals": np.array(m.topic_totals),
+        "alpha": m.alpha,
+        "beta": m.beta,
+        "num_topics": m.num_topics,
+        "num_words": m.num_words,
     }
 
 
@@ -144,11 +151,13 @@ def load_checkpoint(path: str | Path, corpus: Corpus) -> LdaState:
 
 
 def _check_version(data: dict) -> None:
+    from repro.model.serialize import READABLE_VERSIONS
+
     if "version" not in data:
         raise ValueError("not a repro snapshot (no version field)")
     v = int(data["version"])
-    if v != FORMAT_VERSION:
+    if v not in READABLE_VERSIONS:
         raise ValueError(
-            f"snapshot format version {v} not supported "
-            f"(this build reads version {FORMAT_VERSION})"
+            f"snapshot format version {v} not supported (this build reads "
+            f"versions {', '.join(map(str, READABLE_VERSIONS))})"
         )

@@ -1,0 +1,41 @@
+"""repro.model — first-class trained-model artifacts and inference.
+
+Training produces a :class:`TopicModel`: a frozen, validated artifact
+(topic-word counts, hyper-parameters, optional vocabulary, metadata)
+that every registered algorithm can export
+(:meth:`repro.api.LdaTrainer.export_model`) and that persists in a
+versioned ``.npz`` format (:mod:`repro.model.serialize`).  Serving that
+artifact is :class:`InferenceSession`: batched fold-in Gibbs sampling
+over many documents per sweep, deterministic under a seed and
+per-document identical to the sequential
+:class:`~repro.core.inference.FoldInSampler`.
+
+::
+
+    trainer = repro.create_trainer("warplda", corpus, topics=64)
+    trainer.fit(50)
+    model = trainer.export_model()
+    model.save("model.npz")
+
+    model = repro.model.TopicModel.load("model.npz")
+    session = repro.model.InferenceSession(model)
+    theta = session.transform(new_corpus, seed=0)     # (D, K) mixtures
+    print(session.score(new_corpus).perplexity)
+"""
+
+from repro.model.artifact import TopicModel
+from repro.model.inference import InferenceSession, ScoreResult
+from repro.model.serialize import (
+    SCHEMA_VERSION,
+    load_topic_model,
+    save_topic_model,
+)
+
+__all__ = [
+    "TopicModel",
+    "InferenceSession",
+    "ScoreResult",
+    "SCHEMA_VERSION",
+    "save_topic_model",
+    "load_topic_model",
+]

@@ -1,0 +1,344 @@
+"""Batched fold-in inference over a frozen :class:`TopicModel`.
+
+The sequential :class:`~repro.core.inference.FoldInSampler` walks one
+document at a time, paying Python-loop overhead per *token*.  Because
+phi is frozen during fold-in, documents are independent — so an
+:class:`InferenceSession` runs many documents per sweep in lockstep:
+documents are sorted by length into batches, and each (sweep, position)
+step removes/redraws/re-adds the i-th token of every still-active
+document with one set of vectorised (A, K) operations on pooled
+:class:`~repro.perf.Workspace` buffers.  Python-loop overhead drops to
+per-*position* instead of per-token — the same batching win the paper's
+per-warp samplers get from running one document per warp.
+
+Determinism contract: each document draws from its own
+``np.random.default_rng`` stream spawned from the session seed, with
+exactly the consumption order of the sequential sampler (one
+``integers`` init, then one uniform per token per sweep).  The batched
+results are therefore **bit-identical per document** to
+``FoldInSampler.infer_corpus`` under the same seed — asserted by
+tests/test_inference_session.py — and independent of batch size.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.corpus.document import Corpus
+from repro.model.artifact import TopicModel
+from repro.perf import Workspace
+
+__all__ = ["InferenceSession", "ScoreResult"]
+
+#: Default documents per lockstep batch; per-batch buffers scale with
+#: ``batch_docs * max_doc_len`` (uniforms are drawn one sweep at a time).
+DEFAULT_BATCH_DOCS = 256
+
+
+@dataclass(frozen=True)
+class ScoreResult:
+    """Aggregate predictive score of a document set under a model."""
+
+    log_predictive_per_token: float
+    perplexity: float
+    num_documents: int
+    num_scored_tokens: int
+
+
+def _as_doc_arrays(docs: Corpus | Sequence[np.ndarray]) -> list[np.ndarray]:
+    """Normalize a Corpus or a sequence of token-id arrays to int64 lists."""
+    if isinstance(docs, Corpus):
+        return [
+            docs.word_ids[docs.doc_offsets[d]: docs.doc_offsets[d + 1]]
+            .astype(np.int64)
+            for d in range(docs.num_docs)
+        ]
+    return [np.asarray(d, dtype=np.int64).ravel() for d in docs]
+
+
+class InferenceSession:
+    """Vectorised batched fold-in against one frozen :class:`TopicModel`.
+
+    Parameters
+    ----------
+    model:
+        The trained artifact; its ``p* = (phi + beta) / (N_k + beta V)``
+        matrix is precomputed once per session.
+    num_sweeps / burn_in:
+        Default Gibbs schedule per :meth:`transform` call; the mixture
+        averages theta over the post-burn-in sweeps.
+    batch_docs:
+        Documents processed per lockstep batch (memory/speed knob; does
+        not change results).
+    workspace:
+        Optional shared :class:`~repro.perf.Workspace`; by default the
+        session owns one and reuses its buffers across calls.
+    """
+
+    def __init__(
+        self,
+        model: TopicModel,
+        num_sweeps: int = 30,
+        burn_in: int = 10,
+        batch_docs: int = DEFAULT_BATCH_DOCS,
+        workspace: Workspace | None = None,
+    ):
+        if not isinstance(model, TopicModel):
+            raise TypeError("model must be a TopicModel")
+        self.model = model
+        self._configure(num_sweeps, burn_in, batch_docs, workspace)
+        self.alpha = model.alpha
+        self.num_topics = model.num_topics
+        self.num_words = model.num_words
+        # (V, K) transpose: token gathers become contiguous row reads.
+        self._p_star_t = np.ascontiguousarray(model.word_given_topic().T)
+
+    def _configure(
+        self,
+        num_sweeps: int,
+        burn_in: int,
+        batch_docs: int,
+        workspace: Workspace | None,
+    ) -> None:
+        """Validated scalar setup shared by ``__init__`` and ``from_fold_in``."""
+        if num_sweeps <= burn_in:
+            raise ValueError("num_sweeps must exceed burn_in")
+        if burn_in < 0:
+            raise ValueError("burn_in must be non-negative")
+        if batch_docs < 1:
+            raise ValueError("batch_docs must be >= 1")
+        self.num_sweeps = int(num_sweeps)
+        self.burn_in = int(burn_in)
+        self.batch_docs = int(batch_docs)
+        self._ws = workspace if workspace is not None else Workspace()
+
+    @classmethod
+    def from_fold_in(
+        cls,
+        sampler: Any,
+        num_sweeps: int = 30,
+        burn_in: int = 10,
+        batch_docs: int = DEFAULT_BATCH_DOCS,
+    ) -> "InferenceSession":
+        """Adopt a sequential :class:`~repro.core.inference.FoldInSampler`.
+
+        Compat path for callers holding a sampler instead of a
+        :class:`TopicModel`: reuses the sampler's precomputed ``p*``
+        matrix verbatim, so batched results stay bit-identical to the
+        sampler's own per-document loop.
+        """
+        obj = cls.__new__(cls)
+        obj.model = None
+        obj._configure(num_sweeps, burn_in, batch_docs, None)
+        obj.alpha = float(sampler.alpha)
+        obj.num_topics = int(sampler.num_topics)
+        obj.num_words = int(sampler.num_words)
+        obj._p_star_t = np.ascontiguousarray(sampler._p_star.T)
+        return obj
+
+    # -- inference ---------------------------------------------------------
+
+    def transform(
+        self,
+        docs: Corpus | Sequence[np.ndarray],
+        seed: int = 0,
+        num_sweeps: int | None = None,
+        burn_in: int | None = None,
+    ) -> np.ndarray:
+        """Posterior-mean topic mixtures for every document: ``float64[D, K]``.
+
+        Rows are probability vectors in the input document order; empty
+        documents receive the prior mean.  Deterministic in ``seed`` and
+        invariant to ``batch_docs``.
+        """
+        sweeps = self.num_sweeps if num_sweeps is None else int(num_sweeps)
+        burn = self.burn_in if burn_in is None else int(burn_in)
+        if burn < 0:
+            raise ValueError("burn_in must be non-negative")
+        if sweeps <= burn:
+            raise ValueError("num_sweeps must exceed burn_in")
+        arrays = _as_doc_arrays(docs)
+        k = self.num_topics
+        out = np.empty((len(arrays), k), dtype=np.float64)
+        for w in arrays:
+            if w.size and (w.min() < 0 or w.max() >= self.num_words):
+                raise ValueError("word id out of the trained vocabulary")
+        seeds = np.random.SeedSequence(seed).spawn(len(arrays))
+        lengths = np.array([w.size for w in arrays], dtype=np.int64)
+        out[lengths == 0] = 1.0 / k
+        # Longest-first order groups similar lengths into a batch, so the
+        # per-position active set shrinks smoothly instead of raggedly.
+        order = np.argsort(-lengths, kind="stable")
+        order = order[lengths[order] > 0]
+        for lo in range(0, order.shape[0], self.batch_docs):
+            batch = order[lo: lo + self.batch_docs]
+            theta = self._fold_in_batch(
+                [arrays[i] for i in batch], [seeds[i] for i in batch],
+                sweeps, burn,
+            )
+            out[batch] = theta
+        return out
+
+    def _fold_in_batch(
+        self,
+        docs: list[np.ndarray],
+        seeds: list[np.random.SeedSequence],
+        sweeps: int,
+        burn: int,
+    ) -> np.ndarray:
+        """Lockstep Gibbs over one batch (docs sorted longest-first)."""
+        k = self.num_topics
+        ws = self._ws
+        a_max = len(docs)
+        lengths = np.array([d.size for d in docs], dtype=np.int64)
+        max_len = int(lengths[0])
+        # Padded per-batch state, (A, maxL).  Uniforms are drawn one
+        # sweep at a time from each document's retained generator —
+        # successive ``random(n)`` calls consume the stream exactly like
+        # the sequential sampler's per-token draws (sweep-major order),
+        # while keeping the buffer at O(A * maxL) instead of
+        # O(A * sweeps * maxL) for long documents.
+        words = ws.zeros("infer.words", (a_max, max_len), dtype=np.int64)
+        z = ws.zeros("infer.z", (a_max, max_len), dtype=np.int64)
+        uniforms = ws.take("infer.uniforms", (a_max, max_len), dtype=np.float64)
+        theta = ws.zeros("infer.theta", (a_max, k), dtype=np.float64)
+        acc = ws.zeros("infer.acc", (a_max, k), dtype=np.float64)
+        gens: list[np.random.Generator] = []
+        for i, (doc, ss) in enumerate(zip(docs, seeds)):
+            n = doc.size
+            rng = np.random.default_rng(ss)
+            words[i, :n] = doc
+            z[i, :n] = rng.integers(0, k, size=n)
+            np.add.at(theta[i], z[i, :n], 1.0)
+            gens.append(rng)
+        # active document count per token position (docs longest-first).
+        active = np.searchsorted(-lengths, -np.arange(max_len), side="left")
+        for s in range(sweeps):
+            for i, rng in enumerate(gens):
+                uniforms[i, : lengths[i]] = rng.random(int(lengths[i]))
+            for i in range(max_len):
+                a = int(active[i])
+                if a == 0:
+                    break
+                rows = ws.arange(a)
+                w_col = words[:a, i]
+                old = z[:a, i]
+                theta_a = theta[:a]
+                theta_a[rows, old] -= 1.0
+                gather = ws.take("infer.gather", (a, k), dtype=np.float64)
+                np.take(self._p_star_t, w_col, axis=0, out=gather)
+                probs = ws.take("infer.probs", (a, k), dtype=np.float64)
+                np.add(theta_a, self.alpha, out=probs)
+                probs *= gather
+                cdf = ws.take("infer.cdf", (a, k), dtype=np.float64)
+                np.cumsum(probs, axis=1, out=cdf)
+                x = ws.take("infer.x", a, dtype=np.float64)
+                np.multiply(uniforms[:a, i], cdf[:, -1], out=x)
+                below = ws.take("infer.below", (a, k), dtype=np.bool_)
+                np.less_equal(cdf, x[:, None], out=below)
+                new = ws.take("infer.new", a, dtype=np.int64)
+                np.sum(below, axis=1, out=new)
+                np.minimum(new, k - 1, out=new)
+                theta_a[rows, new] += 1.0
+                z[:a, i] = new
+            if s >= burn:
+                acc += theta
+        mix = acc + self.alpha * (sweeps - burn)
+        return mix / mix.sum(axis=1, keepdims=True)
+
+    # -- consumption -------------------------------------------------------
+
+    def top_topics(
+        self,
+        docs: Corpus | Sequence[np.ndarray],
+        n: int = 5,
+        seed: int = 0,
+        theta: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-document ``(topic ids, weights)``, descending, ``(D, n)``.
+
+        Pass a precomputed ``theta`` (from :meth:`transform`) to rank
+        without re-running inference.
+        """
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if theta is None:
+            theta = self.transform(docs, seed=seed)
+        n = min(n, self.num_topics)
+        ids = np.argsort(-theta, axis=1, kind="stable")[:, :n]
+        return ids, np.take_along_axis(theta, ids, axis=1)
+
+    def log_predictive(
+        self, word_ids: np.ndarray, mixture: np.ndarray
+    ) -> float:
+        """Mean ``log p(w | mixture, phi)`` of one token sequence.
+
+        Same definition as the sequential sampler's: held-out evaluation
+        scores the unseen half of a document under the mixture inferred
+        from the observed half.
+        """
+        w = np.asarray(word_ids, dtype=np.int64)
+        if w.size == 0:
+            raise ValueError("cannot score an empty token sequence")
+        if w.min() < 0 or w.max() >= self.num_words:
+            raise ValueError("word id out of the trained vocabulary")
+        if mixture.shape != (self.num_topics,):
+            raise ValueError("mixture must be a length-K vector")
+        if not np.isclose(mixture.sum(), 1.0, atol=1e-6) or np.any(mixture < 0):
+            raise ValueError("mixture must be a probability vector")
+        token_probs = self._p_star_t[w] @ mixture
+        return float(np.log(np.maximum(token_probs, 1e-300)).mean())
+
+    def score(
+        self,
+        docs: Corpus | Sequence[np.ndarray],
+        seed: int = 0,
+        theta: np.ndarray | None = None,
+    ) -> ScoreResult:
+        """Predictive score of whole documents under their own mixtures.
+
+        Infers theta (unless given), then evaluates
+        ``log p(w | theta_d, phi)`` over every token.  Empty documents
+        are skipped.  This measures model fit on the documents as given;
+        for the stricter held-out protocol (infer on one half, score the
+        other) use :func:`repro.analysis.heldout.document_completion`.
+        """
+        arrays = _as_doc_arrays(docs)
+        if theta is None:
+            theta = self.transform(arrays, seed=seed)
+        if theta.shape != (len(arrays), self.num_topics):
+            raise ValueError("theta must be (num_docs, K)")
+        total_lp = 0.0
+        total_tokens = 0
+        scored_docs = 0
+        for d, w in enumerate(arrays):
+            if w.size == 0:
+                continue
+            total_lp += self.log_predictive(w, theta[d]) * w.size
+            total_tokens += int(w.size)
+            scored_docs += 1
+        if total_tokens == 0:
+            raise ValueError("no non-empty documents to score")
+        per_token = total_lp / total_tokens
+        return ScoreResult(
+            log_predictive_per_token=per_token,
+            perplexity=float(np.exp(-per_token)),
+            num_documents=scored_docs,
+            num_scored_tokens=total_tokens,
+        )
+
+    # -- introspection -----------------------------------------------------
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "num_topics": self.num_topics,
+            "num_words": self.num_words,
+            "num_sweeps": self.num_sweeps,
+            "burn_in": self.burn_in,
+            "batch_docs": self.batch_docs,
+            "workspace": self._ws.describe(),
+        }

@@ -1,0 +1,120 @@
+"""Versioned on-disk format for :class:`~repro.model.artifact.TopicModel`.
+
+One ``.npz`` per model, self-describing via two scalar fields:
+
+========  =======================================================
+version   schema version (see table below)
+kind      ``"model"`` (checkpoints use ``"checkpoint"``; see
+          :mod:`repro.core.snapshot`)
+========  =======================================================
+
+Schema history:
+
+- **v1** — the pre-redesign ``repro train --output`` artifact: ``phi``,
+  ``topic_totals``, ``alpha``, ``beta``, ``num_topics``, ``num_words``.
+  Still loads (compat path); never written anymore.
+- **v2** (current) — v1 fields plus optional ``vocab`` (one term per
+  word id) and ``metadata_json`` (JSON provenance: algorithm,
+  iterations, options).
+
+Loaders validate invariants (shapes, non-negative counts, totals
+matching phi) and reject unknown versions and wrong kinds rather than
+silently mis-serving.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.corpus.vocab import Vocabulary
+from repro.model.artifact import TopicModel
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "READABLE_VERSIONS",
+    "save_topic_model",
+    "load_topic_model",
+]
+
+#: Current schema version written by :func:`save_topic_model`.
+SCHEMA_VERSION = 2
+
+#: Versions :func:`load_topic_model` understands.  The checkpoint loader
+#: (:mod:`repro.core.snapshot`) shares this so an artifact of the wrong
+#: *kind* reports the kind mismatch, not a version error.
+READABLE_VERSIONS = (1, 2)
+
+
+def save_topic_model(model: TopicModel, path: str | Path) -> None:
+    """Write ``model`` to ``path`` as a schema-v2 ``.npz``."""
+    payload: dict = {
+        "version": SCHEMA_VERSION,
+        "kind": "model",
+        "phi": model.phi,
+        "topic_totals": model.topic_totals,
+        "alpha": model.alpha,
+        "beta": model.beta,
+        "num_topics": model.num_topics,
+        "num_words": model.num_words,
+        "metadata_json": json.dumps(model.metadata, default=str, sort_keys=True),
+    }
+    if model.vocabulary is not None:
+        payload["vocab"] = np.asarray(list(model.vocabulary), dtype=np.str_)
+    np.savez_compressed(Path(path), **payload)
+
+
+def load_topic_model(path: str | Path) -> TopicModel:
+    """Read a model artifact (schema v1 or v2) into a :class:`TopicModel`.
+
+    Raises
+    ------
+    ValueError
+        Missing/unsupported version, wrong kind, missing fields, or
+        violated invariants ("corrupted").
+    """
+    with np.load(Path(path), allow_pickle=False) as z:
+        data = {k: z[k] for k in z.files}
+    if "version" not in data:
+        raise ValueError("not a repro snapshot (no version field)")
+    version = int(data["version"])
+    if version not in READABLE_VERSIONS:
+        raise ValueError(
+            f"model format version {version} not supported (this build "
+            f"reads versions {', '.join(map(str, READABLE_VERSIONS))})"
+        )
+    if str(data["kind"]) != "model":
+        raise ValueError(f"not a model artifact: kind={data['kind']}")
+    for key in ("phi", "topic_totals", "alpha", "beta", "num_topics",
+                "num_words"):
+        if key not in data:
+            raise ValueError(f"model artifact is missing field {key!r}")
+    phi = data["phi"]
+    if phi.ndim != 2 or phi.shape[0] != int(data["num_topics"]) or (
+        phi.shape[1] != int(data["num_words"])
+    ):
+        raise ValueError("model artifact corrupted: inconsistent phi shape")
+    vocabulary = None
+    if version >= 2 and "vocab" in data:
+        vocabulary = Vocabulary([str(t) for t in data["vocab"]])
+    if version >= 2:
+        metadata = (
+            json.loads(str(data["metadata_json"]))
+            if "metadata_json" in data
+            else {}
+        )
+    else:
+        metadata = {"schema_version": 1}
+    try:
+        return TopicModel(
+            phi=phi,
+            topic_totals=data["topic_totals"],
+            alpha=float(data["alpha"]),
+            beta=float(data["beta"]),
+            vocabulary=vocabulary,
+            metadata=metadata,
+        )
+    except ValueError as exc:
+        raise ValueError(f"model artifact corrupted: {exc}") from exc

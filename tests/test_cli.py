@@ -87,10 +87,23 @@ class TestTrain:
         err = capsys.readouterr().err
         assert "unknown algorithm" in err and "culda" in err
 
-    def test_model_output_needs_lda_state(self, tmp_path, capsys):
+    def test_model_output_works_for_dense_algorithms(self, tmp_path, capsys):
+        """--output exports a TopicModel for every algorithm, not just culda."""
+        from repro.model import TopicModel
+
+        path = tmp_path / "m.npz"
+        rc = main(["train", "--algo", "warplda", "--topics", "6",
+                   "--iterations", "1", "--likelihood-every", "0",
+                   "--output", str(path)])
+        assert rc == 0
+        model = TopicModel.load(path)
+        assert model.num_topics == 6
+        assert model.metadata["algorithm"] == "warplda"
+
+    def test_checkpoint_still_needs_lda_state(self, tmp_path, capsys):
         rc = main(["train", "--algo", "warplda", "--topics", "6",
                    "--iterations", "1",
-                   "--output", str(tmp_path / "m.npz")])
+                   "--checkpoint", str(tmp_path / "ck.npz")])
         assert rc == 2
         assert "LdaState" in capsys.readouterr().err
 
@@ -139,6 +152,125 @@ class TestTopics:
         assert rc == 2
         err = capsys.readouterr().err
         assert "error:" in err and "phi" in err
+
+
+class TestTopicsVocabAlignment:
+    def _train(self, tmp_path):
+        model = tmp_path / "m.npz"
+        main(["train", "--topics", "6", "--iterations", "2",
+              "--output", str(model), "--likelihood-every", "0"])
+        return model
+
+    def test_blank_line_mid_file_keeps_positions(self, tmp_path, capsys):
+        """A blank vocab line is a placeholder, not a gap: word ids after
+        it must keep their terms (the old filter shifted every one)."""
+        model = self._train(tmp_path)
+        # default synthetic corpus has V=500; blank out term 1
+        terms = [f"term{i}" for i in range(500)]
+        terms[1] = ""
+        vocab = tmp_path / "vocab.txt"
+        vocab.write_text("\n".join(terms) + "\n")
+        capsys.readouterr()
+        rc = main(["topics", "--model", str(model), "--vocab", str(vocab),
+                   "--num-topics", "6", "--top", "500"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        # term N still labels word id N — nothing shifted down
+        assert "term499" in out
+        assert "term2" in out
+
+    def test_trailing_blank_lines_tolerated(self, tmp_path, capsys):
+        model = self._train(tmp_path)
+        vocab = tmp_path / "vocab.txt"
+        vocab.write_text("\n".join(f"t{i}" for i in range(500)) + "\n\n\n")
+        capsys.readouterr()
+        rc = main(["topics", "--model", str(model), "--vocab", str(vocab)])
+        assert rc == 0
+
+    def test_count_mismatch_still_errors(self, tmp_path, capsys):
+        model = self._train(tmp_path)
+        vocab = tmp_path / "vocab.txt"
+        vocab.write_text("\n".join(f"t{i}" for i in range(499)) + "\n")
+        capsys.readouterr()
+        rc = main(["topics", "--model", str(model), "--vocab", str(vocab)])
+        assert rc == 2
+        assert "499" in capsys.readouterr().err
+
+
+class TestInferEvaluate:
+    @pytest.fixture()
+    def model_path(self, tmp_path):
+        path = tmp_path / "m.npz"
+        rc = main(["train", "--topics", "6", "--iterations", "2",
+                   "--output", str(path), "--likelihood-every", "0"])
+        assert rc == 0
+        return path
+
+    def test_infer_prints_and_writes_theta(self, tmp_path, model_path, capsys):
+        theta_path = tmp_path / "theta.npz"
+        capsys.readouterr()
+        rc = main(["infer", "--model", str(model_path), "--sweeps", "6",
+                   "--burn-in", "2", "--show-docs", "2",
+                   "--output", str(theta_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "inferred mixtures" in out and "top topics" in out
+        with np.load(theta_path) as z:
+            theta = z["theta"]
+        assert theta.shape[1] == 6
+        assert np.allclose(theta.sum(axis=1), 1.0)
+
+    def test_infer_deterministic(self, tmp_path, model_path, capsys):
+        a = tmp_path / "a.npz"
+        b = tmp_path / "b.npz"
+        for out in (a, b):
+            rc = main(["infer", "--model", str(model_path), "--sweeps", "5",
+                       "--burn-in", "1", "--inference-seed", "9",
+                       "--output", str(out)])
+            assert rc == 0
+        with np.load(a) as za, np.load(b) as zb:
+            assert np.array_equal(za["theta"], zb["theta"])
+
+    def test_infer_rejects_oversized_corpus_vocab(
+        self, tmp_path, model_path, capsys
+    ):
+        # a corpus over V=600 words cannot be served by the V=500 model
+        big = generate_synthetic_corpus(
+            small_spec(num_docs=30, num_words=600, mean_doc_len=10), seed=2
+        )
+        dw = tmp_path / "docword.txt"
+        write_uci_bow(big, dw)
+        rc = main(["infer", "--model", str(model_path), "--docword", str(dw)])
+        assert rc == 2
+        assert "vocabulary" in capsys.readouterr().err
+
+    def test_evaluate_reports_perplexity(self, model_path, capsys):
+        capsys.readouterr()
+        rc = main(["evaluate", "--model", str(model_path), "--sweeps", "6",
+                   "--burn-in", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "perplexity" in out and "log predictive" in out
+
+    def test_evaluate_works_on_v1_artifact(self, tmp_path, capsys):
+        """End-to-end compat: a seed-era v1 file drives the new commands."""
+        from repro.model import TopicModel
+
+        model_path = tmp_path / "m.npz"
+        main(["train", "--topics", "6", "--iterations", "2",
+              "--output", str(model_path), "--likelihood-every", "0"])
+        m = TopicModel.load(model_path)
+        v1 = tmp_path / "v1.npz"
+        np.savez_compressed(
+            v1, version=1, kind="model", phi=m.phi.astype(np.int32),
+            topic_totals=m.topic_totals, alpha=m.alpha, beta=m.beta,
+            num_topics=m.num_topics, num_words=m.num_words,
+        )
+        capsys.readouterr()
+        rc = main(["evaluate", "--model", str(v1), "--sweeps", "5",
+                   "--burn-in", "1"])
+        assert rc == 0
+        assert "perplexity" in capsys.readouterr().out
 
 
 class TestBenchmark:

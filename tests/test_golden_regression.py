@@ -8,6 +8,8 @@ the same runs on the current tree and assert the draws are
 
 - culda under both work schedules (workspace-backed kernel), in both
   serial and process execution;
+- culda's float32 kernel chain (2 GPUs x 2 chunks; pinned on the PR-4
+  tree after verifying serial == process), closing the ROADMAP item;
 - plain CGS and exact-mode SparseLDA (hoisted sequential loops);
 - LightLDA (batched Vose alias builds);
 - WarpLDA (vectorised MH passes) and SaberLDA (shared CuLDA core on the
@@ -95,6 +97,30 @@ class TestCuLdaGolden:
         finally:
             trainer.close()
         assert np.array_equal(z, expected(case))
+
+    @pytest.mark.parametrize("execution", ["serial", "process"])
+    def test_float32_chain_pinned(self, golden_corpus, execution):
+        """The float32 kernel chain is pinned too (ROADMAP item): serial
+        and process execution must both reproduce the capture."""
+        m = meta("culda_ws2_float32")
+        kwargs = dict(
+            topics=m["topics"], seed=m["seed"], gpus=m["gpus"],
+            chunks_per_gpu=m["chunks_per_gpu"],
+            compute_dtype=m["compute_dtype"],
+        )
+        if execution == "process":
+            kwargs.update(execution="process", num_workers=2)
+        trainer = create_trainer("culda", golden_corpus, **kwargs)
+        try:
+            trainer.fit(m["iterations"], likelihood_every=0)
+            z = np.concatenate(
+                [cs.topics.astype(np.int64) for cs in trainer.state.chunks]
+            )
+        finally:
+            close = getattr(trainer, "close", None)
+            if callable(close):
+                close()
+        assert np.array_equal(z, expected("culda_ws2_float32"))
 
     def test_workspace_actually_reused(self, golden_corpus):
         """The golden run must go through the pooled-buffer path."""

@@ -57,6 +57,60 @@ class TestSplit:
             assert np.array_equal(x, y)
 
 
+class TestSplitEdgeCases:
+    def test_zero_token_docs_skipped(self):
+        c = Corpus.from_token_lists([[], [1, 0, 1], []], num_words=2)
+        obs, held = split_documents(c)
+        assert len(obs) == len(held) == 1
+
+    def test_one_token_docs_skipped(self):
+        c = Corpus.from_token_lists([[0], [1], [0, 1]], num_words=2)
+        obs, held = split_documents(c)
+        assert len(obs) == 1
+        assert obs[0].shape[0] + held[0].shape[0] == 2
+
+    def test_all_docs_too_small_gives_empty_lists(self):
+        c = Corpus.from_token_lists([[0], [], [1]], num_words=2)
+        obs, held = split_documents(c)
+        assert obs == [] and held == []
+
+    def test_two_token_doc_splits_one_and_one(self):
+        c = Corpus.from_token_lists([[0, 1]], num_words=2)
+        for frac in (0.01, 0.5, 0.99):
+            obs, held = split_documents(c, observed_fraction=frac)
+            assert obs[0].shape[0] == 1 and held[0].shape[0] == 1
+
+    @pytest.mark.parametrize("frac", [1e-9, 0.999999])
+    def test_extreme_fractions_keep_both_halves_nonempty(
+        self, small_corpus, frac
+    ):
+        obs, held = split_documents(small_corpus, observed_fraction=frac)
+        assert all(o.shape[0] >= 1 for o in obs)
+        assert all(h.shape[0] >= 1 for h in held)
+
+    @pytest.mark.parametrize("frac", [-0.5, 0.0, 1.0, 1.5, np.nan])
+    def test_out_of_range_fractions_rejected(self, small_corpus, frac):
+        with pytest.raises(ValueError, match="observed_fraction"):
+            split_documents(small_corpus, observed_fraction=frac)
+
+    def test_different_seeds_differ(self, small_corpus):
+        a = split_documents(small_corpus, seed=1)
+        b = split_documents(small_corpus, seed=2)
+        assert any(
+            not np.array_equal(x, y) for x, y in zip(a[0], b[0])
+        )
+
+    def test_split_preserves_multiset_per_document(self, small_corpus):
+        obs, held = split_documents(small_corpus, 0.5, seed=3)
+        kept = [
+            d for d in range(small_corpus.num_docs)
+            if small_corpus.doc_length(d) >= 2
+        ]
+        for (o, h, d) in zip(obs, held, kept):
+            orig = np.sort(small_corpus.document(d).word_ids)
+            assert np.array_equal(np.sort(np.concatenate([o, h])), orig)
+
+
 class TestDocumentCompletion:
     @pytest.fixture(scope="class")
     def trained(self):

@@ -1,0 +1,229 @@
+"""Tests for the batched InferenceSession.
+
+The load-bearing property is the determinism contract: batched
+``transform`` must reproduce the sequential
+:class:`~repro.core.inference.FoldInSampler` **bit-for-bit** per
+document under the same seed, for any batch size.  Everything else
+(top_topics, score, validation) builds on that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import create_trainer
+from repro.core.inference import FoldInSampler
+from repro.corpus.document import Corpus
+from repro.corpus.synthetic import generate_synthetic_corpus, small_spec
+from repro.model import InferenceSession, ScoreResult, TopicModel
+from repro.perf import Workspace
+
+
+@pytest.fixture(scope="module")
+def trained():
+    corpus = generate_synthetic_corpus(
+        small_spec(num_docs=150, num_words=200, mean_doc_len=30, num_topics=6),
+        seed=21,
+    )
+    train = corpus.subset(0, 110)
+    test = corpus.subset(110, 150)
+    trainer = create_trainer("culda", train, topics=10, seed=1)
+    trainer.fit(5, likelihood_every=0)
+    return trainer, test
+
+
+@pytest.fixture(scope="module")
+def model(trained):
+    return trained[0].export_model()
+
+
+class TestEquivalence:
+    def test_matches_sequential_sampler_bitwise(self, trained, model):
+        trainer, test = trained
+        seq = FoldInSampler.from_state(trainer.state)
+        ref = seq.infer_corpus(test, num_sweeps=9, burn_in=3, seed=5)
+        got = InferenceSession(model, num_sweeps=9, burn_in=3).transform(
+            test, seed=5
+        )
+        assert np.array_equal(ref, got)
+
+    @pytest.mark.parametrize("batch_docs", [1, 3, 1000])
+    def test_batch_size_invariant(self, trained, model, batch_docs):
+        _, test = trained
+        base = InferenceSession(model, num_sweeps=7, burn_in=2).transform(
+            test, seed=3
+        )
+        got = InferenceSession(
+            model, num_sweeps=7, burn_in=2, batch_docs=batch_docs
+        ).transform(test, seed=3)
+        assert np.array_equal(base, got)
+
+    def test_deterministic_under_seed(self, trained, model):
+        _, test = trained
+        sess = InferenceSession(model, num_sweeps=7, burn_in=2)
+        a = sess.transform(test, seed=4)
+        b = sess.transform(test, seed=4)
+        c = sess.transform(test, seed=5)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_accepts_token_lists(self, model):
+        docs = [np.array([0, 1, 2, 1]), np.array([5, 5, 6])]
+        theta = InferenceSession(model, num_sweeps=6, burn_in=2).transform(
+            docs, seed=0
+        )
+        assert theta.shape == (2, model.num_topics)
+        assert np.allclose(theta.sum(axis=1), 1.0)
+
+    def test_empty_document_gets_prior(self, model):
+        docs = [np.array([], dtype=np.int64), np.array([1, 2, 3])]
+        theta = InferenceSession(model, num_sweeps=6, burn_in=2).transform(
+            docs, seed=0
+        )
+        assert np.allclose(theta[0], 1.0 / model.num_topics)
+        # the non-empty neighbour still folds in normally
+        assert theta[1].max() > 1.0 / model.num_topics
+
+    def test_from_fold_in_matches_sampler(self, trained):
+        trainer, test = trained
+        seq = FoldInSampler.from_state(trainer.state)
+        ref = seq.infer_corpus(test, num_sweeps=8, burn_in=3, seed=2)
+        got = InferenceSession.from_fold_in(
+            seq, num_sweeps=8, burn_in=3
+        ).transform(test, seed=2)
+        assert np.array_equal(ref, got)
+
+    def test_float32_workspace_does_not_poison_results(self, trained, model):
+        """An externally shared float32 workspace must not change draws."""
+        _, test = trained
+        base = InferenceSession(model, num_sweeps=6, burn_in=2).transform(
+            test, seed=1
+        )
+        shared = InferenceSession(
+            model, num_sweeps=6, burn_in=2,
+            workspace=Workspace(compute_dtype=np.float32),
+        ).transform(test, seed=1)
+        assert np.array_equal(base, shared)
+
+
+class TestConsumption:
+    def test_top_topics_shapes_and_order(self, trained, model):
+        _, test = trained
+        sess = InferenceSession(model, num_sweeps=6, burn_in=2)
+        ids, weights = sess.top_topics(test, n=3, seed=0)
+        assert ids.shape == (test.num_docs, 3)
+        assert weights.shape == ids.shape
+        assert np.all(np.diff(weights, axis=1) <= 0)  # descending
+        theta = sess.transform(test, seed=0)
+        assert np.array_equal(theta[np.arange(test.num_docs), ids[:, 0]],
+                              weights[:, 0])
+
+    def test_score_returns_sane_perplexity(self, trained, model):
+        _, test = trained
+        res = InferenceSession(model, num_sweeps=8, burn_in=3).score(
+            test, seed=0
+        )
+        assert isinstance(res, ScoreResult)
+        assert res.num_documents == test.num_docs
+        assert res.num_scored_tokens == test.num_tokens
+        assert res.log_predictive_per_token < 0
+        assert res.perplexity == pytest.approx(
+            np.exp(-res.log_predictive_per_token)
+        )
+
+    def test_trained_model_scores_better_than_uniform(self, trained, model):
+        _, test = trained
+        k, v = model.num_topics, model.num_words
+        flat_phi = np.ones((k, v), dtype=np.int64)
+        flat = TopicModel(flat_phi, flat_phi.sum(axis=1),
+                          model.alpha, model.beta)
+        good = InferenceSession(model, num_sweeps=8, burn_in=3).score(test)
+        bad = InferenceSession(flat, num_sweeps=8, burn_in=3).score(test)
+        assert good.perplexity < bad.perplexity
+
+    def test_log_predictive_validation(self, model):
+        sess = InferenceSession(model, num_sweeps=6, burn_in=2)
+        mix = np.full(model.num_topics, 1.0 / model.num_topics)
+        with pytest.raises(ValueError, match="empty"):
+            sess.log_predictive(np.array([], dtype=np.int64), mix)
+        with pytest.raises(ValueError, match="length-K"):
+            sess.log_predictive(np.array([0]), mix[:-1])
+        with pytest.raises(ValueError, match="probability"):
+            sess.log_predictive(np.array([0]), mix * 2)
+
+
+class TestValidation:
+    def test_rejects_bad_schedule(self, model):
+        with pytest.raises(ValueError, match="exceed"):
+            InferenceSession(model, num_sweeps=5, burn_in=5)
+        sess = InferenceSession(model, num_sweeps=6, burn_in=2)
+        with pytest.raises(ValueError, match="exceed"):
+            sess.transform([np.array([0])], num_sweeps=2, burn_in=3)
+        # per-call overrides go through the same validation as __init__
+        with pytest.raises(ValueError, match="non-negative"):
+            sess.transform([np.array([0])], burn_in=-1)
+
+    def test_rejects_unknown_words(self, model):
+        sess = InferenceSession(model, num_sweeps=6, burn_in=2)
+        with pytest.raises(ValueError, match="vocabulary"):
+            sess.transform([np.array([model.num_words])])
+
+    def test_rejects_non_model(self):
+        with pytest.raises(TypeError, match="TopicModel"):
+            InferenceSession(object())
+
+    def test_from_fold_in_validates_too(self, trained):
+        """The compat constructor enforces the same invariants as __init__."""
+        seq = FoldInSampler.from_state(trained[0].state)
+        with pytest.raises(ValueError, match="exceed"):
+            InferenceSession.from_fold_in(seq, num_sweeps=5, burn_in=5)
+        with pytest.raises(ValueError, match="batch_docs"):
+            InferenceSession.from_fold_in(seq, batch_docs=0)
+
+    def test_document_completion_honours_session_schedule(self, trained, model):
+        """A passed session's num_sweeps/burn_in are used, not the 25/10
+        defaults (explicit arguments still override)."""
+        from repro.analysis.heldout import document_completion
+
+        _, test = trained
+        via_session = document_completion(
+            InferenceSession(model, num_sweeps=12, burn_in=4), test
+        )
+        explicit = document_completion(model, test, num_sweeps=12, burn_in=4)
+        default = document_completion(model, test)  # 25/10
+        assert (via_session.log_predictive_per_token
+                == explicit.log_predictive_per_token)
+        assert (via_session.log_predictive_per_token
+                != default.log_predictive_per_token)
+
+    def test_heldout_document_completion_on_topic_model(self, trained, model):
+        """document_completion accepts the artifact directly and agrees
+        with the sampler path bit-for-bit."""
+        from repro.analysis.heldout import document_completion
+
+        trainer, test = trained
+        via_model = document_completion(model, test, num_sweeps=8, burn_in=3)
+        via_sampler = document_completion(
+            FoldInSampler.from_state(trainer.state), test,
+            num_sweeps=8, burn_in=3,
+        )
+        assert via_model.log_predictive_per_token == pytest.approx(
+            via_sampler.log_predictive_per_token, rel=1e-12
+        )
+        assert via_model.num_documents == via_sampler.num_documents
+
+
+def test_large_doc_exceeding_batch_layout():
+    """Documents of very different lengths batch correctly (ragged tails)."""
+    phi = np.ones((4, 30), dtype=np.int64) * 2
+    model = TopicModel(phi, phi.sum(axis=1), 0.5, 0.1)
+    rng = np.random.default_rng(0)
+    docs = [rng.integers(0, 30, size=n) for n in (1, 200, 3, 57, 9)]
+    corpus = Corpus.from_token_lists([d.tolist() for d in docs], num_words=30)
+    seq = FoldInSampler(phi, phi.sum(axis=1), 0.5, 0.1)
+    ref = seq.infer_corpus(corpus, num_sweeps=6, burn_in=2, seed=3)
+    got = InferenceSession(model, num_sweeps=6, burn_in=2, batch_docs=2).transform(
+        corpus, seed=3
+    )
+    assert np.array_equal(ref, got)

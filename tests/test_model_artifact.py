@@ -1,0 +1,223 @@
+"""Tests for the TopicModel artifact: construction, export, persistence.
+
+Covers the acceptance criteria of the model redesign:
+
+- ``export_model()`` works for **all seven** registry algorithms;
+- a **v1** npz (written by the pre-redesign ``repro train --output``)
+  loads into a :class:`TopicModel` via the compat path;
+- the v2 round trip preserves arrays, hyper-parameters, vocabulary and
+  metadata; corrupted/unknown files are rejected.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import algorithm_names, create_trainer
+from repro.corpus.synthetic import generate_synthetic_corpus, small_spec
+from repro.corpus.vocab import Vocabulary
+from repro.model import SCHEMA_VERSION, TopicModel
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_synthetic_corpus(
+        small_spec(num_docs=80, num_words=120, mean_doc_len=20), seed=11
+    )
+
+
+def tiny_model(vocab_size: int = 6) -> TopicModel:
+    phi = np.array([[5, 0, 1, 0, 0, 0], [0, 4, 0, 2, 1, 0]], dtype=np.int64)
+    return TopicModel(
+        phi=phi,
+        topic_totals=phi.sum(axis=1),
+        alpha=0.5,
+        beta=0.01,
+        vocabulary=Vocabulary.synthetic(vocab_size),
+        metadata={"algorithm": "test", "iterations": 3},
+    )
+
+
+class TestConstruction:
+    def test_validates_and_freezes(self):
+        m = tiny_model()
+        assert m.num_topics == 2 and m.num_words == 6
+        assert m.num_tokens == 13
+        assert not m.phi.flags.writeable
+        assert not m.topic_totals.flags.writeable
+
+    def test_rejects_mismatched_totals(self):
+        phi = np.ones((2, 3), dtype=np.int64)
+        with pytest.raises(ValueError, match="row sums"):
+            TopicModel(phi, np.array([3, 4]), 0.5, 0.01)
+
+    def test_rejects_negative_counts(self):
+        phi = np.array([[1, -1], [0, 2]])
+        with pytest.raises(ValueError, match="negative"):
+            TopicModel(phi, phi.sum(axis=1), 0.5, 0.01)
+
+    def test_rejects_bad_hypers(self):
+        phi = np.ones((2, 3), dtype=np.int64)
+        with pytest.raises(ValueError, match="positive"):
+            TopicModel(phi, phi.sum(axis=1), -1.0, 0.01)
+
+    def test_rejects_wrong_vocab_size(self):
+        phi = np.ones((2, 3), dtype=np.int64)
+        with pytest.raises(ValueError, match="vocabulary"):
+            TopicModel(phi, phi.sum(axis=1), 0.5, 0.01,
+                       vocabulary=Vocabulary.synthetic(5))
+
+    def test_word_given_topic_rows_normalize(self):
+        p = tiny_model().word_given_topic()
+        assert p.shape == (2, 6)
+        assert np.allclose(p.sum(axis=1), 1.0)
+        assert np.all(p > 0)
+
+    def test_top_words_and_terms(self):
+        m = tiny_model()
+        assert m.top_words(0, 2).tolist() == [0, 2]
+        assert m.top_terms(1, 2) == ["w1", "w3"]
+
+    def test_from_state_requires_surface(self):
+        with pytest.raises(TypeError, match="phi"):
+            TopicModel.from_state(object())
+
+
+class TestExportModel:
+    @pytest.mark.parametrize("name", sorted(algorithm_names()))
+    def test_every_algorithm_exports(self, corpus, name):
+        """The culda-only restriction is gone: all seven export."""
+        trainer = create_trainer(name, corpus, topics=8, seed=2,
+                                 **({"workers": 3} if name == "ldastar" else {}))
+        try:
+            trainer.fit(2, likelihood_every=0)
+            model = trainer.export_model()
+        finally:
+            close = getattr(trainer, "close", None)
+            if callable(close):
+                close()
+        assert isinstance(model, TopicModel)
+        assert model.num_topics == 8
+        assert model.num_words == corpus.num_words
+        # phi conserves the corpus token count for every algorithm
+        assert model.num_tokens == corpus.num_tokens
+        assert model.metadata["algorithm"] == name
+        assert model.metadata["iterations"] == 2
+        assert "options" in model.metadata
+
+    def test_export_matches_state(self, corpus):
+        trainer = create_trainer("plain_cgs", corpus, topics=6, seed=0)
+        trainer.fit(1, likelihood_every=0)
+        model = trainer.export_model()
+        assert np.array_equal(model.phi, trainer.state.phi)
+        assert model.alpha == trainer.state.alpha
+        assert model.beta == trainer.state.beta
+
+
+class TestPersistence:
+    def test_v2_round_trip(self, tmp_path):
+        m = tiny_model()
+        path = tmp_path / "m.npz"
+        m.save(path)
+        back = TopicModel.load(path)
+        assert np.array_equal(back.phi, m.phi)
+        assert np.array_equal(back.topic_totals, m.topic_totals)
+        assert back.alpha == m.alpha and back.beta == m.beta
+        assert back.vocabulary == m.vocabulary
+        assert back.metadata == {"algorithm": "test", "iterations": 3}
+
+    def test_v2_round_trip_without_vocab(self, tmp_path):
+        phi = np.ones((3, 4), dtype=np.int64)
+        m = TopicModel(phi, phi.sum(axis=1), 0.5, 0.01)
+        path = tmp_path / "m.npz"
+        m.save(path)
+        back = TopicModel.load(path)
+        assert back.vocabulary is None
+        assert back.metadata == {}
+
+    def test_v1_artifact_loads(self, tmp_path):
+        """A pre-redesign `repro train --output` file loads via compat."""
+        m = tiny_model()
+        path = tmp_path / "v1.npz"
+        # the exact layout the seed-era save_model wrote
+        np.savez_compressed(
+            path, version=1, kind="model",
+            phi=m.phi.astype(np.int32), topic_totals=m.topic_totals,
+            alpha=m.alpha, beta=m.beta,
+            num_topics=m.num_topics, num_words=m.num_words,
+        )
+        back = TopicModel.load(path)
+        assert np.array_equal(back.phi, m.phi)
+        assert back.phi.dtype == np.int64  # normalized on load
+        assert back.alpha == m.alpha
+        assert back.vocabulary is None
+        assert back.metadata == {"schema_version": 1}
+
+    def test_current_writer_emits_v2(self, tmp_path):
+        path = tmp_path / "m.npz"
+        tiny_model().save(path)
+        with np.load(path, allow_pickle=False) as z:
+            assert int(z["version"]) == SCHEMA_VERSION == 2
+            assert str(z["kind"]) == "model"
+
+    def test_rejects_missing_version(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, a=np.zeros(2))
+        with pytest.raises(ValueError, match="no version"):
+            TopicModel.load(path)
+
+    def test_rejects_future_version(self, tmp_path):
+        path = tmp_path / "m.npz"
+        tiny_model().save(path)
+        with np.load(path) as z:
+            data = {k: z[k] for k in z.files}
+        data["version"] = np.int64(99)
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError, match="version 99"):
+            TopicModel.load(path)
+
+    def test_rejects_checkpoint_kind(self, tmp_path, corpus):
+        from repro.core.snapshot import save_checkpoint
+
+        trainer = create_trainer("culda", corpus, topics=4, seed=0)
+        trainer.fit(1, likelihood_every=0)
+        path = tmp_path / "ck.npz"
+        save_checkpoint(trainer.state, path)
+        with pytest.raises(ValueError, match="not a model artifact"):
+            TopicModel.load(path)
+
+    def test_detects_corruption(self, tmp_path):
+        path = tmp_path / "m.npz"
+        tiny_model().save(path)
+        with np.load(path) as z:
+            data = {k: z[k] for k in z.files}
+        data["topic_totals"] = data["topic_totals"] + 1
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError, match="corrupted"):
+            TopicModel.load(path)
+
+    def test_missing_field_reported(self, tmp_path):
+        path = tmp_path / "m.npz"
+        np.savez(path, version=2, kind="model", num_words=3)
+        with pytest.raises(ValueError, match="phi"):
+            TopicModel.load(path)
+
+
+class TestDeprecatedDictShims:
+    def test_save_load_warn_and_round_trip(self, tmp_path, corpus):
+        from repro.core.snapshot import load_model, save_model
+
+        trainer = create_trainer("culda", corpus, topics=4, seed=0)
+        trainer.fit(1, likelihood_every=0)
+        path = tmp_path / "m.npz"
+        with pytest.warns(DeprecationWarning, match="export_model"):
+            save_model(trainer.state, path)
+        with pytest.warns(DeprecationWarning, match="TopicModel.load"):
+            d = load_model(path)
+        assert np.array_equal(d["phi"], trainer.state.phi)
+        assert d["num_topics"] == 4
+        # the shim now writes the current schema (v2, empty metadata —
+        # a bare state carries no provenance; export_model() does)
+        with np.load(path, allow_pickle=False) as z:
+            assert int(z["version"]) == 2

@@ -62,6 +62,18 @@ def test_committed_report_has_required_speedups():
     assert algos["ldastar"]["speedup"] >= 1.0
 
 
+def test_committed_report_has_inference_section():
+    """PR 4: the committed JSON records the batched-inference speedup."""
+    report = json.loads((REPO / "BENCH_wallclock.json").read_text())
+    inf = report["inference"]
+    assert inf["preset"] == "medium"
+    assert inf["sequential"]["tokens_per_sec"] > 0
+    assert inf["batched"]["tokens_per_sec"] > 0
+    # the acceptance bar: batched fold-in must beat one-doc-at-a-time
+    assert inf["speedup"] > 1.0
+    assert "bit-identical" in inf["note"]
+
+
 def test_committed_report_has_scaling_curve():
     """PR 3: the committed JSON records a real device/worker sweep."""
     report = json.loads((REPO / "BENCH_wallclock.json").read_text())
