@@ -137,6 +137,227 @@ def measure_algorithm(
     }
 
 
+#: Iterations per timed block in the sync-mode comparison.  The overlap
+#: pipeline only engages *between* iterations of one ``train`` call
+#: (the last iteration of a call always drains), so single-iteration
+#: timings — like the per-algorithm ``measure_algorithm`` protocol —
+#: structurally cannot measure it; a 5-iteration block pipelines 4 of
+#: its 5 sync points.
+SYNC_BLOCK_ITERATIONS = 5
+
+
+def _measure_block(
+    name: str,
+    corpus,
+    topics: int,
+    extra_kwargs: dict,
+    block: int = SYNC_BLOCK_ITERATIONS,
+    repeats: int = 3,
+) -> dict:
+    """Best-of-N wall-clock of ``block``-iteration ``partial_fit`` calls.
+
+    Likelihood is evaluated every iteration: that is the master-side
+    work the overlap mode hides behind the workers' sampling, so timing
+    with it off would understate exactly the effect being measured.
+    """
+    trainer = create_trainer(name, corpus, topics=topics, seed=0,
+                             **extra_kwargs)
+    try:
+        trainer.partial_fit(1, compute_likelihood=True)  # engine warm-up
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            trainer.partial_fit(block, compute_likelihood=True)
+            best = min(best, time.perf_counter() - t0)
+    finally:
+        close = getattr(trainer, "close", None)
+        if callable(close):
+            close()
+    return {
+        "tokens_per_sec": corpus.num_tokens * block / best,
+        "seconds_per_block": best,
+        "iterations_per_block": block,
+    }
+
+
+def run_sync_mode_bench(
+    topics: int,
+    scale: float = 1.0,
+    num_workers: int = 2,
+) -> dict:
+    """Wall-clock per sync mode + a master-merge microbenchmark.
+
+    The training measurement runs culda (4 simulated devices, process
+    execution) under ``barrier``/``prereduce``/``overlap`` — identical
+    draws, only the host sync schedule moves.  Each timing covers a
+    multi-iteration block with per-iteration likelihood (see
+    :func:`_measure_block`: the pipeline cannot engage inside a
+    single-iteration call).  The microbenchmark times the master's
+    reconciliation in isolation on the same model shape: differencing G
+    replicas (barrier) vs adding W pre-reduced int64 accumulators,
+    which is the O(G*K*V) -> O(W*K*V) reduction the overlap path rides
+    on.
+    """
+    from repro.core.sync import reconcile_phi, reconcile_prereduced
+
+    corpus, spec = make_corpus(scale, preset="medium")
+    base = {"gpus": SWEEP_DEVICES, "platform": "Pascal",
+            "execution": "process", "num_workers": num_workers}
+    modes = {}
+    for sync_mode in ("barrier", "prereduce", "overlap"):
+        res = _measure_block(
+            "culda", corpus, topics,
+            extra_kwargs={**base, "sync_mode": sync_mode},
+        )
+        modes[sync_mode] = res
+        print(
+            f"sync-mode {sync_mode:9s} "
+            f"{res['tokens_per_sec'] / 1e3:10.1f}k tok/s"
+        )
+
+    # -- master merge in isolation (same K x V as the training runs) ----
+    k, v = topics, spec["num_words"]
+    rng = np.random.default_rng(0)
+    phi_ref = rng.integers(0, 50, size=(k, v)).astype(np.int32)
+    deltas = [
+        rng.integers(0, 3, size=(k, v)).astype(np.int64)
+        for _ in range(SWEEP_DEVICES)
+    ]
+    replicas = [(phi_ref.astype(np.int64) + d).astype(np.int32) for d in deltas]
+    # W pre-reduced accumulators carrying the same total update
+    per_worker = [
+        sum(deltas[g] for g in range(SWEEP_DEVICES) if g % num_workers == w)
+        for w in range(num_workers)
+    ]
+
+    def best_of(fn, n=5):
+        best = float("inf")
+        for _ in range(n):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    barrier_s = best_of(lambda: reconcile_phi(phi_ref, replicas))
+    prereduced_s = best_of(lambda: reconcile_prereduced(phi_ref, per_worker))
+    assert np.array_equal(
+        reconcile_phi(phi_ref, replicas),
+        reconcile_prereduced(phi_ref, per_worker),
+    ), "pre-reduced merge diverged from the replica merge"
+    print(
+        f"master merge  barrier {barrier_s * 1e3:7.3f} ms   "
+        f"prereduced {prereduced_s * 1e3:7.3f} ms   "
+        f"{barrier_s / prereduced_s:5.2f}x"
+    )
+    return {
+        "preset": "medium",
+        "devices": SWEEP_DEVICES,
+        "num_workers": num_workers,
+        "modes": modes,
+        "master_merge": {
+            "shape": [k, v],
+            "replicas": SWEEP_DEVICES,
+            "accumulators": num_workers,
+            "barrier_seconds": barrier_s,
+            "prereduced_seconds": prereduced_s,
+            "reduction": barrier_s / prereduced_s,
+            "note": (
+                "identical reconciled model asserted; reduction is the "
+                "O(G*K*V) -> O(W*K*V) master merge cut"
+            ),
+        },
+        "note": (
+            "same draws in every mode; timings are 5-iteration blocks "
+            "with per-iteration likelihood (single-iteration calls "
+            "cannot engage the overlap pipeline); training deltas "
+            "bounded by environment.cpu_count"
+        ),
+    }
+
+
+def run_inference_scaling(
+    topics: int,
+    workers: tuple[int, ...] = SWEEP_WORKERS,
+    num_docs: int = 400,
+    num_sweeps: int = 10,
+    burn_in: int = 4,
+    train_iterations: int = 3,
+    scale: float = 1.0,
+) -> dict:
+    """Serving worker-scaling curve: batched session vs N-worker pools.
+
+    Phi is frozen during serving, so the pooled results are asserted
+    bit-identical to the in-process session before any number is
+    reported; the curve is only interpretable next to
+    ``environment.cpu_count`` (a 1-CPU container shows parity).
+    """
+    from repro.model import InferenceSession
+
+    corpus, spec = make_corpus(scale, preset="medium")
+    split = max(1, corpus.num_docs - max(8, int(round(num_docs * scale))))
+    train, test = corpus.subset(0, split), corpus.subset(split, corpus.num_docs)
+    trainer = create_trainer("culda", train, topics=topics, seed=0)
+    trainer.fit(train_iterations, likelihood_every=0)
+    model = trainer.export_model()
+    tokens = test.num_tokens
+
+    base_session = InferenceSession(
+        model, num_sweeps=num_sweeps, burn_in=burn_in
+    )
+    base_session.transform(test.subset(0, min(8, test.num_docs)), seed=7)
+    t0 = time.perf_counter()
+    ref = base_session.transform(test, seed=7)
+    base_s = time.perf_counter() - t0
+
+    points = {}
+    for w in workers:
+        if w <= 1:
+            points["1"] = {
+                "seconds": base_s,
+                "tokens_per_sec": tokens / base_s,
+                "speedup_vs_single": 1.0,
+            }
+            continue
+        with InferenceSession(
+            model, num_sweeps=num_sweeps, burn_in=burn_in, num_workers=w
+        ) as session:
+            session.transform(
+                test.subset(0, min(8, test.num_docs)), seed=7
+            )  # pool warmup
+            t0 = time.perf_counter()
+            theta = session.transform(test, seed=7)
+            secs = time.perf_counter() - t0
+        if not np.array_equal(ref, theta):
+            raise AssertionError(
+                "pooled inference diverged from the in-process session"
+            )
+        points[str(w)] = {
+            "seconds": secs,
+            "tokens_per_sec": tokens / secs,
+            "speedup_vs_single": base_s / secs,
+        }
+    for w, p in points.items():
+        print(
+            f"inference scaling  {w} worker(s) "
+            f"{p['tokens_per_sec'] / 1e3:10.1f}k tok/s   "
+            f"{p['speedup_vs_single']:5.2f}x vs in-process"
+        )
+    return {
+        "preset": "medium",
+        "corpus": {"spec": spec, "seed": CORPUS_SEED},
+        "documents": test.num_docs,
+        "tokens": tokens,
+        "num_sweeps": num_sweeps,
+        "burn_in": burn_in,
+        "workers": points,
+        "note": (
+            "mixtures asserted bit-identical to the in-process session "
+            "for every worker count; scaling bounded by "
+            "environment.cpu_count"
+        ),
+    }
+
+
 def run_inference_bench(
     topics: int = DEFAULT_TOPICS,
     num_docs: int = 400,
@@ -144,6 +365,7 @@ def run_inference_bench(
     burn_in: int = 4,
     train_iterations: int = 3,
     scale: float = 1.0,
+    num_workers: int | None = None,
 ) -> dict:
     """Fold-in inference throughput: sequential sampler vs batched session.
 
@@ -183,6 +405,30 @@ def run_inference_bench(
         raise AssertionError(
             "batched inference diverged from the sequential sampler"
         )
+
+    parallel = None
+    if num_workers is not None and num_workers > 1:
+        with InferenceSession(
+            model, num_sweeps=num_sweeps, burn_in=burn_in,
+            num_workers=num_workers,
+        ) as pooled:
+            pooled.transform(
+                test.subset(0, min(8, test.num_docs)), seed=7
+            )  # pool warmup
+            t0 = time.perf_counter()
+            theta_p = pooled.transform(test, seed=7)
+            parallel_s = time.perf_counter() - t0
+        if not np.array_equal(ref, theta_p):
+            raise AssertionError(
+                "pooled inference diverged from the sequential sampler"
+            )
+        parallel = {
+            "num_workers": num_workers,
+            "seconds": parallel_s,
+            "tokens_per_sec": test.num_tokens / parallel_s,
+            "speedup_vs_batched": batched_s / parallel_s,
+        }
+
     tokens = test.num_tokens
     result = {
         "preset": "medium",
@@ -202,10 +448,17 @@ def run_inference_bench(
         "speedup": sequential_s / batched_s,
         "note": "mixtures bit-identical between the two paths (asserted)",
     }
+    if parallel is not None:
+        result["parallel"] = parallel
     print(
         f"inference    sequential {tokens / sequential_s / 1e3:8.1f}k tok/s   "
         f"batched {tokens / batched_s / 1e3:8.1f}k tok/s   "
         f"{result['speedup']:5.2f}x"
+        + (
+            f"   pooled({parallel['num_workers']}w) "
+            f"{parallel['tokens_per_sec'] / 1e3:8.1f}k tok/s"
+            if parallel is not None else ""
+        )
     )
     return result
 
@@ -271,8 +524,10 @@ def run(
     preset: str = "small",
     execution: str = "serial",
     num_workers: int | None = None,
+    sync_mode: str = "barrier",
     scaling_sweep: bool = False,
     inference: bool = True,
+    inference_workers: int | None = None,
 ) -> dict:
     corpus, spec = make_corpus(scale, preset=preset)
     names = algos or algorithm_names()
@@ -299,6 +554,14 @@ def run(
             exec_kwargs.update(
                 {"execution": "process", "num_workers": num_workers}
             )
+            if sync_mode != "barrier":
+                # ldastar's engine always pre-reduces; map the culda-only
+                # prereduce mode down to its barrier equivalent there.
+                exec_kwargs["sync_mode"] = (
+                    sync_mode
+                    if name != "ldastar" or sync_mode == "overlap"
+                    else "barrier"
+                )
         after = measure_algorithm(
             name, corpus, topics, warmup, iterations, extra_kwargs=exec_kwargs
         )
@@ -319,6 +582,7 @@ def run(
                 extra_kwargs=base_kwargs,
             )
             entry["execution"] = "process"
+            entry["sync_mode"] = exec_kwargs.get("sync_mode", "barrier")
             entry["num_workers_requested"] = num_workers
             entry["num_workers"] = resolve_num_workers(num_workers, num_groups)
             entry["devices"] = num_groups
@@ -371,12 +635,20 @@ def run(
         )
 
     scaling = None
+    sync_modes = None
+    inference_scaling = None
     if scaling_sweep:
         scaling = run_scaling_sweep(topics, warmup, iterations, scale)
+        # fixed block protocol (see _measure_block) — the --warmup and
+        # --iterations knobs describe the per-algorithm sections only
+        sync_modes = run_sync_mode_bench(topics, scale=scale)
+        inference_scaling = run_inference_scaling(topics, scale=scale)
 
     inference_report = None
     if inference:
-        inference_report = run_inference_bench(topics=topics, scale=scale)
+        inference_report = run_inference_bench(
+            topics=topics, scale=scale, num_workers=inference_workers
+        )
 
     report = {
         "protocol": {
@@ -387,6 +659,7 @@ def run(
             "warmup_iterations": warmup,
             "measured_iterations": iterations,
             "execution": execution,
+            "sync_mode": sync_mode,
             "timing": (
                 "min wall-clock seconds over measured single iterations, "
                 "likelihood off"
@@ -398,11 +671,23 @@ def run(
             "numpy": np.__version__,
             "machine": platform.machine(),
             "cpu_count": os.cpu_count(),
+            # the affinity mask bounds what any worker pinning can do
+            "affinity_cpus": (
+                len(os.sched_getaffinity(0))
+                if hasattr(os, "sched_getaffinity") else None
+            ),
         },
         "baseline": (
             baseline.get("captured_at") if baseline else "not available"
         ),
         "notes": {
+            "sync_mode": (
+                "per-algorithm process timings are single-iteration "
+                "partial_fit calls, inside which the overlap pipeline "
+                "cannot engage (the last iteration of a call always "
+                "drains); the sync_modes section measures "
+                "multi-iteration blocks instead"
+            ),
             "sparselda": (
                 "the registry default switched from exact sequential sweeps "
                 "to the vectorised word-batched rewrite; the exact oracle is "
@@ -414,6 +699,10 @@ def run(
     }
     if scaling is not None:
         report["scaling"] = scaling
+    if sync_modes is not None:
+        report["sync_modes"] = sync_modes
+    if inference_scaling is not None:
+        report["inference_scaling"] = inference_scaling
     if inference_report is not None:
         report["inference"] = inference_report
     out_path = Path(out_path)
@@ -441,9 +730,21 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--num-workers", dest="num_workers", type=int,
                     default=None,
                     help="OS worker processes for --execution process")
+    ap.add_argument("--sync-mode", dest="sync_mode",
+                    choices=("barrier", "prereduce", "overlap"),
+                    default="barrier",
+                    help="phi sync mode of the --execution process "
+                         "measurements (ldastar maps prereduce to its "
+                         "always-pre-reduced barrier)")
+    ap.add_argument("--inference-workers", dest="inference_workers",
+                    type=int, default=None,
+                    help="also measure the inference section with an "
+                         "N-worker pool (equality asserted)")
     ap.add_argument("--scaling-sweep", action="store_true",
                     help="record the culda 4-device x {1,2,4}-worker "
-                         "scaling curve on the medium preset")
+                         "scaling curve, the sync-mode comparison + "
+                         "master-merge microbenchmark, and the inference "
+                         "worker-scaling curve on the medium preset")
     ap.add_argument("--no-inference", dest="inference", action="store_false",
                     help="skip the fold-in inference throughput section "
                          "(sequential vs batched, medium preset)")
@@ -464,8 +765,10 @@ def main(argv: list[str] | None = None) -> int:
         preset=args.preset,
         execution=args.execution,
         num_workers=args.num_workers,
+        sync_mode=args.sync_mode,
         scaling_sweep=args.scaling_sweep,
         inference=args.inference,
+        inference_workers=args.inference_workers,
     )
     return 0
 

@@ -111,6 +111,18 @@ class HistoryTrainerAdapter(_DelegatingAdapter):
         )
         return list(self.inner.history[before:])
 
+    def _fit_span(
+        self, num_iterations: int, likelihood_every: int
+    ) -> list[IterationRecord]:
+        # One native train call for the whole span: the inner trainer
+        # applies the same modulus cadence, and multi-iteration process
+        # optimizations (sync_mode="overlap") can pipeline across it.
+        before = len(self.inner.history)
+        self.inner.train(
+            num_iterations, compute_likelihood_every=likelihood_every
+        )
+        return list(self.inner.history[before:])
+
 
 class SweepTrainerAdapter(_DelegatingAdapter):
     """Wrap a sequential sampler exposing ``sweep()`` and ``model``.

@@ -48,6 +48,10 @@ def _resolve_platform(platform):
                      "(real OS workers over shared memory; same draws)",
         "num_workers": "OS worker processes for execution=process "
                        "(default min(gpus, cpu_count))",
+        "sync_mode": "process-mode phi reconciliation: barrier (default), "
+                     "prereduce (per-worker pre-reduced deltas) or overlap "
+                     "(pre-reduce + pipelined sync; same draws)",
+        "worker_affinity": "CPU ids to pin OS workers to (round-robin)",
         "validate_every": "run invariant checks every N iterations (0 off)",
     },
 )
@@ -69,6 +73,8 @@ def _make_culda(
     compute_dtype: str = "float64",
     execution: str = "serial",
     num_workers: int | None = None,
+    sync_mode: str = "barrier",
+    worker_affinity=None,
     validate_every: int = 0,
 ):
     config = TrainerConfig(
@@ -85,6 +91,10 @@ def _make_culda(
         compute_dtype=compute_dtype,
         execution=execution,
         num_workers=num_workers,
+        sync_mode=sync_mode,
+        worker_affinity=(
+            tuple(worker_affinity) if worker_affinity is not None else None
+        ),
         seed=seed,
     )
     inner = CuLdaTrainer(
@@ -100,7 +110,7 @@ def _make_culda(
         description=CuLdaTrainer.DESCRIPTION,
         options={"topics": topics, "gpus": gpus, "chunks_per_gpu": chunks_per_gpu,
                  "execution": execution, "num_workers": num_workers,
-                 "seed": seed},
+                 "sync_mode": sync_mode, "seed": seed},
         state_attr="state",
     )
 
@@ -144,6 +154,9 @@ def _make_saberlda(
                      "(real OS workers over shared memory; same draws)",
         "num_workers": "OS worker processes for execution=process "
                        "(default min(workers, cpu_count))",
+        "sync_mode": "process-mode sync: barrier (default) or overlap "
+                     "(pipelined PS merge + worker likelihood; same draws)",
+        "worker_affinity": "CPU ids to pin OS workers to (round-robin)",
     },
 )
 def _make_ldastar(
@@ -157,10 +170,13 @@ def _make_ldastar(
     network=None,
     execution: str = "serial",
     num_workers: int | None = None,
+    sync_mode: str = "barrier",
+    worker_affinity=None,
 ):
     kwargs = {
         "num_workers": workers, "alpha": alpha, "beta": beta, "seed": seed,
         "execution": execution, "num_processes": num_workers,
+        "sync_mode": sync_mode, "worker_affinity": worker_affinity,
     }
     if cpu is not None:
         kwargs["cpu"] = cpu
@@ -173,7 +189,7 @@ def _make_ldastar(
         description=LdaStarTrainer.DESCRIPTION,
         options={"topics": topics, "workers": workers,
                  "execution": execution, "num_workers": num_workers,
-                 "seed": seed},
+                 "sync_mode": sync_mode, "seed": seed},
         state_attr="state",
     )
 

@@ -198,10 +198,12 @@ def likelihood_needed(
     ``default_every`` modulus applies.  Any callback with
     ``needs_likelihood`` forces computation regardless.
     """
+    from repro.core.likelihood import likelihood_due
+
     cbs = list(callbacks)
     if any(cb.needs_likelihood for cb in cbs):
         return True
     cadences = [cb for cb in cbs if isinstance(cb, LikelihoodCadence)]
     if cadences:
         return any(c.needed(iteration) for c in cadences)
-    return bool(default_every) and (iteration + 1) % default_every == 0
+    return likelihood_due(iteration, default_every)

@@ -205,20 +205,52 @@ class LdaTrainer(abc.ABC):
             cb.on_train_begin(self, num_iterations)
         records: list[IterationRecord] = []
         stopped = False
-        for _ in range(num_iterations):
-            it = self.iterations_done
-            need_ll = likelihood_needed(cbs, it, likelihood_every)
-            new = self.partial_fit(1, compute_likelihood=need_ll)
-            records.extend(new)
-            for rec in new:
-                for cb in cbs:
-                    if cb.on_iteration_end(self, rec):
-                        stopped = True
-            if stopped:
-                break
+        if not cbs:
+            # No per-iteration observers: run the whole span as ONE
+            # underlying call, so optimizations that pipeline across the
+            # iterations of a single call — the process engine's
+            # sync_mode="overlap" — engage on this surface (and the CLI
+            # built on it) too.  Records are identical either way.
+            records = list(self._fit_span(num_iterations, likelihood_every))
+        else:
+            for _ in range(num_iterations):
+                it = self.iterations_done
+                need_ll = likelihood_needed(cbs, it, likelihood_every)
+                new = self.partial_fit(1, compute_likelihood=need_ll)
+                records.extend(new)
+                for rec in new:
+                    for cb in cbs:
+                        if cb.on_iteration_end(self, rec):
+                            stopped = True
+                if stopped:
+                    break
         result = TrainResult(
             algorithm=self.name, records=records, early_stopped=stopped
         )
         for cb in cbs:
             cb.on_train_end(self, result)
         return result
+
+    def _fit_span(
+        self, num_iterations: int, likelihood_every: int
+    ) -> list[IterationRecord]:
+        """Run a callback-free span with the modulus likelihood cadence.
+
+        Default: one ``partial_fit(1)`` per iteration (correct for any
+        conforming trainer).  Adapters whose inner trainer accepts a
+        multi-iteration call override this so the whole span runs in one
+        ``train`` invocation — a requirement for cross-iteration
+        optimizations like the overlapped phi sync.
+        """
+        from repro.core.likelihood import likelihood_due
+
+        records: list[IterationRecord] = []
+        for _ in range(num_iterations):
+            it = self.iterations_done
+            records.extend(
+                self.partial_fit(
+                    1,
+                    compute_likelihood=likelihood_due(it, likelihood_every),
+                )
+            )
+        return records

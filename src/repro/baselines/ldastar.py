@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.core.config import TrainerConfig
 from repro.core.costs import SamplingStats, int_bytes, sampling_cost, tree_depth_for
-from repro.core.likelihood import log_likelihood_per_token
+from repro.core.likelihood import likelihood_due, log_likelihood_per_token
 from repro.core.model import LdaState
 from repro.core.rng import RngPool
 from repro.core.sampler import sample_chunk
@@ -64,10 +64,22 @@ class LdaStarTrainer:
         seed: int = 0,
         execution: str = "serial",
         num_processes: int | None = None,
+        sync_mode: str = "barrier",
+        worker_affinity=None,
     ):
         """``execution="process"`` runs the cluster workers' chunk passes
         on ``num_processes`` real OS workers over shared memory (see
-        :mod:`repro.parallel`); draws are bit-identical to serial."""
+        :mod:`repro.parallel`); draws are bit-identical to serial.
+
+        ``sync_mode="overlap"`` pipelines the master's delta merge (the
+        parameter-server push/pull) against the next iteration's
+        sampling kick-off and evaluates the document-side likelihood on
+        the workers — same draws, likelihoods and simulated clocks, less
+        host wall-clock.  LDA*'s process engine already pre-reduces (one
+        delta pair per OS worker), so there is no separate "prereduce"
+        mode here.  ``worker_affinity`` pins OS workers to the given CPU
+        ids round-robin.
+        """
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         if execution not in ("serial", "process"):
@@ -76,12 +88,25 @@ class LdaStarTrainer:
             )
         if num_processes is not None and num_processes < 1:
             raise ValueError("num_processes must be >= 1 (or None)")
+        if sync_mode not in ("barrier", "overlap"):
+            raise ValueError(
+                f"sync_mode must be 'barrier' or 'overlap' for LDA* "
+                f"(its engine always pre-reduces), got {sync_mode!r}"
+            )
+        if sync_mode == "overlap" and execution != "process":
+            raise ValueError(
+                "sync_mode='overlap' requires execution='process'"
+            )
         self.corpus = corpus
         self.num_workers = num_workers
         self.cpu = cpu
         self.network = network
         self.execution = execution
         self.num_processes = num_processes
+        self.sync_mode = sync_mode
+        from repro.parallel.worker import normalize_affinity
+
+        self.worker_affinity = normalize_affinity(worker_affinity)
         # Reuse the core chunked state: one chunk per worker.
         self.config = TrainerConfig(
             num_topics=num_topics,
@@ -150,15 +175,31 @@ class LdaStarTrainer:
                 seed=self.config.seed,
                 num_workers=self.num_processes,
                 mode="delta",
+                worker_affinity=self.worker_affinity,
             )
             self._engine.start()
         return self._engine
 
     def close(self) -> None:
-        """Shut down process-mode workers and shared memory (if any)."""
+        """Shut down process-mode workers and shared memory (if any).
+
+        A pipelined iteration left in flight by an exception is drained
+        and its delta pushes merged first, so the master model stays
+        consistent with the copied-back assignments.
+        """
         if self._engine is not None:
+            if self._engine.started and self._engine.drain() is not None:
+                # Separate frame: the delta views must be dead before
+                # engine.close() unmaps the arena.
+                self._merge_pending_deltas()
             self._engine.close()
             self._engine = None
+
+    def _merge_pending_deltas(self) -> None:
+        for dphi, dtot in self._engine.worker_deltas():
+            np.add(self.state.phi, dphi, out=self.state.phi,
+                   casting="unsafe")
+            self.state.topic_totals += dtot
 
     def __enter__(self) -> "LdaStarTrainer":
         return self
@@ -202,13 +243,15 @@ class LdaStarTrainer:
         self.state.topic_totals += dtot
         return worker_times, changed_total, sum_kd
 
-    def _sample_workers_process(self, it: int) -> tuple[list, int, int]:
-        """All workers' chunk passes on the OS-process engine."""
-        engine = self._ensure_engine()
-        engine.model_phi()[...] = self.state.phi  # the PS pull
+    def _dispatch_process(self, engine, it: int, want_ll: bool) -> None:
+        """The PS pull + kick-off: publish the merged model, start ``it``."""
+        engine.model_phi()[...] = self.state.phi
         engine.model_totals()[...] = self.state.topic_totals
-        results = engine.run_iteration(it)
-        for dphi, dtot in engine.worker_deltas():  # merge the pushes
+        engine.dispatch_iteration(it, want_ll=want_ll)
+
+    def _merge_process(self, engine, results) -> tuple[list, int, int]:
+        """Merge the per-OS-worker delta pushes; fold worker statistics."""
+        for dphi, dtot in engine.worker_deltas():
             np.add(self.state.phi, dphi, out=self.state.phi, casting="unsafe")
             self.state.topic_totals += dtot
         worker_times = []
@@ -221,29 +264,67 @@ class LdaStarTrainer:
             sum_kd += r.stats.sum_kd
         return worker_times, changed_total, sum_kd
 
+    def _assemble_likelihood(self, results) -> float:
+        """Joint likelihood from worker-evaluated doc terms (see
+        :func:`repro.core.likelihood.log_likelihood_from_terms`)."""
+        from repro.core.likelihood import log_likelihood_from_terms
+
+        terms = [results[w].ll_terms for w in range(self.num_workers)]
+        if any(t is None for t in terms):  # pragma: no cover - mismatch
+            raise RuntimeError(
+                "likelihood requested but the workers were not asked "
+                "for doc terms this iteration"
+            )
+        return log_likelihood_from_terms(self.state, terms)
+
     def train(
         self, num_iterations: int, compute_likelihood_every: int = 1
     ) -> list[IterationRecord]:
-        """Run iterations on the simulated cluster clock."""
+        """Run iterations on the simulated cluster clock.
+
+        With ``sync_mode="overlap"`` (process execution) the next
+        iteration's pull + kick-off happens immediately after the delta
+        merge, so the master's likelihood assembly and record-keeping
+        run while the OS workers already sample — the paper's "phi
+        first" overlap applied to the parameter-server exchange.
+        """
         if num_iterations < 0:
             raise ValueError("num_iterations must be non-negative")
         total_tokens = self.state.num_tokens
-        for _ in range(num_iterations):
+        process = self.execution == "process"
+        pipeline = process and self.sync_mode == "overlap"
+        engine = self._ensure_engine() if process else None
+
+        def needs_ll(it: int) -> bool:
+            return likelihood_due(it, compute_likelihood_every)
+
+        inflight: int | None = None
+        for n in range(num_iterations):
             it = self._iterations_done
-            if self.execution == "process":
-                worker_times, changed_total, sum_kd = (
-                    self._sample_workers_process(it)
+            need_ll = needs_ll(it)
+            if process:
+                if inflight is None:
+                    self._dispatch_process(engine, it, need_ll)
+                results = engine.collect_iteration()
+                inflight = None
+                worker_times, changed_total, sum_kd = self._merge_process(
+                    engine, results
+                )
+                if pipeline and n + 1 < num_iterations:
+                    self._dispatch_process(engine, it + 1, needs_ll(it + 1))
+                    inflight = it + 1
+                ll = (
+                    self._assemble_likelihood(results) / total_tokens
+                    if need_ll else None
                 )
             else:
                 worker_times, changed_total, sum_kd = (
                     self._sample_workers_serial(it)
                 )
+                ll = log_likelihood_per_token(self.state) if need_ll else None
 
             dur = max(worker_times) + self._network_seconds(changed_total)
             self._sim_time += dur
-            ll = None
-            if compute_likelihood_every and (it + 1) % compute_likelihood_every == 0:
-                ll = log_likelihood_per_token(self.state)
             self.history.append(
                 IterationRecord(
                     iteration=it,
@@ -276,6 +357,8 @@ class LdaStarTrainer:
             "network": self.network.name,
             "execution": self.execution,
             "num_processes": self.num_processes,
+            "sync_mode": self.sync_mode,
+            "worker_affinity": self.worker_affinity,
         }
 
     @property

@@ -64,7 +64,21 @@ _ALGO_FLAG_DEFAULTS = {
     "compute_dtype": "float64",
     "execution": "serial",
     "num_workers": None,
+    "sync_mode": "barrier",
+    "worker_affinity": None,
 }
+
+
+def _parse_affinity(text: str | None) -> tuple[int, ...] | None:
+    """``"0,2,4"`` -> ``(0, 2, 4)``; empty/None -> ``None``."""
+    if not text:
+        return None
+    try:
+        return tuple(int(part) for part in text.split(","))
+    except ValueError:
+        raise ValueError(
+            f"--affinity expects comma-separated CPU ids, got {text!r}"
+        ) from None
 
 
 def _build_trainer(args: argparse.Namespace, corpus: Corpus):
@@ -74,6 +88,8 @@ def _build_trainer(args: argparse.Namespace, corpus: Corpus):
     accepted = get_algorithm(args.algo).all_options()
     for flag, default in _ALGO_FLAG_DEFAULTS.items():
         value = getattr(args, flag, default)
+        if flag == "worker_affinity":
+            value = _parse_affinity(value)
         if flag in accepted:
             kwargs[flag] = value
         elif value != default:
@@ -177,21 +193,23 @@ def cmd_infer(args: argparse.Namespace) -> int:
     model = TopicModel.load(args.model)
     corpus = _load_corpus(args)
     _check_model_covers(model, corpus)
-    session = InferenceSession(
+    with InferenceSession(
         model,
         num_sweeps=args.sweeps,
         burn_in=args.burn_in,
         batch_docs=args.batch_docs,
-    )
-    theta = session.transform(corpus, seed=args.inference_seed)
-    print(
-        f"inferred mixtures for {corpus.num_docs} documents "
-        f"({corpus.num_tokens} tokens, K={model.num_topics})"
-    )
-    if args.output:
-        np.savez_compressed(Path(args.output), theta=theta)
-        print(f"theta written to {args.output}")
-    ids, weights = session.top_topics(corpus, n=args.top, theta=theta)
+        num_workers=args.num_workers,
+        worker_affinity=_parse_affinity(args.worker_affinity),
+    ) as session:
+        theta = session.transform(corpus, seed=args.inference_seed)
+        print(
+            f"inferred mixtures for {corpus.num_docs} documents "
+            f"({corpus.num_tokens} tokens, K={model.num_topics})"
+        )
+        if args.output:
+            np.savez_compressed(Path(args.output), theta=theta)
+            print(f"theta written to {args.output}")
+        ids, weights = session.top_topics(corpus, n=args.top, theta=theta)
     show = min(corpus.num_docs, args.show_docs)
     rows = []
     for d in range(show):
@@ -208,14 +226,21 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     model = TopicModel.load(args.model)
     corpus = _load_corpus(args)
     _check_model_covers(model, corpus)
-    result = document_completion(
+    with InferenceSession(
         model,
-        corpus,
-        observed_fraction=args.observed_fraction,
         num_sweeps=args.sweeps,
         burn_in=args.burn_in,
-        seed=args.inference_seed,
-    )
+        num_workers=args.num_workers,
+        worker_affinity=_parse_affinity(args.worker_affinity),
+    ) as session:
+        result = document_completion(
+            session,
+            corpus,
+            observed_fraction=args.observed_fraction,
+            num_sweeps=args.sweeps,
+            burn_in=args.burn_in,
+            seed=args.inference_seed,
+        )
     print(
         render_table(
             ["metric", "value"],
@@ -327,6 +352,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="OS worker processes for --execution process "
              "(default: min(devices, cpu_count))",
     )
+    p_train.add_argument(
+        "--sync-mode", dest="sync_mode",
+        choices=("barrier", "prereduce", "overlap"),
+        default=_ALGO_FLAG_DEFAULTS["sync_mode"],
+        help="process-mode phi sync: prereduce = per-worker pre-reduced "
+             "deltas, overlap = pre-reduce + sync pipelined against the "
+             "next iteration (bit-identical draws in every mode)",
+    )
+    p_train.add_argument(
+        "--affinity", dest="worker_affinity",
+        default=_ALGO_FLAG_DEFAULTS["worker_affinity"],
+        help="comma-separated CPU ids to pin OS workers to, e.g. '0,2,4' "
+             "(round-robin; --execution process only)",
+    )
     p_train.add_argument("--likelihood-every", type=int, default=5)
     p_train.add_argument("--output", help="write model .npz here")
     p_train.add_argument("--checkpoint", help="write resumable checkpoint here")
@@ -351,6 +390,15 @@ def build_parser() -> argparse.ArgumentParser:
                        default=0,
                        help="seed of the fold-in draws (per-document "
                             "streams; --seed shapes the corpus)")
+        p.add_argument("--num-workers", dest="num_workers", type=int,
+                       default=None,
+                       help="fan batches out over this many OS worker "
+                            "processes sharing one read-only model arena "
+                            "(phi is frozen — results identical for any "
+                            "worker count)")
+        p.add_argument("--affinity", dest="worker_affinity", default=None,
+                       help="comma-separated CPU ids to pin inference "
+                            "workers to (round-robin)")
 
     p_infer = sub.add_parser(
         "infer", help="batched topic-mixture inference for new documents"
@@ -402,6 +450,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--num-workers", dest="num_workers", type=int,
         default=_ALGO_FLAG_DEFAULTS["num_workers"],
         help="OS worker processes for --execution process",
+    )
+    p_bench.add_argument(
+        "--sync-mode", dest="sync_mode",
+        choices=("barrier", "prereduce", "overlap"),
+        default=_ALGO_FLAG_DEFAULTS["sync_mode"],
+        help="process-mode phi sync (see 'train --help')",
+    )
+    p_bench.add_argument(
+        "--affinity", dest="worker_affinity",
+        default=_ALGO_FLAG_DEFAULTS["worker_affinity"],
+        help="comma-separated CPU ids to pin OS workers to",
     )
     p_bench.set_defaults(func=cmd_benchmark)
 

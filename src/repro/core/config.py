@@ -51,6 +51,27 @@ class TrainerConfig:
     num_workers:
         OS worker processes for ``execution="process"``; ``None`` uses
         ``min(num_gpus, os.cpu_count())``.  Ignored in serial mode.
+    sync_mode:
+        How process execution reconciles phi at the iteration barrier
+        (requires ``execution="process"`` for the non-default values):
+
+        - ``"barrier"`` (default) — the master differences every device
+          replica against the reference model (O(G*K*V) merge);
+        - ``"prereduce"`` — each worker pre-reduces its own devices' phi
+          deltas into a per-worker shared accumulator before the
+          barrier, cutting the master's merge to O(W*K*V);
+        - ``"overlap"`` — pre-reduce plus the paper's Section 6.2 "phi
+          first" trick at the process level: the master's merge result
+          is broadcast *by the workers* at the next iteration's kick-off
+          and the master's accounting/likelihood runs while they sample.
+
+        All three modes produce bit-identical draws, models, likelihood
+        trajectories and simulated clocks (goldens assert it); only host
+        wall-clock moves.
+    worker_affinity:
+        Optional CPU ids to pin OS workers to (``os.sched_setaffinity``;
+        worker ``w`` is pinned to ``worker_affinity[w % len]``).  Ignored
+        in serial mode and on platforms without affinity support.
     seed:
         RNG seed for the whole run (reproducible).
     """
@@ -68,6 +89,8 @@ class TrainerConfig:
     compute_dtype: str = "float64"
     execution: str = "serial"
     num_workers: int | None = None
+    sync_mode: str = "barrier"
+    worker_affinity: tuple[int, ...] | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -97,6 +120,29 @@ class TrainerConfig:
             raise ValueError(
                 f"num_workers must be >= 1 (or None), got {self.num_workers}"
             )
+        if self.sync_mode not in ("barrier", "prereduce", "overlap"):
+            raise ValueError(
+                f"sync_mode must be 'barrier', 'prereduce' or 'overlap', "
+                f"got {self.sync_mode!r}"
+            )
+        if self.sync_mode != "barrier" and self.execution != "process":
+            raise ValueError(
+                f"sync_mode={self.sync_mode!r} requires execution='process' "
+                f"(serial execution has no workers to overlap with)"
+            )
+        if self.worker_affinity is not None:
+            from repro.parallel.worker import normalize_affinity
+
+            try:
+                affinity = normalize_affinity(self.worker_affinity)
+            except ValueError as exc:
+                raise ValueError(f"worker_affinity: {exc}") from None
+            if affinity is None:
+                raise ValueError(
+                    "worker_affinity must be a non-empty sequence of "
+                    "CPU ids, or None"
+                )
+            object.__setattr__(self, "worker_affinity", affinity)
 
     @property
     def effective_alpha(self) -> float:

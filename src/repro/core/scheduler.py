@@ -258,22 +258,23 @@ def run_iteration(
     return work_schedule_2(devices, state, config, iteration, pool)
 
 
-def run_iteration_parallel(
+def replay_parallel_accounting(
     devices: list[DeviceState],
     state: LdaState,
     config: TrainerConfig,
     iteration: int,
-    engine,
+    results,
 ) -> IterationOutcome:
-    """One iteration with the functional work on the process engine.
+    """Master-side accounting of one engine iteration.
 
     The workers mutate the shared replicas/topics/theta in
     serial-schedule order per device; this master-side pass then replays
     the *accounting* of the matching schedule — kernel launches from the
     worker-reported statistics, plus WorkSchedule2's per-chunk transfers
-    — so the simulated clocks are identical to serial execution.
+    — so the simulated clocks are identical to serial execution.  Pure
+    in ``results``: it never reads the shared arrays, so it is safe to
+    run while the workers already sample the next iteration.
     """
-    results = engine.run_iteration(iteration)
     outcome = IterationOutcome(iteration)
     streamed = config.chunks_per_gpu > 1
     for dev in devices:

@@ -47,6 +47,68 @@ def reconcile_phi(
     return out.astype(phi_ref.dtype)
 
 
+def reconcile_prereduced(
+    phi_ref: np.ndarray,
+    worker_delta_phis: list[np.ndarray],
+) -> np.ndarray:
+    """Reconciliation from per-worker pre-reduced deltas.
+
+    Each entry of ``worker_delta_phis`` is one OS worker's summed signed
+    update over every replica it owns, accumulated chunk pass by chunk
+    pass (see :func:`repro.core.updates.apply_phi_update`).  Because the
+    counts are integers, ``phi_ref + sum_w delta_w`` is exactly
+    ``phi_ref + sum_g (phi_g - phi_ref)`` regardless of how groups were
+    assigned to workers — bit-identical to :func:`reconcile_phi`, but
+    the master adds ``W`` matrices instead of differencing ``G`` replicas
+    (the O(G*K*V) -> O(W*K*V) merge reduction of the overlap sync path).
+    """
+    if not worker_delta_phis:
+        raise ValueError("need at least one worker delta")
+    out = phi_ref.astype(np.int64)  # astype always copies here
+    for delta in worker_delta_phis:
+        if delta.shape != phi_ref.shape:
+            raise ValueError("delta shape mismatch")
+        out += delta
+    if np.any(out < 0):
+        raise AssertionError("negative count after reconciliation")
+    return out.astype(phi_ref.dtype)
+
+
+def synchronize_prereduced(
+    phi_ref: np.ndarray,
+    totals_ref: np.ndarray,
+    worker_deltas: list[tuple[np.ndarray, np.ndarray]],
+    device_phis: list[np.ndarray] | None = None,
+    device_totals: list[np.ndarray] | None = None,
+    gpus: list[SimulatedGPU] | None = None,
+    phi_bytes: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Full sync from per-worker ``(delta_phi, delta_totals)`` pairs.
+
+    Functionally identical to :func:`synchronize` (integer arithmetic —
+    same ``phi_new``/``totals_new`` to the bit) with the master-side
+    merge cut to one add per OS worker.  ``device_phis``/``device_totals``
+    are broadcast into when given; pass ``None`` in overlap mode, where
+    the workers copy the reconciled model into their own replicas at the
+    next kick-off instead.  The simulated Figure 4 tree reduce is charged
+    unchanged: overlap is a *host* wall-clock optimisation and must not
+    move the simulated clocks.
+    """
+    phi_new = reconcile_prereduced(phi_ref, [d for d, _ in worker_deltas])
+    totals_new = totals_ref.astype(np.int64)  # astype always copies here
+    for _, dtot in worker_deltas:
+        totals_new += dtot
+    if device_phis is not None:
+        for g in range(len(device_phis)):
+            device_phis[g][...] = phi_new
+            device_totals[g][...] = totals_new
+    if gpus is not None and len(gpus) > 1:
+        if phi_bytes is None:
+            phi_bytes = int(phi_new.nbytes)
+        simulate_phi_sync(gpus, phi_bytes)
+    return phi_new, totals_new
+
+
 def simulate_phi_sync(
     gpus: list[SimulatedGPU],
     phi_bytes: int,

@@ -30,11 +30,19 @@ from repro.corpus.encoding import topic_dtype_for
 from repro.corpus.partition import assign_round_robin, partition_by_tokens
 from repro.core.config import TrainerConfig
 from repro.core.costs import phi_replica_bytes, theta_replica_bytes
-from repro.core.likelihood import log_likelihood_per_token
+from repro.core.likelihood import (
+    likelihood_due,
+    log_likelihood_from_terms,
+    log_likelihood_per_token,
+)
 from repro.core.model import LdaState
 from repro.core.rng import RngPool
-from repro.core.scheduler import DeviceState, run_iteration, run_iteration_parallel
-from repro.core.sync import synchronize
+from repro.core.scheduler import (
+    DeviceState,
+    replay_parallel_accounting,
+    run_iteration,
+)
+from repro.core.sync import simulate_phi_sync, synchronize, synchronize_prereduced
 from repro.core.updates import verify_phi_consistency
 from repro.gpusim.device import SimulatedGPU
 from repro.gpusim.platform import Platform, VOLTA_PLATFORM
@@ -192,6 +200,8 @@ class CuLdaTrainer:
                 compute_dtype=self.config.compute_dtype,
                 seed=self.config.seed,
                 num_workers=self.config.num_workers,
+                sync_mode=self.config.sync_mode,
+                worker_affinity=self.config.worker_affinity,
             )
             self._engine.start()
             for g, dev in enumerate(self.devices):
@@ -205,14 +215,50 @@ class CuLdaTrainer:
         The trainer stays fully usable afterwards: state is copied back
         to private arrays, and a later ``train`` in process mode builds a
         fresh engine from the current state.  No-op in serial mode.
+
+        If an exception unwound out of an overlapped ``train`` while the
+        next iteration was in flight, that iteration is drained and its
+        pre-reduced deltas merged first, so the copied-back model is
+        internally consistent (phi == sum of assignments) rather than a
+        torn snapshot of buffers the workers were still writing.
         """
         if self._engine is not None:
             if self._engine.started:
+                if self._engine.drain() is not None:
+                    # Separate frame: its replica/accumulator views must
+                    # be dead before engine.close() unmaps the arena.
+                    self._merge_pending_sync()
                 for dev in self.devices:
                     dev.phi = np.array(dev.phi)
                     dev.totals = np.array(dev.totals)
             self._engine.close()
             self._engine = None
+
+    def _merge_pending_sync(self) -> None:
+        """Fold a drained in-flight iteration into the model on close.
+
+        The interrupted iteration's sampling is in the shared topics
+        already; completing its phi merge keeps token conservation (it
+        is simply the last, unrecorded iteration of the interrupted
+        train).  Barrier mode has no pre-reduce accumulators — its
+        updates live in the replicas, so difference them instead.
+        """
+        device_phis = [d.phi for d in self.devices]
+        device_totals = [d.totals for d in self.devices]
+        if self.config.sync_mode == "barrier":
+            phi_new, totals_new = synchronize(
+                self.state.phi, device_phis, device_totals
+            )
+        else:
+            phi_new, totals_new = synchronize_prereduced(
+                self.state.phi,
+                self.state.topic_totals,
+                self._engine.worker_accumulators(),
+                device_phis,
+                device_totals,
+            )
+        self.state.phi[...] = phi_new
+        self.state.topic_totals[...] = totals_new
 
     def __enter__(self) -> "CuLdaTrainer":
         return self
@@ -249,43 +295,106 @@ class CuLdaTrainer:
         engine = (
             self._ensure_engine() if self.config.execution == "process" else None
         )
-        for _ in range(num_iterations):
+        sync_mode = self.config.sync_mode if engine is not None else "barrier"
+        prereduced = sync_mode in ("prereduce", "overlap")
+        # The overlap pipeline dispatches iteration i+1 before charging
+        # and scoring iteration i; callbacks may stop training between
+        # iterations, so pipelining is only engaged without them (the
+        # pre-reduced merge and worker-side likelihood still apply).
+        pipeline = sync_mode == "overlap" and not callbacks
+        phi_bytes = phi_replica_bytes(
+            self.config.num_topics, self.corpus.num_words, self.config.compress
+        )
+
+        def needs_ll(it: int) -> bool:
+            if callbacks:
+                return likelihood_needed(callbacks, it, compute_likelihood_every)
+            return likelihood_due(it, compute_likelihood_every)
+
+        inflight: int | None = None
+        for n in range(num_iterations):
             it = self._iterations_done
             t0 = max(d.gpu.sync() for d in self.devices)
+            need_ll = needs_ll(it)
+            results = None
             if engine is not None:
-                outcome = run_iteration_parallel(
-                    self.devices, self.state, self.config, it, engine
-                )
-            else:
-                outcome = run_iteration(
-                    self.devices, self.state, self.config, it, self.pool
-                )
-            self.outcomes.append(outcome)
-            phi_new, totals_new = synchronize(
-                self.state.phi,
-                [d.phi for d in self.devices],
-                [d.totals for d in self.devices],
-                gpus=[d.gpu for d in self.devices],
-                phi_bytes=phi_replica_bytes(
-                    self.config.num_topics, self.corpus.num_words, self.config.compress
-                ),
+                if inflight is None:
+                    engine.dispatch_iteration(it, want_ll=need_ll)
+                results = engine.collect_iteration()
+                inflight = None
+            validate_due = bool(
+                self.validate_every and (it + 1) % self.validate_every == 0
             )
-            self.state.phi[...] = phi_new
-            self.state.topic_totals[...] = totals_new
+            if not prereduced:
+                if engine is None:
+                    outcome = run_iteration(
+                        self.devices, self.state, self.config, it, self.pool
+                    )
+                else:
+                    outcome = replay_parallel_accounting(
+                        self.devices, self.state, self.config, it, results
+                    )
+                phi_new, totals_new = synchronize(
+                    self.state.phi,
+                    [d.phi for d in self.devices],
+                    [d.totals for d in self.devices],
+                    gpus=[d.gpu for d in self.devices],
+                    phi_bytes=phi_bytes,
+                )
+                self.state.phi[...] = phi_new
+                self.state.topic_totals[...] = totals_new
+            else:
+                # Pre-reduced functional merge first — O(W*K*V), and it
+                # unblocks the next iteration's kick-off...
+                phi_new, totals_new = synchronize_prereduced(
+                    self.state.phi,
+                    self.state.topic_totals,
+                    engine.worker_accumulators(),
+                )
+                self.state.phi[...] = phi_new
+                self.state.topic_totals[...] = totals_new
+                if pipeline and n + 1 < num_iterations and not validate_due:
+                    # ...the paper's "phi first" at the process level:
+                    # workers broadcast the reconciled model into their
+                    # own replicas and start sampling iteration i+1 while
+                    # the master replays clocks and scores likelihood.
+                    engine.model_phi()[...] = phi_new
+                    engine.model_totals()[...] = totals_new
+                    engine.dispatch_iteration(
+                        it + 1,
+                        want_ll=needs_ll(it + 1),
+                        refresh_replicas=True,
+                    )
+                    inflight = it + 1
+                else:
+                    # Pipeline drained (last iteration, validation due,
+                    # callbacks present, or plain prereduce): the master
+                    # broadcasts while the workers idle.
+                    for dev in self.devices:
+                        dev.phi[...] = phi_new
+                        dev.totals[...] = totals_new
+                outcome = replay_parallel_accounting(
+                    self.devices, self.state, self.config, it, results
+                )
+                # Simulated Figure 4 sync charge, unchanged in every mode.
+                gpus = [d.gpu for d in self.devices]
+                if len(gpus) > 1:
+                    simulate_phi_sync(gpus, phi_bytes)
+            self.outcomes.append(outcome)
             t1 = barrier([d.gpu.timeline for d in self.devices])
 
-            if self.validate_every and (it + 1) % self.validate_every == 0:
+            if validate_due:
                 self.state.validate()
                 for d in self.devices:
                     verify_phi_consistency(d.phi, d.totals, total_tokens)
 
-            if callbacks:
-                need_ll = likelihood_needed(callbacks, it, compute_likelihood_every)
+            if need_ll:
+                if engine is not None:
+                    ll = self._assemble_likelihood(results) / total_tokens
+                else:
+                    ll = log_likelihood_per_token(self.state)
             else:
-                need_ll = bool(compute_likelihood_every) and (
-                    (it + 1) % compute_likelihood_every == 0
-                )
-            ll = log_likelihood_per_token(self.state) if need_ll else None
+                ll = None
             dur = t1 - t0
             self.history.append(
                 IterationRecord(
@@ -311,6 +420,27 @@ class CuLdaTrainer:
                     break
         return self.history
 
+    def _assemble_likelihood(self, results) -> float:
+        """Joint log-likelihood from worker-evaluated doc terms.
+
+        Process modes never scan theta on the master: the word side comes
+        from the reconciled master model, the document side is replayed
+        from the per-chunk ``(plus, minus)`` terms the workers computed
+        from their fresh theta before the barrier — in chunk order, so
+        the float accumulation is **bit-identical** to the serial
+        :func:`~repro.core.likelihood.log_likelihood`.
+        """
+        terms = []
+        for cs in self.state.chunks:
+            r = results[cs.chunk.spec.chunk_id]
+            if r.ll_terms is None:  # pragma: no cover - dispatch mismatch
+                raise RuntimeError(
+                    "likelihood requested but the workers were not asked "
+                    "for doc terms this iteration"
+                )
+            terms.append(r.ll_terms)
+        return log_likelihood_from_terms(self.state, terms)
+
     # -- reporting --------------------------------------------------------------
 
     def describe(self) -> dict:
@@ -328,6 +458,8 @@ class CuLdaTrainer:
                 self._engine.num_workers if self._engine is not None
                 else self.config.num_workers
             ),
+            "sync_mode": self.config.sync_mode,
+            "worker_affinity": self.config.worker_affinity,
             "seed": self.config.seed,
         }
 

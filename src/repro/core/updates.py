@@ -32,11 +32,20 @@ def apply_phi_update(
     words: np.ndarray,
     z_old: np.ndarray,
     z_new: np.ndarray,
+    accum_phi: np.ndarray | None = None,
+    accum_totals: np.ndarray | None = None,
 ) -> int:
     """In-place phi/topic_totals update; returns the changed-token count.
 
     Only tokens whose topic actually changed touch memory (an unchanged
     token's decrement and increment cancel).
+
+    ``accum_phi``/``accum_totals``, when given, receive the *same* signed
+    update a second time — the pre-reduced per-worker delta of the
+    Section 6.2 sync path: a worker folds every chunk's updates into one
+    accumulator so the master's merge is one add per worker instead of
+    one subtract-and-add per device replica.  The changed-token masks
+    are computed once and shared between the two targets.
     """
     if not (words.shape == z_old.shape == z_new.shape):
         raise ValueError("words/z_old/z_new must have identical shapes")
@@ -48,11 +57,19 @@ def apply_phi_update(
     w = words.astype(np.int64)[changed]
     zo = zo[changed]
     zn = zn[changed]
+    k = topic_totals.shape[0]
+    dec = np.bincount(zo, minlength=k)
+    inc = np.bincount(zn, minlength=k)
     np.subtract.at(phi, (zo, w), 1)
     np.add.at(phi, (zn, w), 1)
-    k = topic_totals.shape[0]
-    topic_totals -= np.bincount(zo, minlength=k).astype(topic_totals.dtype)
-    topic_totals += np.bincount(zn, minlength=k).astype(topic_totals.dtype)
+    topic_totals -= dec.astype(topic_totals.dtype)
+    topic_totals += inc.astype(topic_totals.dtype)
+    if accum_phi is not None:
+        np.subtract.at(accum_phi, (zo, w), 1)
+        np.add.at(accum_phi, (zn, w), 1)
+    if accum_totals is not None:
+        accum_totals -= dec.astype(accum_totals.dtype)
+        accum_totals += inc.astype(accum_totals.dtype)
     return int(changed.sum())
 
 

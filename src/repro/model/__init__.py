@@ -8,7 +8,11 @@ versioned ``.npz`` format (:mod:`repro.model.serialize`).  Serving that
 artifact is :class:`InferenceSession`: batched fold-in Gibbs sampling
 over many documents per sweep, deterministic under a seed and
 per-document identical to the sequential
-:class:`~repro.core.inference.FoldInSampler`.
+:class:`~repro.core.inference.FoldInSampler`.  Because phi is frozen
+during serving, ``InferenceSession(num_workers=N)`` additionally fans
+batches out over persistent OS workers sharing one read-only model
+arena (:mod:`repro.model.parallel_inference`) — no synchronization,
+bit-identical results for any worker count.
 
 ::
 
@@ -25,6 +29,7 @@ per-document identical to the sequential
 
 from repro.model.artifact import TopicModel
 from repro.model.inference import InferenceSession, ScoreResult
+from repro.model.parallel_inference import InferenceWorkerPool
 from repro.model.serialize import (
     SCHEMA_VERSION,
     load_topic_model,
@@ -34,6 +39,7 @@ from repro.model.serialize import (
 __all__ = [
     "TopicModel",
     "InferenceSession",
+    "InferenceWorkerPool",
     "ScoreResult",
     "SCHEMA_VERSION",
     "save_topic_model",

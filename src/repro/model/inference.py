@@ -77,6 +77,14 @@ class InferenceSession:
     workspace:
         Optional shared :class:`~repro.perf.Workspace`; by default the
         session owns one and reuses its buffers across calls.
+    num_workers:
+        Fan batches out over this many persistent OS worker processes
+        sharing one read-only model arena (phi is frozen, so serving
+        needs **no** synchronization — see
+        :mod:`repro.model.parallel_inference`).  ``None``/1 stays
+        in-process.  Results are bit-identical for any worker count.
+    worker_affinity:
+        Optional CPU ids to pin inference workers to (round-robin).
     """
 
     def __init__(
@@ -86,11 +94,16 @@ class InferenceSession:
         burn_in: int = 10,
         batch_docs: int = DEFAULT_BATCH_DOCS,
         workspace: Workspace | None = None,
+        num_workers: int | None = None,
+        worker_affinity=None,
     ):
         if not isinstance(model, TopicModel):
             raise TypeError("model must be a TopicModel")
         self.model = model
-        self._configure(num_sweeps, burn_in, batch_docs, workspace)
+        self._configure(
+            num_sweeps, burn_in, batch_docs, workspace,
+            num_workers=num_workers, worker_affinity=worker_affinity,
+        )
         self.alpha = model.alpha
         self.num_topics = model.num_topics
         self.num_words = model.num_words
@@ -103,8 +116,12 @@ class InferenceSession:
         burn_in: int,
         batch_docs: int,
         workspace: Workspace | None,
+        num_workers: int | None = None,
+        worker_affinity=None,
     ) -> None:
         """Validated scalar setup shared by ``__init__`` and ``from_fold_in``."""
+        from repro.model.parallel_inference import resolve_inference_workers
+
         if num_sweeps <= burn_in:
             raise ValueError("num_sweeps must exceed burn_in")
         if burn_in < 0:
@@ -115,6 +132,11 @@ class InferenceSession:
         self.burn_in = int(burn_in)
         self.batch_docs = int(batch_docs)
         self._ws = workspace if workspace is not None else Workspace()
+        from repro.parallel.worker import normalize_affinity
+
+        self.num_workers = resolve_inference_workers(num_workers)
+        self.worker_affinity = normalize_affinity(worker_affinity)
+        self._pool = None
 
     @classmethod
     def from_fold_in(
@@ -139,6 +161,65 @@ class InferenceSession:
         obj.num_words = int(sampler.num_words)
         obj._p_star_t = np.ascontiguousarray(sampler._p_star.T)
         return obj
+
+    @classmethod
+    def _from_matrix(
+        cls,
+        p_star_t: np.ndarray,
+        alpha: float,
+        num_topics: int,
+        num_words: int,
+        num_sweeps: int = 30,
+        burn_in: int = 10,
+        batch_docs: int = DEFAULT_BATCH_DOCS,
+    ) -> "InferenceSession":
+        """Session over an externally owned ``p*`` transpose (no copy).
+
+        Used by the parallel-inference workers, whose matrix is a view
+        of the pool's shared read-only arena.
+        """
+        obj = cls.__new__(cls)
+        obj.model = None
+        obj._configure(num_sweeps, burn_in, batch_docs, None)
+        obj.alpha = float(alpha)
+        obj.num_topics = int(num_topics)
+        obj.num_words = int(num_words)
+        obj._p_star_t = p_star_t
+        return obj
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from repro.model.parallel_inference import InferenceWorkerPool
+
+            self._pool = InferenceWorkerPool(
+                self._p_star_t,
+                alpha=self.alpha,
+                num_topics=self.num_topics,
+                num_words=self.num_words,
+                num_workers=self.num_workers,
+                batch_docs=self.batch_docs,
+                worker_affinity=self.worker_affinity,
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Stop parallel-inference workers and release their shared arena.
+
+        The session stays fully usable: the next parallel ``transform``
+        builds a fresh pool (phi is frozen, so there is no state to
+        migrate).  No-op for in-process sessions.
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "InferenceSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- inference ---------------------------------------------------------
 
@@ -167,13 +248,36 @@ class InferenceSession:
         for w in arrays:
             if w.size and (w.min() < 0 or w.max() >= self.num_words):
                 raise ValueError("word id out of the trained vocabulary")
-        seeds = np.random.SeedSequence(seed).spawn(len(arrays))
         lengths = np.array([w.size for w in arrays], dtype=np.int64)
         out[lengths == 0] = 1.0 / k
         # Longest-first order groups similar lengths into a batch, so the
         # per-position active set shrinks smoothly instead of raggedly.
         order = np.argsort(-lengths, kind="stable")
         order = order[lengths[order] > 0]
+        if self.num_workers > 1 and order.shape[0] > 0:
+            # Frozen phi: batches are independent, so scatter them over
+            # the worker pool.  Workers derive the same per-document
+            # seed streams from (seed, document index), so the result is
+            # bit-identical to the in-process path below — including
+            # under the narrower batch split here, which caps batches at
+            # ceil(docs / workers) so a request smaller than
+            # batch_docs * workers still keeps every worker busy.
+            per = min(
+                self.batch_docs,
+                -(-order.shape[0] // self.num_workers),
+            )
+            batches = [
+                (
+                    order[lo: lo + per],
+                    [arrays[i] for i in order[lo: lo + per]],
+                )
+                for lo in range(0, order.shape[0], per)
+            ]
+            self._ensure_pool().transform_batches(
+                batches, seed, sweeps, burn, out
+            )
+            return out
+        seeds = np.random.SeedSequence(seed).spawn(len(arrays))
         for lo in range(0, order.shape[0], self.batch_docs):
             batch = order[lo: lo + self.batch_docs]
             theta = self._fold_in_batch(
@@ -340,5 +444,8 @@ class InferenceSession:
             "num_sweeps": self.num_sweeps,
             "burn_in": self.burn_in,
             "batch_docs": self.batch_docs,
+            "num_workers": self.num_workers,
+            "worker_affinity": self.worker_affinity,
+            "pool": self._pool.describe() if self._pool is not None else None,
             "workspace": self._ws.describe(),
         }

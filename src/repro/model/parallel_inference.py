@@ -1,0 +1,252 @@
+"""Process-parallel serving: fan fold-in batches over OS workers.
+
+Training needs phi synchronization; serving does not — an
+:class:`~repro.model.inference.InferenceSession` folds documents in
+against a **frozen** model, so documents are embarrassingly parallel.
+:class:`InferenceWorkerPool` exploits that: the session's precomputed
+``p* = (phi + beta) / (N_k + beta V)`` transpose is published once into
+a read-only :class:`~repro.parallel.shm.ShmArena`, persistent OS workers
+map it, and every ``transform`` call round-robins its lockstep batches
+over the workers.  No count matrices travel per request — only the
+request documents and the resulting ``(docs, K)`` theta blocks cross the
+pipes — so serving throughput scales with cores (near-linear until the
+pipes saturate).
+
+Determinism: each document's RNG stream is spawned from the call seed by
+*document index*, exactly as the in-process path does, so the pooled
+result is **bit-identical per document** to ``num_workers=1`` for any
+worker count, batch size, or batch-to-worker assignment (asserted by
+tests/test_inference_session.py).
+
+Lifecycle mirrors the training engine: lazy start, idempotent
+``close()`` (a closed pool can be rebuilt by its owning session), and a
+finalizer backstop so abandoned sessions cannot leak shared-memory
+segments or worker processes.
+"""
+
+from __future__ import annotations
+
+import traceback
+import weakref
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.parallel.pool import recv_reply, shutdown_pool, spawn_workers
+from repro.parallel.shm import ArenaLayout, ShmArena
+from repro.parallel.worker import normalize_affinity, set_worker_affinity
+
+__all__ = ["InferenceWorkerPool", "resolve_inference_workers"]
+
+
+def resolve_inference_workers(requested: int | None) -> int:
+    """Effective pool size: ``None``/1 means in-process (no pool)."""
+    if requested is None:
+        return 1
+    if requested < 1:
+        raise ValueError(f"num_workers must be >= 1, got {requested}")
+    return int(requested)
+
+
+@dataclass(frozen=True)
+class _InferencePlan:
+    """Picklable start-up bundle for one inference worker."""
+
+    layout: ArenaLayout
+    alpha: float
+    num_topics: int
+    num_words: int
+    batch_docs: int
+    worker_index: int
+    affinity: tuple[int, ...] | None = None
+
+
+class InferenceWorkerPool:
+    """Persistent fold-in workers over one shared read-only p* arena."""
+
+    def __init__(
+        self,
+        p_star_t: np.ndarray,
+        alpha: float,
+        num_topics: int,
+        num_words: int,
+        num_workers: int,
+        batch_docs: int,
+        worker_affinity=None,
+    ):
+        if num_workers < 2:
+            raise ValueError("a pool needs at least 2 workers")
+        self.num_workers = int(num_workers)
+        self._p_star_t = p_star_t
+        self._alpha = float(alpha)
+        self._num_topics = int(num_topics)
+        self._num_words = int(num_words)
+        self._batch_docs = int(batch_docs)
+        self.worker_affinity = normalize_affinity(worker_affinity)
+        self._arena: ShmArena | None = None
+        self._procs: list = []
+        self._conns: list = []
+        self._finalizer = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return self._arena is not None
+
+    def start(self) -> None:
+        """Publish p* into shared memory and spawn the workers."""
+        if self.started:
+            return
+        arena = ShmArena.create(
+            {"pstar": (self._p_star_t.shape, self._p_star_t.dtype)}
+        )
+        arena.view("pstar")[...] = self._p_star_t
+        plans = [
+            _InferencePlan(
+                layout=arena.layout,
+                alpha=self._alpha,
+                num_topics=self._num_topics,
+                num_words=self._num_words,
+                batch_docs=self._batch_docs,
+                worker_index=w,
+                affinity=self.worker_affinity,
+            )
+            for w in range(self.num_workers)
+        ]
+        procs, conns = spawn_workers(
+            arena, plans, _inference_worker_main, "repro-infer"
+        )
+        self._arena = arena
+        self._procs = procs
+        self._conns = conns
+        self._finalizer = weakref.finalize(
+            self, shutdown_pool, arena, procs, list(conns)
+        )
+
+    def close(self) -> None:
+        """Stop workers, unlink the arena (idempotent; pool can be rebuilt
+        by constructing a new one — the owning session does exactly that)."""
+        if not self.started:
+            return
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        shutdown_pool(self._arena, self._procs, self._conns)
+        self._arena = None
+        self._procs = []
+        self._conns = []
+
+    # -- serving ----------------------------------------------------------
+
+    def transform_batches(
+        self,
+        batches: list[tuple[np.ndarray, list[np.ndarray]]],
+        seed: int,
+        sweeps: int,
+        burn: int,
+        out: np.ndarray,
+    ) -> None:
+        """Scatter ``batches`` over the workers; gather theta into ``out``.
+
+        ``batches`` are ``(original-index array, [token arrays])`` pairs,
+        each already sorted longest-first (the lockstep kernel's
+        contract); each worker derives its documents' seed streams from
+        ``(seed, document index)``, so assignment cannot move a draw.
+        """
+        self.start()
+        assigned = [[] for _ in range(self.num_workers)]
+        for j, batch in enumerate(batches):
+            assigned[j % self.num_workers].append(batch)
+        try:
+            active = []
+            for w, conn in enumerate(self._conns):
+                if not assigned[w]:
+                    continue
+                conn.send(("infer", assigned[w], seed, sweeps, burn))
+                active.append(w)
+            for w in active:
+                kind, payload = self._recv(w, self._conns[w])
+                if kind != "theta":  # pragma: no cover - protocol misuse
+                    raise RuntimeError(f"unexpected worker reply {kind!r}")
+                for indices, theta in payload:
+                    out[indices] = theta
+        except Exception:
+            # A failed request leaves dead workers and/or unread replies
+            # behind; tear the pool down so the owning session rebuilds a
+            # clean one on its next call instead of reading stale theta.
+            self.close()
+            raise
+
+    # -- internals --------------------------------------------------------
+
+    def _recv(self, w: int, conn) -> tuple:
+        return recv_reply("inference", w, self._procs[w], conn)
+
+    def describe(self) -> dict:
+        return {
+            "num_workers": self.num_workers,
+            "worker_affinity": self.worker_affinity,
+            "started": self.started,
+            "arena_bytes": self._arena.nbytes if self.started else 0,
+        }
+
+
+def _inference_worker_main(conn, plan: _InferencePlan) -> None:
+    """Worker loop: attach the p* arena, serve fold-in requests.
+
+    Protocol: ``("infer", batches, seed, sweeps, burn)`` answers
+    ``("theta", [(indices, theta block), ...])``; ``("stop",)`` exits;
+    any exception answers ``("error", traceback)`` and exits.
+    """
+    from repro.model.inference import InferenceSession
+
+    arena = None
+    session = None
+    try:
+        set_worker_affinity(plan.worker_index, plan.affinity)
+        arena = ShmArena.attach(plan.layout)
+        session = InferenceSession._from_matrix(
+            arena.view("pstar"),
+            alpha=plan.alpha,
+            num_topics=plan.num_topics,
+            num_words=plan.num_words,
+            batch_docs=plan.batch_docs,
+        )
+        while True:
+            msg = conn.recv()
+            if msg[0] == "stop":
+                break
+            if msg[0] != "infer":  # pragma: no cover - protocol misuse
+                raise ValueError(f"unknown worker command {msg[0]!r}")
+            _, batches, seed, sweeps, burn = msg
+            replies = []
+            for indices, docs in batches:
+                # Same spawn tree as the in-process path: child i of
+                # SeedSequence(seed).spawn(D) is exactly
+                # SeedSequence(seed, spawn_key=(i,)), so each worker
+                # derives only its *own* documents' streams instead of
+                # spawning all D children per request.
+                seeds = [
+                    np.random.SeedSequence(entropy=seed, spawn_key=(int(i),))
+                    for i in indices
+                ]
+                theta = session._fold_in_batch(docs, seeds, sweeps, burn)
+                replies.append((indices, theta))
+            conn.send(("theta", replies))
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - shutdown races
+        pass
+    except Exception:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:  # pragma: no cover - master already gone
+            pass
+    finally:
+        if session is not None:
+            # Drop the arena view before unmapping, so the mmap close
+            # does not see exported buffer pointers (keeps worker exit
+            # silent instead of leaving a BufferError for __del__).
+            session._p_star_t = None
+        if arena is not None:
+            arena.close()
+        conn.close()

@@ -14,8 +14,11 @@ Schema history:
   ``topic_totals``, ``alpha``, ``beta``, ``num_topics``, ``num_words``.
   Still loads (compat path); never written anymore.
 - **v2** (current) — v1 fields plus optional ``vocab`` (one term per
-  word id) and ``metadata_json`` (JSON provenance: algorithm,
-  iterations, options).
+  word id), ``metadata_json`` (JSON provenance: algorithm, iterations,
+  options) and ``top_word_index`` (the precomputed per-topic top-word-id
+  serving index; files written before it existed simply lack the array
+  and the index is rebuilt lazily — no version bump needed, the layout
+  of the existing fields is unchanged).
 
 Loaders validate invariants (shapes, non-negative counts, totals
 matching phi) and reject unknown versions and wrong kinds rather than
@@ -60,6 +63,10 @@ def save_topic_model(model: TopicModel, path: str | Path) -> None:
         "num_topics": model.num_topics,
         "num_words": model.num_words,
         "metadata_json": json.dumps(model.metadata, default=str, sort_keys=True),
+        # Precompute the serving index at save time: models are written
+        # once and served many times, and the index lets top_words answer
+        # without an argpartition over V per query.
+        "top_word_index": model.top_word_index(),
     }
     if model.vocabulary is not None:
         payload["vocab"] = np.asarray(list(model.vocabulary), dtype=np.str_)
@@ -108,7 +115,7 @@ def load_topic_model(path: str | Path) -> TopicModel:
     else:
         metadata = {"schema_version": 1}
     try:
-        return TopicModel(
+        model = TopicModel(
             phi=phi,
             topic_totals=data["topic_totals"],
             alpha=float(data["alpha"]),
@@ -116,5 +123,8 @@ def load_topic_model(path: str | Path) -> TopicModel:
             vocabulary=vocabulary,
             metadata=metadata,
         )
+        if version >= 2 and "top_word_index" in data:
+            model._adopt_top_word_index(data["top_word_index"])
+        return model
     except ValueError as exc:
         raise ValueError(f"model artifact corrupted: {exc}") from exc

@@ -17,6 +17,14 @@ Layers:
 - :mod:`repro.parallel.engine` — master-side orchestration, lifecycle
   and the iteration barrier.
 
+``TrainerConfig(sync_mode=...)`` controls how much of the barrier's
+communication is hidden: ``"prereduce"`` accumulates per-OS-worker phi
+deltas during sampling (master merge O(G*K*V) -> O(W*K*V));
+``"overlap"`` additionally pipelines the merge/broadcast and the
+master's accounting + likelihood against the next iteration's sampling
+— the paper's Section 6.2 "phi first" trick at the process level.
+Both are bit-identical to ``"barrier"`` (and to serial execution).
+
 Determinism: RNG streams are keyed by (seed, iteration, chunk), and
 chunks within a device run in serial-schedule order, so process
 execution is **bit-identical** to serial execution for the same config —
@@ -25,14 +33,21 @@ asserted against the serial golden captures by
 """
 
 from repro.parallel.engine import ProcessEngine, resolve_num_workers
-from repro.parallel.shm import ShmArena
-from repro.parallel.worker import ChunkResult, WorkerPlan, worker_main
+from repro.parallel.shm import ShmArena, pick_context
+from repro.parallel.worker import (
+    ChunkResult,
+    WorkerPlan,
+    set_worker_affinity,
+    worker_main,
+)
 
 __all__ = [
     "ProcessEngine",
     "resolve_num_workers",
     "ShmArena",
+    "pick_context",
     "ChunkResult",
     "WorkerPlan",
+    "set_worker_affinity",
     "worker_main",
 ]

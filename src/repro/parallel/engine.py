@@ -27,7 +27,6 @@ instances.
 
 from __future__ import annotations
 
-import multiprocessing as mp
 import os
 import weakref
 
@@ -35,24 +34,17 @@ import numpy as np
 
 from repro.core.model import ChunkState
 from repro.core.sparse import CsrCounts, index_dtype
+from repro.parallel.pool import recv_reply, shutdown_pool, spawn_workers
 from repro.parallel.shm import ShmArena
-from repro.parallel.worker import ChunkMeta, ChunkResult, WorkerPlan, worker_main
+from repro.parallel.worker import (
+    ChunkMeta,
+    ChunkResult,
+    WorkerPlan,
+    normalize_affinity,
+    worker_main,
+)
 
 __all__ = ["ProcessEngine", "resolve_num_workers"]
-
-#: Seconds between liveness checks while waiting on a worker reply.
-_POLL_SECONDS = 1.0
-
-
-class _WorkerDied(RuntimeError):
-    """A worker process exited without replying."""
-
-    def __init__(self, worker: int, exitcode):
-        super().__init__(
-            f"execution worker {worker} died (exit code {exitcode}); "
-            f"its traceback, if any, went to stderr.  A 'spawn' start "
-            f"method requires an importable __main__ (not stdin/REPL)."
-        )
 
 
 def resolve_num_workers(requested: int | None, num_groups: int) -> int:
@@ -62,17 +54,6 @@ def resolve_num_workers(requested: int | None, num_groups: int) -> int:
     if requested < 1:
         raise ValueError(f"num_workers must be >= 1, got {requested}")
     return max(1, min(requested, num_groups))
-
-
-def _pick_context() -> mp.context.BaseContext:
-    """``fork`` where available (cheap start; no inherited state is relied
-    on — workers get everything via the pickled plan), else ``spawn``."""
-    method = os.environ.get("REPRO_MP_START")
-    if method:
-        return mp.get_context(method)
-    if "fork" in mp.get_all_start_methods():
-        return mp.get_context("fork")
-    return mp.get_context("spawn")  # pragma: no cover - non-POSIX
 
 
 class ProcessEngine:
@@ -112,9 +93,16 @@ class ProcessEngine:
         seed: int = 0,
         num_workers: int | None = None,
         mode: str = "replica",
+        sync_mode: str = "barrier",
+        worker_affinity=None,
     ):
         if mode not in ("replica", "delta"):
             raise ValueError(f"mode must be 'replica' or 'delta', got {mode!r}")
+        if sync_mode not in ("barrier", "prereduce", "overlap"):
+            raise ValueError(
+                f"sync_mode must be 'barrier', 'prereduce' or 'overlap', "
+                f"got {sync_mode!r}"
+            )
         if len(replicas) != (1 if mode == "delta" else len(groups)):
             raise ValueError(
                 "need one replica per group (replica mode) or exactly one "
@@ -123,6 +111,8 @@ class ProcessEngine:
         if not groups:
             raise ValueError("need at least one group")
         self.mode = mode
+        self.sync_mode = sync_mode
+        self.worker_affinity = normalize_affinity(worker_affinity)
         self._chunks = chunks
         self._groups = [list(g) for g in groups]
         self._init_replicas = replicas
@@ -138,6 +128,8 @@ class ProcessEngine:
         self._conns: list = []
         self._finalizer = None
         self._closed = False
+        #: iteration id dispatched but not yet collected (overlap pipeline)
+        self._inflight: int | None = None
 
     # -- lifecycle --------------------------------------------------------
 
@@ -184,6 +176,21 @@ class ProcessEngine:
             for g, (phi, totals) in enumerate(self._init_replicas):
                 specs[f"rep{g}/phi"] = (phi.shape, phi.dtype)
                 specs[f"rep{g}/totals"] = (totals.shape, totals.dtype)
+            phi0, totals0 = self._init_replicas[0]
+            if self.sync_mode in ("prereduce", "overlap"):
+                # One pre-reduced signed accumulator per OS worker: the
+                # master's merge reads W of these instead of differencing
+                # G replicas.
+                for w in range(self.num_workers):
+                    specs[f"wacc{w}/phi"] = (phi0.shape, np.dtype(np.int64))
+                    specs[f"wacc{w}/totals"] = (
+                        totals0.shape, np.dtype(np.int64)
+                    )
+            if self.sync_mode == "overlap":
+                # Broadcast buffer: master writes the reconciled model
+                # once; workers copy it into their replicas at kick-off.
+                specs["model/phi"] = (phi0.shape, phi0.dtype)
+                specs["model/totals"] = (totals0.shape, totals0.dtype)
 
         arena = ShmArena.create(specs)
         for cid, cs in self._chunks.items():
@@ -209,17 +216,20 @@ class ProcessEngine:
             for g, (phi, totals) in enumerate(self._init_replicas):
                 arena.view(f"rep{g}/phi")[...] = phi
                 arena.view(f"rep{g}/totals")[...] = totals
+            if self.sync_mode == "overlap":
+                # Replicas start synchronized, so replica 0 is the model.
+                arena.view("model/phi")[...] = self._init_replicas[0][0]
+                arena.view("model/totals")[...] = self._init_replicas[0][1]
 
-        ctx = _pick_context()
-        procs, conns = [], []
-        try:
-            for w in range(self.num_workers):
-                owned = [
-                    (g, tuple(self._chunk_meta(cid) for cid in self._groups[g]))
-                    for g in range(len(self._groups))
-                    if g % self.num_workers == w
-                ]
-                plan = WorkerPlan(
+        plans = []
+        for w in range(self.num_workers):
+            owned = [
+                (g, tuple(self._chunk_meta(cid) for cid in self._groups[g]))
+                for g in range(len(self._groups))
+                if g % self.num_workers == w
+            ]
+            plans.append(
+                WorkerPlan(
                     layout=arena.layout,
                     groups=tuple(owned),
                     num_topics=self._num_topics,
@@ -230,27 +240,16 @@ class ProcessEngine:
                     seed=self._seed,
                     mode=self.mode,
                     worker_index=w,
+                    sync_mode=self.sync_mode,
+                    affinity=self.worker_affinity,
                 )
-                parent, child = ctx.Pipe()
-                p = ctx.Process(
-                    target=worker_main, args=(child, plan),
-                    name=f"repro-exec-{w}", daemon=True,
-                )
-                p.start()
-                child.close()
-                procs.append(p)
-                conns.append(parent)
-        except Exception:
-            for p in procs:
-                p.terminate()
-            arena.close()
-            arena.unlink()
-            raise
+            )
+        procs, conns = spawn_workers(arena, plans, worker_main, "repro-exec")
         self._arena = arena
         self._procs = procs
         self._conns = conns
         self._finalizer = weakref.finalize(
-            self, _shutdown, arena, procs, list(conns)
+            self, shutdown_pool, arena, procs, list(conns)
         )
 
     def close(self) -> None:
@@ -264,6 +263,7 @@ class ProcessEngine:
         self._closed = True
         if not self.started:
             return
+        self.drain()
         for cid, cs in self._chunks.items():
             cs.topics = np.array(cs.topics)
             cs.theta = CsrCounts(
@@ -275,7 +275,7 @@ class ProcessEngine:
         if self._finalizer is not None:
             self._finalizer.detach()
             self._finalizer = None
-        _shutdown(self._arena, self._procs, self._conns)
+        shutdown_pool(self._arena, self._procs, self._conns)
         self._arena = None
         self._procs = []
         self._conns = []
@@ -296,7 +296,9 @@ class ProcessEngine:
         return self._arena.view(f"rep{group}/totals")
 
     def model_phi(self) -> np.ndarray:
-        """Delta mode: the shared snapshot every chunk samples against."""
+        """The shared model buffer: in delta mode the snapshot every
+        chunk samples against, in replica overlap mode the broadcast
+        staging area workers copy into their replicas at kick-off."""
         return self._arena.view("model/phi")
 
     def model_totals(self) -> np.ndarray:
@@ -312,25 +314,93 @@ class ProcessEngine:
             for w in range(self.num_workers)
         ]
 
+    def worker_accumulators(self):
+        """Replica pre-reduce: the per-OS-worker int64 delta accumulators.
+
+        Entry ``w`` holds the summed signed update of every replica
+        worker ``w`` owns; ``phi_ref + sum_w`` is the reconciled model
+        (see :func:`repro.core.sync.synchronize_prereduced`).
+        """
+        return [
+            (
+                self._arena.view(f"wacc{w}/phi"),
+                self._arena.view(f"wacc{w}/totals"),
+            )
+            for w in range(self.num_workers)
+        ]
+
     # -- iteration barrier -------------------------------------------------
 
-    def run_iteration(self, iteration: int) -> dict[int, ChunkResult]:
-        """One parallel pass over every group; returns results by chunk id."""
+    def dispatch_iteration(
+        self,
+        iteration: int,
+        *,
+        want_ll: bool = False,
+        refresh_replicas: bool = False,
+    ) -> None:
+        """Kick one parallel pass off without waiting for it.
+
+        ``want_ll`` asks the workers to evaluate their chunks'
+        document-side likelihood terms before replying;
+        ``refresh_replicas`` (overlap mode) has each worker copy the
+        shared ``model/*`` buffers into its replicas first — the
+        broadcast half of the sync, off the master's critical path.
+        The caller must pair every dispatch with one
+        :meth:`collect_iteration`; only one iteration may be in flight.
+        """
         self.start()
+        if self._inflight is not None:
+            raise RuntimeError(
+                f"iteration {self._inflight} is already in flight; "
+                f"collect it before dispatching another"
+            )
         for conn in self._conns:
-            conn.send(("iter", iteration))
+            conn.send(("iter", iteration, want_ll, refresh_replicas))
+        self._inflight = iteration
+
+    def collect_iteration(self) -> dict[int, ChunkResult]:
+        """Barrier: wait for the in-flight pass, return results by chunk id."""
+        if self._inflight is None:
+            raise RuntimeError("no iteration in flight")
         results: dict[int, ChunkResult] = {}
-        for w, conn in enumerate(self._conns):
-            kind, payload = self._recv(w, conn)
-            if kind != "done":  # pragma: no cover - protocol misuse
-                raise RuntimeError(f"unexpected worker reply {kind!r}")
-            for r in payload:
-                results[r.chunk_id] = r
+        try:
+            for w, conn in enumerate(self._conns):
+                kind, payload = self._recv(w, conn)
+                if kind != "done":  # pragma: no cover - protocol misuse
+                    raise RuntimeError(f"unexpected worker reply {kind!r}")
+                for r in payload:
+                    results[r.chunk_id] = r
+        finally:
+            self._inflight = None
         for cid, r in results.items():
             self._chunks[cid].theta = self._theta_view(
                 self._arena, cid, r.theta_nnz
             )
         return results
+
+    def run_iteration(
+        self, iteration: int, want_ll: bool = False
+    ) -> dict[int, ChunkResult]:
+        """One parallel pass over every group; returns results by chunk id."""
+        self.dispatch_iteration(iteration, want_ll=want_ll)
+        return self.collect_iteration()
+
+    def drain(self) -> dict[int, ChunkResult] | None:
+        """Collect a pipelined in-flight iteration, if any.
+
+        Returns its results so the owning trainer can fold the pending
+        updates into its model before reading any shared state (a torn
+        copy-back otherwise), or ``None`` when nothing was in flight or
+        the workers already died (best effort — the shutdown path
+        handles dead workers).
+        """
+        if self._inflight is None:
+            return None
+        try:
+            return self.collect_iteration()
+        except Exception:
+            self._inflight = None
+            return None
 
     def workspace_stats(self) -> list[dict]:
         """Per-group kernel-arena occupancy, gathered from the workers.
@@ -342,6 +412,12 @@ class ProcessEngine:
         """
         if not self.started:
             return []
+        if self._inflight is not None:
+            # The pipes are FIFO: a stats request behind an in-flight
+            # iteration would desynchronise the reply stream.
+            raise RuntimeError(
+                "workspace stats unavailable while an iteration is in flight"
+            )
         for conn in self._conns:
             conn.send(("stats",))
         out: list[tuple[int, dict]] = []
@@ -356,16 +432,7 @@ class ProcessEngine:
     # -- internals ---------------------------------------------------------
 
     def _recv(self, w: int, conn) -> tuple:
-        try:
-            while not conn.poll(_POLL_SECONDS):
-                if not self._procs[w].is_alive():
-                    raise _WorkerDied(w, self._procs[w].exitcode)
-            msg = conn.recv()
-        except (EOFError, ConnectionError) as exc:
-            raise _WorkerDied(w, self._procs[w].exitcode) from exc
-        if msg[0] == "error":
-            raise RuntimeError(f"execution worker {w} failed:\n{msg[1]}")
-        return msg
+        return recv_reply("execution", w, self._procs[w], conn)
 
     def _chunk_meta(self, cid: int) -> ChunkMeta:
         dc = self._chunks[cid].chunk
@@ -383,24 +450,3 @@ class ProcessEngine:
             data=arena.view(f"chunk{cid}/theta_data")[:nnz],
             num_cols=self._num_topics,
         )
-
-
-def _shutdown(arena: ShmArena, procs: list, conns: list) -> None:
-    """Stop workers and destroy the shared segment (idempotent)."""
-    for conn in conns:
-        try:
-            conn.send(("stop",))
-        except Exception:
-            pass
-    for p in procs:
-        p.join(timeout=2.0)
-        if p.is_alive():  # pragma: no cover - hung worker
-            p.terminate()
-            p.join(timeout=1.0)
-    for conn in conns:
-        try:
-            conn.close()
-        except Exception:
-            pass
-    arena.close()
-    arena.unlink()

@@ -1,0 +1,109 @@
+"""Shared lifecycle plumbing for arena-backed OS worker pools.
+
+Two pools live in the repo — the training
+:class:`~repro.parallel.engine.ProcessEngine` and the serving
+:class:`~repro.model.parallel_inference.InferenceWorkerPool` — and both
+need the same machinery around their protocols: spawn one process per
+picklable plan with rollback on failure, receive replies with liveness
+checks so a dead worker surfaces as an error instead of a hang, and an
+idempotent shutdown (stop, join, terminate stragglers, destroy the
+shared segment) that doubles as the finalizer backstop for abandoned
+owners.  This module is that machinery, once.
+"""
+
+from __future__ import annotations
+
+import gc
+
+from repro.parallel.shm import ShmArena, pick_context
+
+__all__ = ["WorkerDied", "spawn_workers", "recv_reply", "shutdown_pool"]
+
+#: Seconds between liveness checks while waiting on a worker reply.
+POLL_SECONDS = 1.0
+
+
+class WorkerDied(RuntimeError):
+    """A worker process exited without replying."""
+
+    def __init__(self, role: str, worker: int, exitcode):
+        super().__init__(
+            f"{role} worker {worker} died (exit code {exitcode}); "
+            f"its traceback, if any, went to stderr.  A 'spawn' start "
+            f"method requires an importable __main__ (not stdin/REPL)."
+        )
+
+
+def spawn_workers(arena: ShmArena, plans, target, name_prefix: str):
+    """Start one daemon process per plan; returns ``(procs, conns)``.
+
+    On any start-up failure the already-started workers are terminated
+    and the arena is closed and unlinked before re-raising, so a partial
+    pool can never leak a shared segment.
+    """
+    ctx = pick_context()
+    procs, conns = [], []
+    try:
+        for w, plan in enumerate(plans):
+            parent, child = ctx.Pipe()
+            p = ctx.Process(
+                target=target, args=(child, plan),
+                name=f"{name_prefix}-{w}", daemon=True,
+            )
+            p.start()
+            child.close()
+            procs.append(p)
+            conns.append(parent)
+    except Exception:
+        for p in procs:
+            p.terminate()
+        arena.close()
+        arena.unlink()
+        raise
+    return procs, conns
+
+
+def recv_reply(role: str, w: int, proc, conn) -> tuple:
+    """One reply from worker ``w``, polling its liveness while waiting.
+
+    Raises :class:`WorkerDied` if the process exits without answering,
+    and re-raises a worker-shipped ``("error", traceback)`` reply as a
+    ``RuntimeError`` carrying the remote traceback text.
+    """
+    try:
+        while not conn.poll(POLL_SECONDS):
+            if not proc.is_alive():
+                raise WorkerDied(role, w, proc.exitcode)
+        msg = conn.recv()
+    except (EOFError, ConnectionError) as exc:
+        raise WorkerDied(role, w, proc.exitcode) from exc
+    if msg[0] == "error":
+        raise RuntimeError(f"{role} worker {w} failed:\n{msg[1]}")
+    return msg
+
+
+def shutdown_pool(arena: ShmArena, procs: list, conns: list) -> None:
+    """Stop workers and destroy the shared segment (idempotent)."""
+    for conn in conns:
+        try:
+            conn.send(("stop",))
+        except Exception:
+            pass
+    for p in procs:
+        p.join(timeout=2.0)
+        if p.is_alive():  # pragma: no cover - hung worker
+            p.terminate()
+            p.join(timeout=1.0)
+    for conn in conns:
+        try:
+            conn.close()
+        except Exception:
+            pass
+    # An exception that unwound out of the owner (e.g. an interrupted
+    # overlapped train) can leave arena views alive in traceback cycles;
+    # closing the mapping then raises a silently-swallowed BufferError
+    # and the pages stay mapped for the life of the process.  Collect
+    # those cycles first so the unmap actually happens.
+    gc.collect()
+    arena.close()
+    arena.unlink()

@@ -21,11 +21,13 @@ groups are mapped to workers.
 
 from __future__ import annotations
 
+import os
 import traceback
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.likelihood import chunk_doc_terms
 from repro.core.rng import RngPool
 from repro.core.sampler import sample_chunk
 from repro.core.sparse import from_assignments
@@ -35,7 +37,46 @@ from repro.corpus.partition import ChunkSpec
 from repro.parallel.shm import ArenaLayout, ShmArena
 from repro.perf import Workspace
 
-__all__ = ["ChunkMeta", "ChunkResult", "WorkerPlan", "worker_main"]
+__all__ = [
+    "ChunkMeta",
+    "ChunkResult",
+    "WorkerPlan",
+    "normalize_affinity",
+    "set_worker_affinity",
+    "worker_main",
+]
+
+
+def normalize_affinity(cpus) -> tuple[int, ...] | None:
+    """Canonical affinity spec: ``None``/empty -> ``None``, else a tuple
+    of validated non-negative CPU ids.  The single definition every
+    affinity-accepting surface (config, engines, sessions) goes through.
+    """
+    if cpus is None or (hasattr(cpus, "__len__") and len(cpus) == 0):
+        return None
+    out = tuple(int(c) for c in cpus)
+    if any(c < 0 for c in out):
+        raise ValueError(
+            f"affinity CPU ids must be non-negative, got {cpus!r}"
+        )
+    return out
+
+
+def set_worker_affinity(worker_index: int, cpus) -> int | None:
+    """Pin the calling process to one CPU of ``cpus`` (round-robin).
+
+    Returns the CPU id actually applied, or ``None`` when pinning is
+    unavailable (non-Linux) or refused by the kernel — affinity is a
+    performance knob, never a correctness requirement.
+    """
+    if not cpus or not hasattr(os, "sched_setaffinity"):
+        return None
+    cpu = int(cpus[worker_index % len(cpus)])
+    try:
+        os.sched_setaffinity(0, {cpu})
+    except OSError:  # pragma: no cover - kernel refused (bad cpu id)
+        return None
+    return cpu
 
 
 @dataclass(frozen=True)
@@ -57,6 +98,11 @@ class ChunkResult:
     changed: int
     theta_nnz_pre: int
     theta_nnz: int  # after the rebuild
+    #: document-side likelihood terms of this chunk's fresh theta —
+    #: ``(plus, minus)`` per :func:`repro.core.likelihood.chunk_doc_terms`
+    #: — computed worker-side when the master requested likelihood this
+    #: iteration, else ``None``.
+    ll_terms: tuple[float, float] | None = None
 
 
 @dataclass(frozen=True)
@@ -85,6 +131,15 @@ class WorkerPlan:
     seed: int
     mode: str = "replica"
     worker_index: int = 0
+    #: replica-mode sync path: "barrier" leaves reconciliation entirely
+    #: to the master; "prereduce"/"overlap" additionally scatter every
+    #: update into this worker's shared ``wacc{w}/*`` accumulator, and
+    #: "overlap" also honours refresh kick-offs (copy ``model/*`` into
+    #: the owned replicas before sampling).
+    sync_mode: str = "barrier"
+    #: optional CPU ids; this worker pins itself to
+    #: ``affinity[worker_index % len(affinity)]`` at start-up.
+    affinity: tuple[int, ...] | None = None
 
 
 class _LocalChunk:
@@ -139,6 +194,9 @@ def run_chunk_pass(
     workspace: Workspace,
     update_phi: np.ndarray | None = None,
     update_totals: np.ndarray | None = None,
+    accum_phi: np.ndarray | None = None,
+    accum_totals: np.ndarray | None = None,
+    want_ll: bool = False,
 ) -> ChunkResult:
     """The functional half of one chunk pass (no simulated-clock charges).
 
@@ -147,6 +205,11 @@ def run_chunk_pass(
     simulated devices live.  ``update_phi``/``update_totals`` redirect
     the count updates away from the sampled-against arrays (delta mode);
     by default the updates land on ``phi``/``totals`` themselves.
+    ``accum_phi``/``accum_totals`` additionally receive the same signed
+    update (the replica-mode pre-reduce).  ``want_ll`` evaluates the
+    chunk's document-side likelihood terms from the fresh theta before
+    replying, so the master never has to scan shared theta between
+    barriers.
     """
     rng = pool.chunk_stream(iteration, lc.meta.chunk_id)
     theta_nnz_pre = lc.theta.nnz
@@ -158,6 +221,7 @@ def run_chunk_pass(
         phi if update_phi is None else update_phi,
         totals if update_totals is None else update_totals,
         lc.chunk.token_words, lc.topics, result.new_topics,
+        accum_phi=accum_phi, accum_totals=accum_totals,
     )
     np.copyto(lc.topics, result.new_topics, casting="same_kind")
     lc.theta = from_assignments(
@@ -168,30 +232,44 @@ def run_chunk_pass(
         compress=compress,
     )
     lc.publish_theta()
+    ll_terms = None
+    if want_ll:
+        ll_terms = chunk_doc_terms(
+            lc.theta.data, lc.chunk.doc_offsets, num_topics, alpha
+        )
     return ChunkResult(
         chunk_id=lc.meta.chunk_id,
         stats=result.stats,
         changed=changed,
         theta_nnz_pre=theta_nnz_pre,
         theta_nnz=lc.theta.nnz,
+        ll_terms=ll_terms,
     )
 
 
 def worker_main(conn, plan: WorkerPlan) -> None:
     """Entry point of one worker process: attach, loop on the pipe.
 
-    Protocol (master -> worker): ``("iter", i)`` runs iteration ``i``
-    over every owned group and answers ``("done", [ChunkResult...])``;
-    ``("stats",)`` answers ``("stats", [workspace descriptions])``;
-    ``("stop",)`` exits.  Any exception answers ``("error", traceback)``
-    and exits.
+    Protocol (master -> worker): ``("iter", i, want_ll, refresh)`` runs
+    iteration ``i`` over every owned group and answers
+    ``("done", [ChunkResult...])`` — with ``refresh`` the worker first
+    copies the shared ``model/*`` buffers into its owned replicas (the
+    overlap-mode broadcast, performed in parallel across workers), and
+    with ``want_ll`` each result carries its chunk's document-side
+    likelihood terms; ``("stats",)`` answers ``("stats", [workspace
+    descriptions])``; ``("stop",)`` exits.  Any exception answers
+    ``("error", traceback)`` and exits.
     """
     arena = None
     try:
+        applied_cpu = set_worker_affinity(plan.worker_index, plan.affinity)
         arena = ShmArena.attach(plan.layout)
         pool = RngPool(plan.seed)
         delta = plan.mode == "delta"
+        prereduce = not delta and plan.sync_mode in ("prereduce", "overlap")
         delta_phi = delta_totals = None
+        accum_phi = accum_totals = None
+        model_phi = model_totals = None
         if delta:
             # One snapshot, one per-worker delta pair, one workspace —
             # mirrors the serial LDA* loop's shared-arena structure.
@@ -200,6 +278,12 @@ def worker_main(conn, plan: WorkerPlan) -> None:
             model_totals = arena.view("model/totals")
             delta_phi = arena.view(f"wdelta{plan.worker_index}/phi")
             delta_totals = arena.view(f"wdelta{plan.worker_index}/totals")
+        if prereduce:
+            accum_phi = arena.view(f"wacc{plan.worker_index}/phi")
+            accum_totals = arena.view(f"wacc{plan.worker_index}/totals")
+        if not delta and plan.sync_mode == "overlap":
+            model_phi = arena.view("model/phi")
+            model_totals = arena.view("model/totals")
         groups = []
         for group_idx, metas in plan.groups:
             if delta:
@@ -220,15 +304,33 @@ def worker_main(conn, plan: WorkerPlan) -> None:
                 break
             if cmd == "stats":
                 conn.send(
-                    ("stats", [(gi, ws.describe()) for gi, _, _, _, ws in groups])
+                    (
+                        "stats",
+                        [
+                            (gi, {**ws.describe(), "affinity": applied_cpu})
+                            for gi, _, _, _, ws in groups
+                        ],
+                    )
                 )
                 continue
             if cmd != "iter":  # pragma: no cover - protocol misuse
                 raise ValueError(f"unknown worker command {cmd!r}")
-            iteration = msg[1]
+            _, iteration, want_ll, refresh = msg
+            if refresh:
+                if model_phi is None:  # pragma: no cover - protocol misuse
+                    raise ValueError("refresh kick-off without a model buffer")
+                # The overlap broadcast: each worker copies the freshly
+                # reconciled model into its own replicas, so the master
+                # never pays the O(G*K*V) write.
+                for _, phi, totals, _, _ in groups:
+                    phi[...] = model_phi
+                    totals[...] = model_totals
             if delta:
                 delta_phi[...] = 0
                 delta_totals[...] = 0
+            if prereduce:
+                accum_phi[...] = 0
+                accum_totals[...] = 0
             results = []
             for _, phi, totals, chunks, workspace in groups:
                 for lc in chunks:
@@ -239,6 +341,9 @@ def worker_main(conn, plan: WorkerPlan) -> None:
                             plan.compress, workspace,
                             update_phi=delta_phi,
                             update_totals=delta_totals,
+                            accum_phi=accum_phi,
+                            accum_totals=accum_totals,
+                            want_ll=want_ll,
                         )
                     )
             conn.send(("done", results))

@@ -141,3 +141,38 @@ class TestDeterminism:
         lls_a = [r.log_likelihood_per_token for r in a.records]
         lls_b = [r.log_likelihood_per_token for r in b.records]
         assert lls_a == lls_b
+
+
+class TestFitSpan:
+    """fit() without callbacks must run ONE underlying train call, so
+    cross-iteration process optimizations (sync_mode="overlap") engage
+    on the fit/CLI surface — with records identical to the loop."""
+
+    def test_single_span_call_and_cadence(self, api_corpus):
+        t = make("culda", api_corpus)
+        calls = []
+        real = t.inner.train
+
+        def spy(n, **kwargs):
+            calls.append((n, kwargs.get("compute_likelihood_every")))
+            return real(n, **kwargs)
+
+        t.inner.train = spy
+        result = t.fit(4, likelihood_every=2)
+        assert calls == [(4, 2)]
+        lls = [r.log_likelihood_per_token for r in result.records]
+        assert [ll is not None for ll in lls] == [False, True, False, True]
+
+    def test_span_records_match_per_iteration_loop(self, api_corpus):
+        span = make("culda", api_corpus).fit(3, likelihood_every=1)
+        loop = make("culda", api_corpus)
+        from repro.api.protocol import LdaTrainer
+
+        # force the generic per-iteration path
+        loop._fit_span = lambda n, every: LdaTrainer._fit_span(
+            loop, n, every
+        )
+        loop_result = loop.fit(3, likelihood_every=1)
+        assert [r.log_likelihood_per_token for r in span.records] == [
+            r.log_likelihood_per_token for r in loop_result.records
+        ]

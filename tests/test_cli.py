@@ -302,3 +302,64 @@ class TestAlgorithms:
             assert name in out
         assert "options:" in out
         assert "topics" in out and "seed" in out
+
+
+class TestParallelFlags:
+    """--sync-mode / --affinity on train, --num-workers on infer/evaluate."""
+
+    def test_train_sync_mode_overlap(self, capsys):
+        rc = main(["train", "--topics", "8", "--iterations", "2",
+                   "--likelihood-every", "0", "--gpus", "2",
+                   "--execution", "process", "--num-workers", "2",
+                   "--sync-mode", "overlap", "--affinity", "0"])
+        assert rc == 0
+        assert "done: 2 iterations" in capsys.readouterr().out
+
+    def test_sync_mode_rejected_without_process(self, capsys):
+        rc = main(["train", "--topics", "8", "--iterations", "1",
+                   "--sync-mode", "overlap"])
+        assert rc == 2
+        assert "execution" in capsys.readouterr().err
+
+    def test_bad_affinity_is_handled(self, capsys):
+        rc = main(["train", "--topics", "8", "--iterations", "1",
+                   "--execution", "process", "--affinity", "zero"])
+        assert rc == 2
+        assert "affinity" in capsys.readouterr().err
+
+    def test_affinity_warns_for_sequential_algo(self, capsys):
+        rc = main(["train", "--topics", "8", "--iterations", "1",
+                   "--algo", "plain_cgs", "--likelihood-every", "0",
+                   "--affinity", "0"])
+        assert rc == 0
+        assert "ignoring" in capsys.readouterr().err
+
+    def test_infer_with_workers_matches_serial(self, tmp_path, capsys):
+        model = tmp_path / "m.npz"
+        rc = main(["train", "--topics", "6", "--iterations", "2",
+                   "--output", str(model), "--likelihood-every", "0"])
+        assert rc == 0
+        a = tmp_path / "a.npz"
+        b = tmp_path / "b.npz"
+        rc = main(["infer", "--model", str(model), "--sweeps", "5",
+                   "--burn-in", "1", "--output", str(a)])
+        assert rc == 0
+        rc = main(["infer", "--model", str(model), "--sweeps", "5",
+                   "--burn-in", "1", "--output", str(b),
+                   "--num-workers", "2", "--batch-docs", "8"])
+        assert rc == 0
+        capsys.readouterr()
+        ta = np.load(a)["theta"]
+        tb = np.load(b)["theta"]
+        assert np.array_equal(ta, tb)
+
+    def test_evaluate_with_workers(self, tmp_path, capsys):
+        model = tmp_path / "m.npz"
+        rc = main(["train", "--topics", "6", "--iterations", "2",
+                   "--output", str(model), "--likelihood-every", "0"])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["evaluate", "--model", str(model), "--sweeps", "5",
+                   "--burn-in", "1", "--num-workers", "2"])
+        assert rc == 0
+        assert "perplexity" in capsys.readouterr().out

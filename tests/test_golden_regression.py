@@ -6,8 +6,10 @@ warplda/saberlda captures pinned on the PR-3 tree.  These tests replay
 the same runs on the current tree and assert the draws are
 **bit-identical** on the default float64 paths:
 
-- culda under both work schedules (workspace-backed kernel), in both
-  serial and process execution;
+- culda under both work schedules (workspace-backed kernel), in serial
+  and process execution — the latter under every phi sync mode
+  (barrier / prereduce / overlap: communication hiding must not touch
+  the chain);
 - culda's float32 kernel chain (2 GPUs x 2 chunks; pinned on the PR-4
   tree after verifying serial == process), closing the ROADMAP item;
 - plain CGS and exact-mode SparseLDA (hoisted sequential loops);
@@ -75,9 +77,16 @@ class TestCuLdaGolden:
         )
         assert np.array_equal(z, expected(case))
 
+    @pytest.mark.parametrize(
+        "sync_mode", ["barrier", "prereduce", "overlap"]
+    )
     @pytest.mark.parametrize("case", ["culda_ws1", "culda_ws2"])
-    def test_process_execution_matches_serial_goldens(self, golden_corpus, case):
-        """OS-worker execution must reproduce the serial captures bit-for-bit."""
+    def test_process_execution_matches_serial_goldens(
+        self, golden_corpus, case, sync_mode
+    ):
+        """OS-worker execution must reproduce the serial captures
+        bit-for-bit — under every phi-sync mode, including the overlapped
+        pipeline (communication hiding must not touch the chain)."""
         m = meta(case)
         trainer = create_trainer(
             "culda",
@@ -88,6 +97,7 @@ class TestCuLdaGolden:
             chunks_per_gpu=m["chunks_per_gpu"],
             execution="process",
             num_workers=2,
+            sync_mode=sync_mode,
         )
         try:
             trainer.fit(m["iterations"], likelihood_every=0)
@@ -175,14 +185,18 @@ class TestSequentialGolden:
         z = np.concatenate([cs.topics.astype(np.int64) for cs in t.state.chunks])
         assert np.array_equal(z, expected("saberlda"))
 
-    @pytest.mark.parametrize("execution", ["serial", "process"])
-    def test_ldastar(self, golden_corpus, execution):
+    @pytest.mark.parametrize(
+        "execution,sync_mode",
+        [("serial", "barrier"), ("process", "barrier"), ("process", "overlap")],
+    )
+    def test_ldastar(self, golden_corpus, execution, sync_mode):
         from repro.baselines.ldastar import LdaStarTrainer
 
         m = meta("ldastar")
         t = LdaStarTrainer(
             golden_corpus, num_topics=m["topics"], num_workers=m["workers"],
             seed=m["seed"], execution=execution, num_processes=2,
+            sync_mode=sync_mode,
         )
         try:
             t.train(m["iterations"], compute_likelihood_every=0)

@@ -227,3 +227,113 @@ def test_large_doc_exceeding_batch_layout():
         corpus, seed=3
     )
     assert np.array_equal(ref, got)
+
+
+class TestParallelInference:
+    """Process-parallel serving: frozen phi, zero sync, identical bits."""
+
+    @pytest.mark.parametrize("num_workers", [2, 3])
+    def test_bit_identical_for_any_worker_count(
+        self, trained, model, num_workers
+    ):
+        _, test = trained
+        ref = InferenceSession(model, num_sweeps=7, burn_in=2).transform(
+            test, seed=3
+        )
+        with InferenceSession(
+            model, num_sweeps=7, burn_in=2, num_workers=num_workers,
+            batch_docs=8,
+        ) as session:
+            got = session.transform(test, seed=3)
+        assert np.array_equal(ref, got)
+
+    def test_score_and_top_topics_ride_the_pool(self, trained, model):
+        _, test = trained
+        serial = InferenceSession(model, num_sweeps=7, burn_in=2)
+        with InferenceSession(
+            model, num_sweeps=7, burn_in=2, num_workers=2
+        ) as par:
+            assert (
+                par.score(test, seed=3).log_predictive_per_token
+                == serial.score(test, seed=3).log_predictive_per_token
+            )
+            ids_a, w_a = serial.top_topics(test, n=3, seed=3)
+            ids_b, w_b = par.top_topics(test, n=3, seed=3)
+        assert np.array_equal(ids_a, ids_b)
+        assert np.array_equal(w_a, w_b)
+
+    def test_close_is_idempotent_and_restartable(self, trained, model):
+        _, test = trained
+        session = InferenceSession(
+            model, num_sweeps=7, burn_in=2, num_workers=2
+        )
+        a = session.transform(test, seed=3)
+        session.close()
+        session.close()  # idempotent
+        b = session.transform(test, seed=3)  # rebuilds the pool
+        session.close()
+        assert np.array_equal(a, b)
+
+    def test_no_leaked_segments(self, trained, model):
+        import glob
+
+        _, test = trained
+        before = set(glob.glob("/dev/shm/psm_*"))
+        session = InferenceSession(
+            model, num_sweeps=6, burn_in=1, num_workers=2
+        )
+        session.transform(test, seed=1)
+        session.close()
+        assert set(glob.glob("/dev/shm/psm_*")) <= before
+
+    def test_empty_and_tiny_inputs(self, model):
+        with InferenceSession(
+            model, num_sweeps=6, burn_in=1, num_workers=2
+        ) as session:
+            theta = session.transform(
+                [np.array([], dtype=np.int64), np.array([1, 2, 3])], seed=0
+            )
+            assert theta.shape == (2, model.num_topics)
+            assert np.allclose(theta[0], 1.0 / model.num_topics)
+
+    def test_describe_reports_pool(self, model):
+        with InferenceSession(
+            model, num_sweeps=6, burn_in=1, num_workers=2
+        ) as session:
+            desc = session.describe()
+            assert desc["num_workers"] == 2
+            assert desc["pool"] is None  # lazy: no transform yet
+            session.transform([np.array([0, 1])], seed=0)
+            assert session.describe()["pool"]["started"] is True
+
+    def test_rejects_bad_worker_count(self, model):
+        with pytest.raises(ValueError, match="num_workers"):
+            InferenceSession(model, num_workers=0)
+
+    def test_document_completion_accepts_parallel_session(
+        self, trained, model
+    ):
+        from repro.analysis.heldout import document_completion
+
+        _, test = trained
+        ref = document_completion(model, test, num_sweeps=7, burn_in=2, seed=4)
+        with InferenceSession(
+            model, num_sweeps=7, burn_in=2, num_workers=2
+        ) as session:
+            got = document_completion(session, test, seed=4)
+        assert ref == got
+
+    def test_small_request_keeps_every_worker_busy(self, trained, model):
+        """A request smaller than batch_docs * workers is split into
+        ceil(docs / workers)-sized batches — parallelism without any
+        change to the per-document draws."""
+        _, test = trained
+        ref = InferenceSession(model, num_sweeps=7, burn_in=2).transform(
+            test, seed=3
+        )
+        # default batch_docs (256) exceeds the 40-doc request
+        with InferenceSession(
+            model, num_sweeps=7, burn_in=2, num_workers=4
+        ) as session:
+            got = session.transform(test, seed=3)
+        assert np.array_equal(ref, got)

@@ -60,3 +60,26 @@ class TestLikelihood:
         t.train(10, compute_likelihood_every=0)
         after = log_likelihood_per_token(t.state)
         assert after > before
+
+
+class TestDecomposedLikelihood:
+    """The worker-evaluated likelihood path must replay serial bit-for-bit."""
+
+    def test_from_terms_bit_identical(self, small_corpus):
+        from repro.core.likelihood import (
+            chunk_doc_terms,
+            log_likelihood_from_terms,
+        )
+
+        cfg = TrainerConfig(num_topics=6, num_gpus=2, chunks_per_gpu=2, seed=3)
+        t = CuLdaTrainer(small_corpus, cfg)
+        t.train(2, compute_likelihood_every=0)
+        state = t.state
+        terms = [
+            chunk_doc_terms(
+                cs.theta.data, cs.chunk.doc_offsets, state.num_topics,
+                state.alpha,
+            )
+            for cs in state.chunks
+        ]
+        assert log_likelihood_from_terms(state, terms) == log_likelihood(state)

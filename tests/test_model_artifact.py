@@ -221,3 +221,145 @@ class TestDeprecatedDictShims:
         # a bare state carries no provenance; export_model() does)
         with np.load(path, allow_pickle=False) as z:
             assert int(z["version"]) == 2
+
+
+class TestTopWordIndex:
+    """The precomputed serving index: built, cached, serialized, validated."""
+
+    def test_build_shape_and_order(self):
+        m = tiny_model()
+        idx = m.top_word_index(width=4)
+        assert idx.shape == (2, 4)
+        counts = np.take_along_axis(np.asarray(m.phi), idx, axis=1)
+        assert np.all(np.diff(counts, axis=1) <= 0)
+        assert not idx.flags.writeable
+
+    def test_cached_and_rebuilt_when_wider(self):
+        m = tiny_model()
+        first = m.top_word_index(width=2)
+        assert m.top_word_index(width=2) is first  # cached
+        wider = m.top_word_index(width=5)
+        assert wider.shape[1] == 5
+        assert np.array_equal(wider[:, :2], first)
+
+    def test_top_words_served_from_index(self):
+        m = tiny_model()
+        slow = [m.top_words(k, 2).tolist() for k in range(m.num_topics)]
+        m.top_word_index()
+        fast = [m.top_words(k, 2).tolist() for k in range(m.num_topics)]
+        assert slow == fast
+
+    def test_roundtrip_carries_index(self, tmp_path):
+        m = tiny_model()
+        path = tmp_path / "m.npz"
+        m.save(path)
+        with np.load(path) as z:
+            assert "top_word_index" in z.files
+        loaded = TopicModel.load(path)
+        assert loaded._top_word_index is not None
+        assert np.array_equal(
+            loaded._top_word_index, m.top_word_index()
+        )
+
+    def test_v1_artifact_builds_index_lazily(self, tmp_path):
+        """Old files lack the array; top_words still works (slow path)."""
+        m = tiny_model(vocab_size=6)
+        path = tmp_path / "v1.npz"
+        np.savez_compressed(
+            path, version=1, kind="model", phi=m.phi,
+            topic_totals=m.topic_totals, alpha=m.alpha, beta=m.beta,
+            num_topics=m.num_topics, num_words=m.num_words,
+        )
+        loaded = TopicModel.load(path)
+        assert loaded._top_word_index is None
+        assert loaded.top_words(0, 2).tolist() == [0, 2]
+
+    def test_corrupted_index_rejected(self, tmp_path):
+        m = tiny_model()
+        path = tmp_path / "m.npz"
+        m.save(path)
+        with np.load(path) as z:
+            data = {k: z[k] for k in z.files}
+        data["top_word_index"] = np.array([[99, 0], [1, 2]])  # out of range
+        bad = tmp_path / "bad.npz"
+        np.savez_compressed(bad, **data)
+        with pytest.raises(ValueError, match="corrupted"):
+            TopicModel.load(bad)
+
+    def test_non_descending_index_rejected(self, tmp_path):
+        m = tiny_model()
+        path = tmp_path / "m.npz"
+        m.save(path)
+        with np.load(path) as z:
+            data = {k: z[k] for k in z.files}
+        # word 1 has count 0 under topic 0; claiming it tops the list lies
+        data["top_word_index"] = np.array([[1, 0], [1, 3]])
+        bad = tmp_path / "bad.npz"
+        np.savez_compressed(bad, **data)
+        with pytest.raises(ValueError, match="corrupted"):
+            TopicModel.load(bad)
+
+    def test_width_validation(self):
+        m = tiny_model()
+        with pytest.raises(ValueError, match="width"):
+            m.top_word_index(width=0)
+
+    def test_shifted_window_index_rejected(self, tmp_path):
+        """Count-descending but wrong-membership rows must not load."""
+        m = tiny_model()
+        path = tmp_path / "m.npz"
+        m.save(path)
+        with np.load(path) as z:
+            data = {k: z[k] for k in z.files}
+        # descending counts, valid ids, no duplicates — but not the top-2
+        data["top_word_index"] = np.array([[2, 1], [3, 4]])
+        bad = tmp_path / "bad.npz"
+        np.savez_compressed(bad, **data)
+        with pytest.raises(ValueError, match="corrupted"):
+            TopicModel.load(bad)
+
+    def test_duplicate_index_entries_rejected(self, tmp_path):
+        m = tiny_model()
+        path = tmp_path / "m.npz"
+        m.save(path)
+        with np.load(path) as z:
+            data = {k: z[k] for k in z.files}
+        data["top_word_index"] = np.array([[0, 0], [1, 3]])
+        bad = tmp_path / "bad.npz"
+        np.savez_compressed(bad, **data)
+        with pytest.raises(ValueError, match="corrupted"):
+            TopicModel.load(bad)
+
+    def test_tie_straddling_window_rejected(self, tmp_path):
+        """A window whose weakest entry merely ties the true boundary
+        count can still omit a strictly-higher word — must not load."""
+        phi = np.array([[5, 3, 3, 0], [1, 2, 3, 4]], dtype=np.int64)
+        m = TopicModel(phi=phi, topic_totals=phi.sum(axis=1),
+                       alpha=0.5, beta=0.01)
+        path = tmp_path / "m.npz"
+        m.save(path)
+        with np.load(path) as z:
+            data = {k: z[k] for k in z.files}
+        # row 0 claims words 1,2 (counts 3,3) — omits word 0 (count 5)
+        data["top_word_index"] = np.array([[1, 2], [3, 2]])
+        bad = tmp_path / "bad.npz"
+        np.savez_compressed(bad, **data)
+        with pytest.raises(ValueError, match="corrupted"):
+            TopicModel.load(bad)
+
+    def test_equal_count_word_swap_is_accepted(self, tmp_path):
+        """Ties are interchangeable: an index listing a different word of
+        the same count is semantically valid and must load."""
+        phi = np.array([[5, 3, 3, 0], [1, 2, 3, 4]], dtype=np.int64)
+        m = TopicModel(phi=phi, topic_totals=phi.sum(axis=1),
+                       alpha=0.5, beta=0.01)
+        path = tmp_path / "m.npz"
+        m.save(path)
+        with np.load(path) as z:
+            data = {k: z[k] for k in z.files}
+        # row 0: word 2 instead of word 1 — same count 3
+        data["top_word_index"] = np.array([[0, 2], [3, 2]])
+        bad = tmp_path / "ok.npz"
+        np.savez_compressed(bad, **data)
+        loaded = TopicModel.load(bad)
+        assert loaded.top_words(0, 2).tolist() == [0, 2]

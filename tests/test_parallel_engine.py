@@ -32,13 +32,13 @@ def corpus():
     return generate_synthetic_corpus(SPEC, seed=11)
 
 
-def _run_culda(corpus, execution, **cfg_kwargs):
+def _run_culda(corpus, execution, iterations=3, **cfg_kwargs):
     cfg = TrainerConfig(
         num_topics=12, seed=5, execution=execution, **cfg_kwargs
     )
     t = CuLdaTrainer(corpus, cfg)
     try:
-        t.train(3, compute_likelihood_every=1)
+        t.train(iterations, compute_likelihood_every=1)
         z = np.concatenate(
             [cs.topics.astype(np.int64) for cs in t.state.chunks]
         )
@@ -186,13 +186,238 @@ class TestCuLdaProcessExecution:
         assert set(glob.glob("/dev/shm/psm_*")) <= before
 
 
+class TestSyncModes:
+    """Pre-reduced and overlapped sync: bit-identical, leak-free, pinned."""
+
+    @pytest.mark.parametrize("sync_mode", ["prereduce", "overlap"])
+    @pytest.mark.parametrize("gpus,m", [(2, 1), (2, 2)])
+    def test_bit_identical_to_serial(self, corpus, sync_mode, gpus, m):
+        serial = _run_culda(
+            corpus, "serial", iterations=4, num_gpus=gpus, chunks_per_gpu=m
+        )
+        proc = _run_culda(
+            corpus, "process", iterations=4, num_gpus=gpus, chunks_per_gpu=m,
+            num_workers=2, sync_mode=sync_mode,
+        )
+        assert np.array_equal(serial[0], proc[0])  # assignments
+        assert np.array_equal(serial[1], proc[1])  # phi
+        assert serial[2] == proc[2]  # simulated clocks
+        assert serial[3] == proc[3]  # likelihood trajectory
+
+    def test_overlap_with_callbacks_drains_pipeline(self, corpus):
+        """Callbacks may stop training, so overlap must not speculate —
+        and the chain must still match serial exactly."""
+        from repro.api.callbacks import EarlyStopping
+
+        ref = CuLdaTrainer(
+            corpus, TrainerConfig(num_topics=12, num_gpus=2, seed=5)
+        )
+        ref.train(3, compute_likelihood_every=1)
+
+        cfg = TrainerConfig(
+            num_topics=12, num_gpus=2, seed=5, execution="process",
+            num_workers=2, sync_mode="overlap",
+        )
+        t = CuLdaTrainer(corpus, cfg)
+        try:
+            # patience large enough to never trigger: exercises the
+            # callback path without changing the schedule
+            t.train(3, callbacks=[EarlyStopping(patience=100)])
+            assert np.array_equal(t.state.phi, ref.state.phi)
+            assert [r.log_likelihood_per_token for r in t.history] == [
+                r.log_likelihood_per_token for r in ref.history
+            ]
+        finally:
+            t.close()
+
+    def test_overlap_validation_iterations_still_identical(self, corpus):
+        """validate_every forces pipeline drains mid-run; draws and the
+        invariant checks must both survive."""
+        cfg = TrainerConfig(
+            num_topics=12, num_gpus=2, seed=5, execution="process",
+            num_workers=2, sync_mode="overlap",
+        )
+        t = CuLdaTrainer(corpus, cfg, validate_every=2)
+        try:
+            t.train(4, compute_likelihood_every=0)
+            z = np.concatenate(
+                [cs.topics.astype(np.int64) for cs in t.state.chunks]
+            )
+        finally:
+            t.close()
+        ref = CuLdaTrainer(
+            corpus, TrainerConfig(num_topics=12, num_gpus=2, seed=5)
+        )
+        ref.train(4, compute_likelihood_every=0)
+        z_ref = np.concatenate(
+            [cs.topics.astype(np.int64) for cs in ref.state.chunks]
+        )
+        assert np.array_equal(z, z_ref)
+
+    def test_overlap_close_then_resume(self, corpus):
+        serial = _run_culda(corpus, "serial", iterations=4, num_gpus=2)
+        cfg = TrainerConfig(num_topics=12, num_gpus=2, seed=5,
+                            execution="process", num_workers=2,
+                            sync_mode="overlap")
+        t = CuLdaTrainer(corpus, cfg)
+        t.train(2, compute_likelihood_every=1)
+        t.close()
+        t.train(2, compute_likelihood_every=1)
+        z = np.concatenate(
+            [cs.topics.astype(np.int64) for cs in t.state.chunks]
+        )
+        ll = [r.log_likelihood_per_token for r in t.history]
+        t.close()
+        assert np.array_equal(z, serial[0])
+        assert ll == serial[3]
+
+    def test_worker_exception_mid_iteration_no_leak_and_restartable(
+        self, corpus, monkeypatch
+    ):
+        """A worker crash mid-iteration must surface the traceback, leave
+        no shared-memory segment behind, and leave the trainer able to
+        build a fresh engine."""
+        import glob as _glob
+
+        from repro.parallel.shm import pick_context
+
+        if pick_context().get_start_method() != "fork":
+            pytest.skip("fault injection needs fork inheritance")
+        before = set(_glob.glob("/dev/shm/psm_*"))
+        import repro.parallel.worker as worker_mod
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected failure")
+
+        monkeypatch.setattr(worker_mod, "sample_chunk", boom)
+        cfg = TrainerConfig(num_topics=12, num_gpus=2, seed=5,
+                            execution="process", num_workers=2,
+                            sync_mode="overlap")
+        t = CuLdaTrainer(corpus, cfg)
+        with pytest.raises(RuntimeError, match="injected failure"):
+            t.train(1, compute_likelihood_every=0)
+        t.close()
+        assert set(_glob.glob("/dev/shm/psm_*")) <= before
+        # close() is restartable: the healthy kernel trains a fresh engine
+        monkeypatch.undo()
+        t.train(3, compute_likelihood_every=0)
+        z = np.concatenate(
+            [cs.topics.astype(np.int64) for cs in t.state.chunks]
+        )
+        t.close()
+        assert set(_glob.glob("/dev/shm/psm_*")) <= before
+        assert np.array_equal(z, _run_culda(corpus, "serial", num_gpus=2)[0])
+
+    def test_interrupt_mid_pipeline_leaves_consistent_state(
+        self, corpus, monkeypatch
+    ):
+        """An exception on the master while the next iteration is in
+        flight must not tear the copied-back model: close() drains the
+        pipeline and completes the pending phi merge."""
+        import repro.core.trainer as trainer_mod
+
+        real = trainer_mod.replay_parallel_accounting
+        calls = []
+
+        def flaky(*args, **kwargs):
+            calls.append(1)
+            if len(calls) == 2:  # after iteration 1 dispatched iteration 2
+                raise RuntimeError("interrupted")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(
+            trainer_mod, "replay_parallel_accounting", flaky
+        )
+        cfg = TrainerConfig(num_topics=12, num_gpus=2, seed=5,
+                            execution="process", num_workers=2,
+                            sync_mode="overlap")
+        t = CuLdaTrainer(corpus, cfg)
+        with pytest.raises(RuntimeError, match="interrupted"):
+            t.train(3, compute_likelihood_every=0)
+        t.close()
+        t.state.validate()  # phi == sum of assignments, non-negative
+        assert t.state.phi.sum() == corpus.num_tokens
+
+    @pytest.mark.parametrize("sync_mode", ["barrier", "prereduce", "overlap"])
+    def test_close_with_dispatched_uncollected_iteration(
+        self, corpus, sync_mode
+    ):
+        """An interrupt between dispatch and collect leaves an iteration
+        in flight in ANY process mode; close() must drain it and merge
+        with the mode-appropriate reconciliation."""
+        cfg = TrainerConfig(num_topics=12, num_gpus=2, seed=5,
+                            execution="process", num_workers=2,
+                            sync_mode=sync_mode)
+        t = CuLdaTrainer(corpus, cfg)
+        t.train(1, compute_likelihood_every=0)
+        t._engine.dispatch_iteration(1)  # simulated interrupt: no collect
+        t.close()
+        t.state.validate()
+        assert t.state.phi.sum() == corpus.num_tokens
+
+    def test_ldastar_interrupt_mid_pipeline_consistent(self, corpus):
+        t = LdaStarTrainer(
+            corpus, num_topics=10, num_workers=3, seed=9,
+            execution="process", num_processes=2, sync_mode="overlap",
+        )
+        calls = []
+        real = t._assemble_likelihood
+
+        def flaky(results):
+            calls.append(1)
+            if len(calls) == 2:
+                raise RuntimeError("interrupted")
+            return real(results)
+
+        t._assemble_likelihood = flaky
+        with pytest.raises(RuntimeError, match="interrupted"):
+            t.train(3, compute_likelihood_every=1)
+        t.close()
+        t.state.validate()
+        assert t.state.phi.sum() == corpus.num_tokens
+
+    def test_worker_affinity_applied_and_reported(self, corpus):
+        cfg = TrainerConfig(num_topics=12, num_gpus=2, seed=5,
+                            execution="process", num_workers=2,
+                            sync_mode="prereduce", worker_affinity=(0,))
+        t = CuLdaTrainer(corpus, cfg)
+        try:
+            assert t.describe()["worker_affinity"] == (0,)
+            t.train(1, compute_likelihood_every=0)
+            stats = t.workspace_stats()
+            assert stats
+            import os as _os
+
+            if hasattr(_os, "sched_setaffinity"):
+                assert all(s["affinity"] == 0 for s in stats)
+            else:  # pragma: no cover - non-Linux
+                assert all(s["affinity"] is None for s in stats)
+        finally:
+            t.close()
+
+    def test_config_rejects_sync_mode_without_process(self):
+        with pytest.raises(ValueError, match="sync_mode"):
+            TrainerConfig(num_topics=8, sync_mode="overlap")
+
+    def test_config_rejects_unknown_sync_mode(self):
+        with pytest.raises(ValueError, match="sync_mode"):
+            TrainerConfig(num_topics=8, execution="process",
+                          sync_mode="speculative")
+
+    def test_config_rejects_bad_affinity(self):
+        with pytest.raises(ValueError, match="worker_affinity"):
+            TrainerConfig(num_topics=8, worker_affinity=(-1,))
+
+
 class TestLdaStarProcessExecution:
-    def test_bit_identical_to_serial(self, corpus):
+    @pytest.mark.parametrize("sync_mode", ["barrier", "overlap"])
+    def test_bit_identical_to_serial(self, corpus, sync_mode):
         runs = {}
         for execution in ("serial", "process"):
             t = LdaStarTrainer(
                 corpus, num_topics=10, num_workers=3, seed=9,
                 execution=execution, num_processes=2,
+                sync_mode=sync_mode if execution == "process" else "barrier",
             )
             try:
                 t.train(3, compute_likelihood_every=1)
@@ -213,6 +438,16 @@ class TestLdaStarProcessExecution:
     def test_rejects_bad_execution(self, corpus):
         with pytest.raises(ValueError, match="execution"):
             LdaStarTrainer(corpus, num_topics=10, execution="threads")
+
+    def test_rejects_prereduce(self, corpus):
+        """LDA*'s engine always pre-reduces; only overlap is a real mode."""
+        with pytest.raises(ValueError, match="pre-reduces"):
+            LdaStarTrainer(corpus, num_topics=10, execution="process",
+                           sync_mode="prereduce")
+
+    def test_overlap_requires_process(self, corpus):
+        with pytest.raises(ValueError, match="overlap"):
+            LdaStarTrainer(corpus, num_topics=10, sync_mode="overlap")
 
 
 class TestConfigAndRegistrySurface:

@@ -87,3 +87,30 @@ def test_committed_report_has_scaling_curve():
         assert point["speedup_vs_serial"] > 0
     # the sweep is only interpretable next to the machine it ran on
     assert report["environment"]["cpu_count"] >= 1
+
+
+def test_committed_report_has_sync_mode_section():
+    """PR 5: overlapped sync — the committed JSON carries the sync-mode
+    pairing and the measured master-merge reduction."""
+    report = json.loads((REPO / "BENCH_wallclock.json").read_text())
+    sm = report["sync_modes"]
+    assert set(sm["modes"]) == {"barrier", "prereduce", "overlap"}
+    for mode in sm["modes"].values():
+        assert mode["tokens_per_sec"] > 0
+    merge = sm["master_merge"]
+    assert merge["replicas"] == 4
+    assert merge["accumulators"] == 2
+    # the O(G*K*V) -> O(W*K*V) cut must actually show up on the clock
+    assert merge["reduction"] > 1.0
+
+
+def test_committed_report_has_inference_scaling():
+    """PR 5: the serving worker-scaling curve is recorded (parity is
+    acceptable on a 1-CPU container — shape + environment matter)."""
+    report = json.loads((REPO / "BENCH_wallclock.json").read_text())
+    curve = report["inference_scaling"]
+    assert set(curve["workers"]) == {"1", "2", "4"}
+    for point in curve["workers"].values():
+        assert point["tokens_per_sec"] > 0
+    assert "bit-identical" in curve["note"]
+    assert report["environment"]["cpu_count"] >= 1
