@@ -463,6 +463,182 @@ def run_inference_bench(
     return result
 
 
+#: Open-loop serving load shape: clients, request size, and how far past
+#: the calibrated single-stream capacity the arrival rate is pushed.
+SERVING_CLIENTS = 8
+SERVING_DOCS_PER_REQUEST = 4
+SERVING_REQUESTS_PER_CLIENT = 12
+SERVING_SATURATION = 2.0
+SERVING_WORKER_COUNTS = (1, 2)
+
+
+def run_serving_bench(
+    topics: int,
+    scale: float = 1.0,
+    num_clients: int = SERVING_CLIENTS,
+    requests_per_client: int = SERVING_REQUESTS_PER_CLIENT,
+    docs_per_request: int = SERVING_DOCS_PER_REQUEST,
+    num_sweeps: int = 10,
+    burn_in: int = 4,
+    train_iterations: int = 3,
+    worker_counts: tuple[int, ...] = SERVING_WORKER_COUNTS,
+) -> dict:
+    """Open-loop load against a live :class:`~repro.serving.ServingServer`.
+
+    Open loop means arrivals follow a fixed schedule, independent of
+    completions: each of ``num_clients`` connections fires its requests
+    at a constant inter-arrival interval whether or not earlier replies
+    are back, and a reply's latency is measured from its **scheduled**
+    arrival time (so queueing delay is charged, not hidden — the
+    distinction docs/PERFORMANCE.md's latency-methodology note is
+    about).  The offered rate is ``SERVING_SATURATION`` times the
+    calibrated in-process capacity, i.e. deliberately saturating, so the
+    p99 reflects coalescer queueing under overload.  One run per
+    inference worker count; interpret the spread against
+    ``environment.cpu_count``.
+    """
+    import asyncio
+
+    from repro.model import InferenceSession
+    from repro.serving import ServingServer
+    from repro.serving.protocol import read_frame, write_frame
+    from repro.serving.stats import quantiles
+
+    corpus, spec = make_corpus(scale, preset="medium")
+    num_docs = max(num_clients * docs_per_request, 64)
+    split = max(1, corpus.num_docs - num_docs)
+    train, test = corpus.subset(0, split), corpus.subset(split, corpus.num_docs)
+    trainer = create_trainer("culda", train, topics=topics, seed=0)
+    trainer.fit(train_iterations, likelihood_every=0)
+    model = trainer.export_model()
+    doc_arrays = [
+        test.word_ids[test.doc_offsets[d]: test.doc_offsets[d + 1]]
+        .astype(np.int64)
+        for d in range(test.num_docs)
+    ]
+
+    # Calibrate single-stream capacity in-process: the offered load is a
+    # multiple of this, so "saturating" means the same thing on any host.
+    session = InferenceSession(model, num_sweeps=num_sweeps, burn_in=burn_in)
+    probe = doc_arrays[: docs_per_request * 8]
+    session.transform(probe, seed=0)  # warmup
+    t0 = time.perf_counter()
+    session.transform(probe, seed=0)
+    docs_per_sec = len(probe) / (time.perf_counter() - t0)
+    capacity_rps = docs_per_sec / docs_per_request
+    offered_rps = capacity_rps * SERVING_SATURATION
+    interval = num_clients / offered_rps  # per-client inter-arrival
+
+    def request_docs(cid: int, i: int) -> list[list[int]]:
+        lo = (cid * docs_per_request + i) % max(
+            1, len(doc_arrays) - docs_per_request
+        )
+        return [
+            arr.tolist() for arr in doc_arrays[lo: lo + docs_per_request]
+        ]
+
+    async def drive(num_workers: int | None) -> dict:
+        server = ServingServer(
+            model,
+            num_sweeps=num_sweeps,
+            burn_in=burn_in,
+            num_workers=num_workers,
+            max_pending=num_clients * requests_per_client,
+        )
+        host, port = await server.start()
+        latencies: list[float] = []
+        busy = 0
+
+        async def client(cid: int) -> None:
+            nonlocal busy
+            reader, writer = await asyncio.open_connection(host, port)
+            loop = asyncio.get_running_loop()
+            scheduled: dict[int, float] = {}
+
+            async def receive() -> None:
+                nonlocal busy
+                for _ in range(requests_per_client):
+                    reply = await read_frame(reader)
+                    if reply is None:  # pragma: no cover - server gone
+                        raise ConnectionError("server closed mid-bench")
+                    t_done = loop.time()
+                    if reply["type"] == "busy":
+                        busy += 1
+                    elif reply["type"] != "result":
+                        raise RuntimeError(f"unexpected reply {reply!r}")
+                    else:
+                        latencies.append(t_done - scheduled[reply["id"]])
+
+            rx = loop.create_task(receive())
+            t_start = loop.time()
+            for i in range(requests_per_client):
+                target = t_start + i * interval
+                delay = target - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                # charge latency from the *scheduled* arrival: a sender
+                # delayed by backpressure does not absolve the server
+                scheduled[i] = target
+                await write_frame(writer, {
+                    "op": "infer", "id": i,
+                    "docs": request_docs(cid, i),
+                    "seed": cid * 100_000 + i,
+                })
+            await rx
+            writer.close()
+            await writer.wait_closed()
+
+        t_bench = time.perf_counter()
+        await asyncio.gather(*[client(c) for c in range(num_clients)])
+        wall = time.perf_counter() - t_bench
+        server_snap = server._stats.snapshot()
+        await server.stop()
+        completed = len(latencies)
+        return {
+            "num_workers": num_workers or 1,
+            "wall_seconds": wall,
+            "completed": completed,
+            "busy_rejected": busy,
+            "achieved_rps": completed / wall,
+            "client_latency_s": quantiles(latencies),
+            "server_queue_wait_s": server_snap["queue_wait_s"],
+            "server_service_s": server_snap["service_s"],
+        }
+
+    points = {}
+    for w in worker_counts:
+        res = asyncio.run(drive(None if w <= 1 else w))
+        points[str(w)] = res
+        lat = res["client_latency_s"]
+        print(
+            f"serving  {w} worker(s) "
+            f"{res['achieved_rps']:8.1f} req/s   "
+            f"p50 {lat['p50'] * 1e3:7.1f} ms   "
+            f"p99 {lat['p99'] * 1e3:7.1f} ms   "
+            f"({res['completed']} completed, {res['busy_rejected']} busy)"
+        )
+    return {
+        "preset": "medium",
+        "corpus": {"spec": spec, "seed": CORPUS_SEED},
+        "num_clients": num_clients,
+        "requests_per_client": requests_per_client,
+        "docs_per_request": docs_per_request,
+        "num_sweeps": num_sweeps,
+        "burn_in": burn_in,
+        "calibrated_capacity_rps": capacity_rps,
+        "offered_rps": offered_rps,
+        "saturation_factor": SERVING_SATURATION,
+        "workers": points,
+        "note": (
+            "open-loop: latency charged from each request's scheduled "
+            "arrival, so queueing under the saturating offered rate is "
+            "included; responses asserted bit-identical to in-process "
+            "inference in tests/test_serving.py; scaling bounded by "
+            "environment.cpu_count"
+        ),
+    }
+
+
 def run_scaling_sweep(
     topics: int,
     warmup: int,
@@ -528,6 +704,7 @@ def run(
     scaling_sweep: bool = False,
     inference: bool = True,
     inference_workers: int | None = None,
+    serving: bool = False,
 ) -> dict:
     corpus, spec = make_corpus(scale, preset=preset)
     names = algos or algorithm_names()
@@ -650,6 +827,10 @@ def run(
             topics=topics, scale=scale, num_workers=inference_workers
         )
 
+    serving_report = None
+    if serving:
+        serving_report = run_serving_bench(topics=topics, scale=scale)
+
     report = {
         "protocol": {
             "corpus": {"spec": spec, "seed": CORPUS_SEED},
@@ -705,6 +886,8 @@ def run(
         report["inference_scaling"] = inference_scaling
     if inference_report is not None:
         report["inference"] = inference_report
+    if serving_report is not None:
+        report["serving"] = serving_report
     out_path = Path(out_path)
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"report written to {out_path}")
@@ -748,6 +931,11 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--no-inference", dest="inference", action="store_false",
                     help="skip the fold-in inference throughput section "
                          "(sequential vs batched, medium preset)")
+    ap.add_argument("--serving", action="store_true",
+                    help="open-loop load generator against a live serving "
+                         "tier: saturating arrivals from 8 concurrent "
+                         "clients, throughput + p50/p99 latency at "
+                         "{1,2} inference workers")
     ap.add_argument("--algos", nargs="*", default=None,
                     help="subset of registry names (default: all)")
     ap.add_argument("--baseline", default=str(DEFAULT_BASELINE),
@@ -769,6 +957,7 @@ def main(argv: list[str] | None = None) -> int:
         scaling_sweep=args.scaling_sweep,
         inference=args.inference,
         inference_workers=args.inference_workers,
+        serving=args.serving,
     )
     return 0
 

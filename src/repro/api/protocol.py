@@ -158,21 +158,27 @@ class LdaTrainer(abc.ABC):
         """
         return {"algorithm": self.name, "iterations": self.iterations_done}
 
-    def export_model(self) -> "TopicModel":
+    def export_model(self, parent: str | None = None) -> "TopicModel":
         """Freeze the current model into a :class:`~repro.model.TopicModel`.
 
         Works for every algorithm: the artifact needs only ``phi``,
         ``topic_totals`` and the hyper-parameters, which all state types
         expose.  Attaches the training corpus's vocabulary when one is
-        reachable; metadata comes from :meth:`_export_metadata`.
+        reachable; metadata comes from :meth:`_export_metadata` plus a
+        fresh :func:`~repro.model.make_lineage` record — every export is
+        its own model *generation*.  Pass ``parent`` (a generation id)
+        when this model supersedes a deployed one, so a serving tier can
+        roll forward/back along the chain.
         """
-        from repro.model import TopicModel
+        from repro.model import TopicModel, make_lineage
 
         corpus = getattr(self, "corpus", None)
+        metadata = self._export_metadata()
+        metadata.setdefault("lineage", make_lineage(parent=parent))
         return TopicModel.from_state(
             self.state,
             vocabulary=getattr(corpus, "vocabulary", None),
-            metadata=self._export_metadata(),
+            metadata=metadata,
         )
 
     def fit(

@@ -6,6 +6,8 @@
     python -m repro infer --model model.npz --docword new_docs.txt \
         --output theta.npz
     python -m repro evaluate --model model.npz --docword test_docs.txt
+    python -m repro serve --model model.npz --port 7070
+    python -m repro query --host 127.0.0.1 --port 7070 --docword new_docs.txt
     python -m repro benchmark --algo lightlda --topics 256
     python -m repro algorithms
 
@@ -21,6 +23,8 @@ library itself; every command prints the same metrics the paper reports.
 from __future__ import annotations
 
 import argparse
+import asyncio
+import json
 import sys
 from collections.abc import Sequence
 from pathlib import Path
@@ -162,6 +166,13 @@ def _load_vocab_terms(path: str | Path, num_words: int) -> list[str]:
 
 def cmd_topics(args: argparse.Namespace) -> int:
     model = TopicModel.load(args.model)
+    lineage = model.lineage
+    if lineage:
+        print(
+            f"generation {lineage.get('generation')} "
+            f"(parent {lineage.get('parent') or '-'}, "
+            f"created {lineage.get('created_at')})"
+        )
     terms: list[str] | None = None
     if args.vocab:
         try:
@@ -257,6 +268,101 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         )
     )
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the async inference server over one model artifact."""
+    from repro.serving import ServingServer
+
+    server = ServingServer(
+        args.model,
+        host=args.host,
+        port=args.port,
+        num_sweeps=args.sweeps,
+        burn_in=args.burn_in,
+        batch_docs=args.batch_docs,
+        num_workers=args.num_workers,
+        worker_affinity=_parse_affinity(args.worker_affinity),
+        max_pending=args.max_pending,
+    )
+
+    def on_ready(address) -> None:
+        host, port = address
+        # One greppable ready line: scripts (and the CI smoke) parse it.
+        print(
+            f"serving {args.model} generation={server.generation} "
+            f"on {host}:{port}",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(server.run(on_ready))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """One client call against a running ``repro serve``."""
+    from repro.serving import ServingClient, ServingError
+
+    async def go() -> int:
+        client = await ServingClient.connect(args.host, args.port)
+        try:
+            if args.op == "ping":
+                print(json.dumps(await client.ping(), indent=2))
+            elif args.op == "stats":
+                print(json.dumps(await client.stats(), indent=2))
+            elif args.op == "shutdown":
+                print(json.dumps(await client.shutdown(), indent=2))
+            elif args.op == "swap":
+                if not args.swap_path:
+                    print("error: --op swap needs --swap-path",
+                          file=sys.stderr)
+                    return 2
+                print(json.dumps(await client.swap(args.swap_path), indent=2))
+            else:  # infer
+                corpus = _load_corpus(args)
+                docs = [
+                    corpus.word_ids[
+                        corpus.doc_offsets[d]: corpus.doc_offsets[d + 1]
+                    ]
+                    for d in range(min(corpus.num_docs, args.max_docs))
+                ]
+                reply = await client.infer(docs, seed=args.inference_seed)
+                print(
+                    f"generation {reply.generation}: {len(docs)} documents, "
+                    f"queue wait {reply.queue_wait_s * 1e3:.1f} ms, "
+                    f"service {reply.service_s * 1e3:.1f} ms "
+                    f"(coalesced with {reply.coalesced_requests} requests)"
+                )
+                top = np.argsort(-reply.theta, axis=1)[:, : args.top]
+                rows = [
+                    [
+                        d,
+                        docs[d].size,
+                        " ".join(
+                            f"{int(t)}:{reply.theta[d, t]:.2f}"
+                            for t in top[d]
+                        ),
+                    ]
+                    for d in range(min(len(docs), args.show_docs))
+                ]
+                if rows:
+                    print(render_table(["doc", "#tokens", "top topics"], rows))
+        finally:
+            await client.close()
+        return 0
+
+    try:
+        return asyncio.run(go())
+    except ServingError as exc:  # includes ServerBusy
+        print(f"server refused: {exc}", file=sys.stderr)
+        return 3
+    except (ConnectionError, OSError) as exc:
+        print(f"error: cannot reach {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
 
 
 def cmd_benchmark(args: argparse.Namespace) -> int:
@@ -426,6 +532,53 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fraction of each document folded in; the "
                              "rest is scored")
     p_eval.set_defaults(func=cmd_evaluate)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve a model over the socket protocol (coalescing, hot swap)",
+    )
+    p_serve.add_argument("--model", required=True,
+                         help="model .npz from 'repro train --output'")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="0 picks a free port (printed on the ready line)")
+    p_serve.add_argument("--sweeps", type=int, default=20,
+                         help="fold-in Gibbs sweeps (fixed per server: "
+                              "coalesced requests share one schedule)")
+    p_serve.add_argument("--burn-in", dest="burn_in", type=int, default=8)
+    p_serve.add_argument("--batch-docs", dest="batch_docs", type=int,
+                         default=256)
+    p_serve.add_argument("--num-workers", dest="num_workers", type=int,
+                         default=None,
+                         help="inference worker processes per generation")
+    p_serve.add_argument("--affinity", dest="worker_affinity", default=None,
+                         help="comma-separated CPU ids for inference workers")
+    p_serve.add_argument("--max-pending", dest="max_pending", type=int,
+                         default=64,
+                         help="queued requests beyond which clients get a "
+                              "typed 'busy' response")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_query = sub.add_parser(
+        "query", help="client for a running 'repro serve'"
+    )
+    add_corpus_args(p_query)
+    p_query.add_argument("--host", default="127.0.0.1")
+    p_query.add_argument("--port", type=int, required=True)
+    p_query.add_argument(
+        "--op", choices=("infer", "stats", "ping", "swap", "shutdown"),
+        default="infer",
+    )
+    p_query.add_argument("--swap-path", dest="swap_path",
+                         help="model artifact for --op swap")
+    p_query.add_argument("--inference-seed", dest="inference_seed", type=int,
+                         default=0)
+    p_query.add_argument("--max-docs", dest="max_docs", type=int, default=32,
+                         help="documents sent from the corpus (per request)")
+    p_query.add_argument("--top", type=int, default=3)
+    p_query.add_argument("--show-docs", dest="show_docs", type=int,
+                         default=10)
+    p_query.set_defaults(func=cmd_query)
 
     p_bench = sub.add_parser("benchmark", help="quick throughput check")
     add_corpus_args(p_bench)

@@ -27,7 +27,7 @@ bit-identical results for any worker count.
     print(session.score(new_corpus).perplexity)
 """
 
-from repro.model.artifact import TopicModel
+from repro.model.artifact import TopicModel, make_lineage
 from repro.model.inference import InferenceSession, ScoreResult
 from repro.model.parallel_inference import InferenceWorkerPool
 from repro.model.serialize import (
@@ -42,6 +42,7 @@ __all__ = [
     "InferenceWorkerPool",
     "ScoreResult",
     "SCHEMA_VERSION",
+    "make_lineage",
     "save_topic_model",
     "load_topic_model",
 ]

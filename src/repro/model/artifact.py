@@ -15,8 +15,10 @@ batched fold-in inference over the artifact lives in
 
 from __future__ import annotations
 
+import uuid
 from collections.abc import Mapping
 from dataclasses import dataclass, field
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any
 
@@ -24,7 +26,26 @@ import numpy as np
 
 from repro.corpus.vocab import Vocabulary
 
-__all__ = ["TopicModel", "DEFAULT_TOP_INDEX_WIDTH"]
+__all__ = ["TopicModel", "DEFAULT_TOP_INDEX_WIDTH", "make_lineage"]
+
+
+def make_lineage(parent: str | None = None) -> dict[str, Any]:
+    """Fresh lineage record for one exported model generation.
+
+    ``generation`` is a random 12-hex id (unique per export, so two
+    exports of the same trainer are distinguishable model generations);
+    ``parent`` names the generation this one supersedes — the hot-swap
+    and rollback bookkeeping a serving tier needs; ``created_at`` is UTC
+    ISO-8601.  Stored under ``metadata["lineage"]`` and therefore
+    serialized into the v2 artifact's ``metadata_json`` verbatim.
+    """
+    return {
+        "generation": uuid.uuid4().hex[:12],
+        "parent": parent,
+        "created_at": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+    }
 
 #: Default width of the precomputed per-topic top-word index: enough for
 #: every realistic ``topics``/``top_terms`` query while keeping the
@@ -255,6 +276,22 @@ class TopicModel:
         """Topic indices ordered by descending token mass."""
         return np.argsort(self.topic_totals)[::-1]
 
+    # -- provenance ----------------------------------------------------------
+
+    @property
+    def lineage(self) -> dict[str, Any] | None:
+        """The model-generation record (``generation``/``parent``/
+        ``created_at``), or None for artifacts exported before lineage
+        existed (v1 files, hand-built models)."""
+        lin = self.metadata.get("lineage")
+        return dict(lin) if isinstance(lin, Mapping) else None
+
+    @property
+    def generation(self) -> str | None:
+        """Shorthand for ``lineage["generation"]`` (None without lineage)."""
+        lin = self.lineage
+        return lin.get("generation") if lin else None
+
     # -- persistence ---------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
@@ -280,5 +317,6 @@ class TopicModel:
             "alpha": self.alpha,
             "beta": self.beta,
             "has_vocabulary": self.vocabulary is not None,
+            "lineage": self.lineage,
             "metadata": dict(self.metadata),
         }

@@ -223,6 +223,17 @@ class InferenceSession:
 
     # -- inference ---------------------------------------------------------
 
+    def _resolve_schedule(
+        self, num_sweeps: int | None, burn_in: int | None
+    ) -> tuple[int, int]:
+        sweeps = self.num_sweeps if num_sweeps is None else int(num_sweeps)
+        burn = self.burn_in if burn_in is None else int(burn_in)
+        if burn < 0:
+            raise ValueError("burn_in must be non-negative")
+        if sweeps <= burn:
+            raise ValueError("num_sweeps must exceed burn_in")
+        return sweeps, burn
+
     def transform(
         self,
         docs: Corpus | Sequence[np.ndarray],
@@ -236,15 +247,64 @@ class InferenceSession:
         documents receive the prior mean.  Deterministic in ``seed`` and
         invariant to ``batch_docs``.
         """
-        sweeps = self.num_sweeps if num_sweeps is None else int(num_sweeps)
-        burn = self.burn_in if burn_in is None else int(burn_in)
-        if burn < 0:
-            raise ValueError("burn_in must be non-negative")
-        if sweeps <= burn:
-            raise ValueError("num_sweeps must exceed burn_in")
+        sweeps, burn = self._resolve_schedule(num_sweeps, burn_in)
         arrays = _as_doc_arrays(docs)
+        out = np.empty((len(arrays), self.num_topics), dtype=np.float64)
+        # Document i draws from SeedSequence(seed, spawn_key=(i,)) — the
+        # same stream spawn(D) child i would get, derived without O(D)
+        # setup, and the exact spec the serving tier reproduces when it
+        # coalesces this request with others (see transform_many).
+        specs = [(int(seed), i) for i in range(len(arrays))]
+        self._transform_into(arrays, specs, sweeps, burn, out)
+        return out
+
+    def transform_many(
+        self,
+        requests: Sequence[tuple[Corpus | Sequence[np.ndarray], int]],
+        num_sweeps: int | None = None,
+        burn_in: int | None = None,
+    ) -> list[np.ndarray]:
+        """Coalesced inference for many independent ``(docs, seed)`` requests.
+
+        All documents across all requests fold in together — one set of
+        lockstep batches sized for the worker pool, so a burst of small
+        requests keeps every worker as busy as one large request would.
+        Each document's RNG stream is keyed by its **own request's** seed
+        and its index *within that request*, so every returned theta
+        block is bit-identical to ``transform(docs, seed=seed)`` called
+        alone — the property the serving tier's batch coalescer rests on
+        (asserted by tests/test_inference_session.py).
+        """
+        sweeps, burn = self._resolve_schedule(num_sweeps, burn_in)
+        arrays: list[np.ndarray] = []
+        specs: list[tuple[int, int]] = []
+        slices: list[tuple[int, int]] = []
+        for docs, seed in requests:
+            req_arrays = _as_doc_arrays(docs)
+            lo = len(arrays)
+            arrays.extend(req_arrays)
+            specs.extend((int(seed), i) for i in range(len(req_arrays)))
+            slices.append((lo, lo + len(req_arrays)))
+        out = np.empty((len(arrays), self.num_topics), dtype=np.float64)
+        self._transform_into(arrays, specs, sweeps, burn, out)
+        return [out[lo:hi] for lo, hi in slices]
+
+    def _transform_into(
+        self,
+        arrays: list[np.ndarray],
+        specs: list[tuple[int, int]],
+        sweeps: int,
+        burn: int,
+        out: np.ndarray,
+    ) -> None:
+        """Fold ``arrays`` in and scatter theta rows into ``out``.
+
+        ``specs[i] = (entropy, spawn_index)`` names document i's RNG
+        stream ``SeedSequence(entropy, spawn_key=(spawn_index,))``;
+        keeping the stream key explicit (rather than positional) is what
+        lets coalesced requests keep their stand-alone draws.
+        """
         k = self.num_topics
-        out = np.empty((len(arrays), k), dtype=np.float64)
         for w in arrays:
             if w.size and (w.min() < 0 or w.max() >= self.num_words):
                 raise ValueError("word id out of the trained vocabulary")
@@ -256,12 +316,12 @@ class InferenceSession:
         order = order[lengths[order] > 0]
         if self.num_workers > 1 and order.shape[0] > 0:
             # Frozen phi: batches are independent, so scatter them over
-            # the worker pool.  Workers derive the same per-document
-            # seed streams from (seed, document index), so the result is
-            # bit-identical to the in-process path below — including
-            # under the narrower batch split here, which caps batches at
-            # ceil(docs / workers) so a request smaller than
-            # batch_docs * workers still keeps every worker busy.
+            # the worker pool.  Workers derive each document's stream
+            # from its spec, so the result is bit-identical to the
+            # in-process path below — including under the narrower batch
+            # split here, which caps batches at ceil(docs / workers) so
+            # a request smaller than batch_docs * workers still keeps
+            # every worker busy.
             per = min(
                 self.batch_docs,
                 -(-order.shape[0] // self.num_workers),
@@ -270,22 +330,24 @@ class InferenceSession:
                 (
                     order[lo: lo + per],
                     [arrays[i] for i in order[lo: lo + per]],
+                    [specs[i] for i in order[lo: lo + per]],
                 )
                 for lo in range(0, order.shape[0], per)
             ]
-            self._ensure_pool().transform_batches(
-                batches, seed, sweeps, burn, out
-            )
-            return out
-        seeds = np.random.SeedSequence(seed).spawn(len(arrays))
+            self._ensure_pool().transform_batches(batches, sweeps, burn, out)
+            return
         for lo in range(0, order.shape[0], self.batch_docs):
             batch = order[lo: lo + self.batch_docs]
+            seeds = [
+                np.random.SeedSequence(
+                    entropy=specs[i][0], spawn_key=(specs[i][1],)
+                )
+                for i in batch
+            ]
             theta = self._fold_in_batch(
-                [arrays[i] for i in batch], [seeds[i] for i in batch],
-                sweeps, burn,
+                [arrays[i] for i in batch], seeds, sweeps, burn,
             )
             out[batch] = theta
-        return out
 
     def _fold_in_batch(
         self,

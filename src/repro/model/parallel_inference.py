@@ -12,11 +12,14 @@ request documents and the resulting ``(docs, K)`` theta blocks cross the
 pipes — so serving throughput scales with cores (near-linear until the
 pipes saturate).
 
-Determinism: each document's RNG stream is spawned from the call seed by
-*document index*, exactly as the in-process path does, so the pooled
-result is **bit-identical per document** to ``num_workers=1`` for any
-worker count, batch size, or batch-to-worker assignment (asserted by
-tests/test_inference_session.py).
+Determinism: each document travels with an explicit seed spec
+``(entropy, spawn_index)`` naming its RNG stream
+``SeedSequence(entropy, spawn_key=(spawn_index,))`` — exactly the
+stream the in-process path derives — so the pooled result is
+**bit-identical per document** to ``num_workers=1`` for any worker
+count, batch size, or batch-to-worker assignment, and coalesced
+multi-request calls (``transform_many``) keep every request's
+stand-alone draws (asserted by tests/test_inference_session.py).
 
 Lifecycle mirrors the training engine: lazy start, idempotent
 ``close()`` (a closed pool can be rebuilt by its owning session), and a
@@ -32,7 +35,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.parallel.pool import recv_reply, shutdown_pool, spawn_workers
+from repro.parallel.pool import (
+    WorkerDied,
+    recv_reply,
+    shutdown_pool,
+    spawn_workers,
+)
 from repro.parallel.shm import ArenaLayout, ShmArena
 from repro.parallel.worker import normalize_affinity, set_worker_affinity
 
@@ -141,18 +149,20 @@ class InferenceWorkerPool:
 
     def transform_batches(
         self,
-        batches: list[tuple[np.ndarray, list[np.ndarray]]],
-        seed: int,
+        batches: list[
+            tuple[np.ndarray, list[np.ndarray], list[tuple[int, int]]]
+        ],
         sweeps: int,
         burn: int,
         out: np.ndarray,
     ) -> None:
         """Scatter ``batches`` over the workers; gather theta into ``out``.
 
-        ``batches`` are ``(original-index array, [token arrays])`` pairs,
-        each already sorted longest-first (the lockstep kernel's
-        contract); each worker derives its documents' seed streams from
-        ``(seed, document index)``, so assignment cannot move a draw.
+        ``batches`` are ``(original-index array, [token arrays],
+        [seed specs])`` triples, each already sorted longest-first (the
+        lockstep kernel's contract); every document carries its own
+        ``(entropy, spawn_index)`` stream key, so batch-to-worker
+        assignment cannot move a draw.
         """
         self.start()
         assigned = [[] for _ in range(self.num_workers)]
@@ -163,7 +173,15 @@ class InferenceWorkerPool:
             for w, conn in enumerate(self._conns):
                 if not assigned[w]:
                     continue
-                conn.send(("infer", assigned[w], seed, sweeps, burn))
+                try:
+                    conn.send(("infer", assigned[w], sweeps, burn))
+                except (BrokenPipeError, ConnectionError, OSError) as exc:
+                    # A worker that died between requests surfaces as a
+                    # broken pipe on send; name the worker instead of
+                    # leaking the raw OS error.
+                    raise WorkerDied(
+                        "inference", w, self._procs[w].exitcode
+                    ) from exc
                 active.append(w)
             for w in active:
                 kind, payload = self._recv(w, self._conns[w])
@@ -195,7 +213,8 @@ class InferenceWorkerPool:
 def _inference_worker_main(conn, plan: _InferencePlan) -> None:
     """Worker loop: attach the p* arena, serve fold-in requests.
 
-    Protocol: ``("infer", batches, seed, sweeps, burn)`` answers
+    Protocol: ``("infer", batches, sweeps, burn)`` — with each batch a
+    ``(indices, docs, seed specs)`` triple — answers
     ``("theta", [(indices, theta block), ...])``; ``("stop",)`` exits;
     any exception answers ``("error", traceback)`` and exits.
     """
@@ -219,17 +238,19 @@ def _inference_worker_main(conn, plan: _InferencePlan) -> None:
                 break
             if msg[0] != "infer":  # pragma: no cover - protocol misuse
                 raise ValueError(f"unknown worker command {msg[0]!r}")
-            _, batches, seed, sweeps, burn = msg
+            _, batches, sweeps, burn = msg
             replies = []
-            for indices, docs in batches:
-                # Same spawn tree as the in-process path: child i of
-                # SeedSequence(seed).spawn(D) is exactly
-                # SeedSequence(seed, spawn_key=(i,)), so each worker
-                # derives only its *own* documents' streams instead of
-                # spawning all D children per request.
+            for indices, docs, specs in batches:
+                # Each document's spec names its stream outright —
+                # child i of SeedSequence(e).spawn(D) is exactly
+                # SeedSequence(e, spawn_key=(i,)) — so each worker
+                # derives only its *own* documents' streams, and
+                # coalesced requests keep their stand-alone draws.
                 seeds = [
-                    np.random.SeedSequence(entropy=seed, spawn_key=(int(i),))
-                    for i in indices
+                    np.random.SeedSequence(
+                        entropy=entropy, spawn_key=(int(spawn),)
+                    )
+                    for entropy, spawn in specs
                 ]
                 theta = session._fold_in_batch(docs, seeds, sweeps, burn)
                 replies.append((indices, theta))

@@ -15,10 +15,12 @@ Schema history:
   Still loads (compat path); never written anymore.
 - **v2** (current) — v1 fields plus optional ``vocab`` (one term per
   word id), ``metadata_json`` (JSON provenance: algorithm, iterations,
-  options) and ``top_word_index`` (the precomputed per-topic top-word-id
-  serving index; files written before it existed simply lack the array
-  and the index is rebuilt lazily — no version bump needed, the layout
-  of the existing fields is unchanged).
+  options, and the ``lineage`` model-generation record —
+  generation/parent/created_at — that hot swap and rollback key on) and
+  ``top_word_index`` (the precomputed per-topic top-word-id serving
+  index; files written before it existed simply lack the array and the
+  index is rebuilt lazily — no version bump needed, the layout of the
+  existing fields is unchanged).
 
 Loaders validate invariants (shapes, non-negative counts, totals
 matching phi) and reject unknown versions and wrong kinds rather than

@@ -1,0 +1,68 @@
+"""Streaming serving tier: async inference with coalescing and hot swap.
+
+Layers (each importable on its own):
+
+- :mod:`repro.serving.protocol` — length-prefixed JSON frames (the wire);
+- :mod:`repro.serving.coalescer` — admission-controlled queue that folds
+  pending requests into lockstep dispatches;
+- :mod:`repro.serving.stats` — per-request latency accounting (queue
+  wait vs service, windowed p50/p99);
+- :mod:`repro.serving.server` — the asyncio server: concurrent clients,
+  bit-identical coalesced inference, hot model swap with zero dropped
+  requests;
+- :mod:`repro.serving.client` — the sequential protocol client.
+
+Entry points: ``repro serve`` / ``repro query`` on the CLI,
+:class:`ServingServer` / :class:`ServingClient` in-process.
+"""
+
+from repro.serving.client import (
+    InferReply,
+    ServerBusy,
+    ServingClient,
+    ServingError,
+)
+from repro.serving.coalescer import (
+    DEFAULT_MAX_PENDING,
+    BatchCoalescer,
+    PendingRequest,
+)
+from repro.serving.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameError,
+    encode_frame,
+    decode_payload,
+    read_frame,
+    write_frame,
+)
+from repro.serving.server import (
+    DEFAULT_SERVE_BURN_IN,
+    DEFAULT_SERVE_SWEEPS,
+    ModelGeneration,
+    ServingServer,
+)
+from repro.serving.stats import LatencyStats, quantiles
+
+__all__ = [
+    "ServingServer",
+    "ModelGeneration",
+    "ServingClient",
+    "InferReply",
+    "ServingError",
+    "ServerBusy",
+    "BatchCoalescer",
+    "PendingRequest",
+    "LatencyStats",
+    "quantiles",
+    "FrameError",
+    "encode_frame",
+    "decode_payload",
+    "read_frame",
+    "write_frame",
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "DEFAULT_MAX_PENDING",
+    "DEFAULT_SERVE_SWEEPS",
+    "DEFAULT_SERVE_BURN_IN",
+]

@@ -1,0 +1,146 @@
+"""Client for the serving protocol: blocking calls over one connection.
+
+:class:`ServingClient` speaks :mod:`repro.serving.protocol` with one
+outstanding request at a time — submit a frame, the next frame read is
+its reply.  That sequential discipline keeps the client tiny (no
+response demultiplexing) while still exercising the server's
+concurrency: many *clients*, each sequential, is exactly the open-loop
+shape the coalescer folds together.  Typed outcomes:
+
+- :meth:`ServingClient.infer` returns an :class:`InferReply` (theta plus
+  the generation that answered and the server-measured latency split);
+- a ``busy`` response raises :class:`ServerBusy` (retryable overload);
+- any ``error`` response raises :class:`ServingError` carrying the
+  server's typed error code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.serving.protocol import read_frame, write_frame
+
+__all__ = ["ServingClient", "InferReply", "ServingError", "ServerBusy"]
+
+
+class ServingError(RuntimeError):
+    """The server answered with a typed ``error`` response."""
+
+    def __init__(self, error: str, message: str):
+        super().__init__(f"{error}: {message}")
+        self.error = error
+
+
+class ServerBusy(ServingError):
+    """Admission control refused the request; retry later."""
+
+    def __init__(self, pending: int, max_pending: int):
+        super().__init__(
+            "busy",
+            f"server queue is full ({pending}/{max_pending} pending)",
+        )
+        self.pending = pending
+        self.max_pending = max_pending
+
+
+@dataclass(frozen=True)
+class InferReply:
+    """One answered inference: theta plus serving provenance."""
+
+    theta: np.ndarray
+    generation: str
+    lineage: dict[str, Any] | None
+    queue_wait_s: float
+    service_s: float
+    coalesced_requests: int
+
+
+class ServingClient:
+    """One sequential connection to a :class:`~repro.serving.ServingServer`."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ):
+        self._reader = reader
+        self._writer = writer
+        self._request_counter = 0
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServingClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def __aenter__(self) -> "ServingClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def _roundtrip(self, message: dict) -> dict:
+        """One request, one reply (single outstanding request per client)."""
+        self._request_counter += 1
+        message = {"id": self._request_counter, **message}
+        await write_frame(self._writer, message)
+        reply = await read_frame(self._reader)
+        if reply is None:
+            raise ConnectionError("server closed the connection")
+        if reply.get("type") == "busy":
+            raise ServerBusy(
+                int(reply.get("pending", -1)),
+                int(reply.get("max_pending", -1)),
+            )
+        if reply.get("type") == "error":
+            raise ServingError(
+                str(reply.get("error", "unknown")),
+                str(reply.get("message", "")),
+            )
+        return reply
+
+    async def ping(self) -> dict:
+        return await self._roundtrip({"op": "ping"})
+
+    async def infer(
+        self,
+        docs: Sequence[Sequence[int]] | Sequence[np.ndarray],
+        seed: int = 0,
+    ) -> InferReply:
+        """Topic mixtures for ``docs``: bit-identical to in-process
+        ``InferenceSession.transform(docs, seed=seed)`` on the served
+        generation."""
+        payload = [
+            np.asarray(d, dtype=np.int64).ravel().tolist() for d in docs
+        ]
+        reply = await self._roundtrip(
+            {"op": "infer", "docs": payload, "seed": int(seed)}
+        )
+        return InferReply(
+            theta=np.asarray(reply["theta"], dtype=np.float64),
+            generation=str(reply["generation"]),
+            lineage=reply.get("lineage"),
+            queue_wait_s=float(reply["queue_wait_s"]),
+            service_s=float(reply["service_s"]),
+            coalesced_requests=int(reply["coalesced_requests"]),
+        )
+
+    async def swap(self, path: str) -> dict:
+        """Hot-swap the served model to the artifact at ``path``."""
+        return await self._roundtrip({"op": "swap", "path": str(path)})
+
+    async def stats(self) -> dict:
+        return await self._roundtrip({"op": "stats"})
+
+    async def shutdown(self) -> dict:
+        """Ask the server to stop (it drains in-flight work first)."""
+        return await self._roundtrip({"op": "shutdown"})

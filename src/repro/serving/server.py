@@ -1,0 +1,547 @@
+"""The asyncio inference server: coalesced serving with hot model swap.
+
+One :class:`ServingServer` wraps one long-lived
+:class:`~repro.model.InferenceSession` behind the length-prefixed JSON
+protocol of :mod:`repro.serving.protocol`:
+
+- concurrent clients submit ``infer`` requests; a
+  :class:`~repro.serving.coalescer.BatchCoalescer` folds everything
+  pending into one ``transform_many`` call (lockstep batches sized for
+  the worker pool), so serving throughput under concurrency matches one
+  big batched request — and every response is **bit-identical** to the
+  client calling ``InferenceSession.transform`` itself, because each
+  request's documents keep their own seed streams through coalescing;
+- every response records ``queue_wait_s`` (coalescer hold time) and
+  ``service_s`` (the inference span it rode), aggregated by
+  :class:`~repro.serving.stats.LatencyStats` for the ``stats`` op;
+- a ``swap`` request loads a new model artifact and **atomically**
+  repoints subsequent dispatches at a fresh generation while in-flight
+  batches drain on the old one — zero dropped requests, and each
+  response names the generation (lineage id) that answered it;
+- admission control bounds the queue: past ``max_pending`` waiting
+  requests, clients get a typed ``busy`` response instead of unbounded
+  buffering.  Overload and degraded workers are states the protocol
+  speaks, not crashes.
+
+Inference runs on an executor thread, so the event loop keeps accepting,
+answering and swapping while the engine computes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from functools import partial
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.model import InferenceSession, TopicModel
+from repro.serving.coalescer import (
+    DEFAULT_MAX_PENDING,
+    BatchCoalescer,
+    PendingRequest,
+)
+from repro.serving.protocol import (
+    PROTOCOL_VERSION,
+    FrameError,
+    read_frame,
+    write_frame,
+)
+from repro.serving.stats import LatencyStats
+
+__all__ = ["ModelGeneration", "ServingServer"]
+
+#: Fold-in schedule a server uses unless configured otherwise.  Fixed
+#: per server (not per request): coalesced requests share one lockstep
+#: call, so the Gibbs schedule is a deployment knob, like the model.
+DEFAULT_SERVE_SWEEPS = 20
+DEFAULT_SERVE_BURN_IN = 8
+
+
+@dataclass
+class ModelGeneration:
+    """One deployed model: a session plus the lineage that names it."""
+
+    session: InferenceSession
+    model: TopicModel
+    generation: str
+    lineage: dict[str, Any] | None
+    source: str
+    index: int
+    inflight: int = 0
+    retired: bool = False
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "generation": self.generation,
+            "lineage": self.lineage,
+            "source": self.source,
+            "num_topics": self.model.num_topics,
+            "num_words": self.model.num_words,
+        }
+
+
+class ServingServer:
+    """Async inference server over one (swappable) frozen model.
+
+    Parameters
+    ----------
+    model:
+        A :class:`~repro.model.TopicModel` or a path to a saved
+        artifact (the initial generation; ``swap`` installs later ones).
+    host / port:
+        Bind address; ``port=0`` picks a free port (see
+        :attr:`address` after :meth:`start`).
+    num_sweeps / burn_in / batch_docs / num_workers / worker_affinity:
+        Forwarded to every generation's
+        :class:`~repro.model.InferenceSession`.
+    max_pending:
+        Admission-control depth: queued (not yet dispatched) requests
+        beyond which ``infer`` answers ``busy``.
+    """
+
+    def __init__(
+        self,
+        model: TopicModel | str | Path,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        num_sweeps: int = DEFAULT_SERVE_SWEEPS,
+        burn_in: int = DEFAULT_SERVE_BURN_IN,
+        batch_docs: int | None = None,
+        num_workers: int | None = None,
+        worker_affinity=None,
+        max_pending: int = DEFAULT_MAX_PENDING,
+    ):
+        self._host = host
+        self._port = port
+        self._session_kwargs: dict[str, Any] = {
+            "num_sweeps": num_sweeps,
+            "burn_in": burn_in,
+            "num_workers": num_workers,
+            "worker_affinity": worker_affinity,
+        }
+        if batch_docs is not None:
+            self._session_kwargs["batch_docs"] = batch_docs
+        self._gen_counter = 0
+        self._retired: list[ModelGeneration] = []
+        self._gen = self._make_generation(*self._load_session(model))
+        self._stats = LatencyStats()
+        self._coalescer = BatchCoalescer(self._dispatch, max_pending)
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: dict[asyncio.StreamWriter, asyncio.Future] = {}
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._shutdown_requested = asyncio.Event()
+        self._stopped = False
+        self.address: tuple[str, int] | None = None
+
+    # -- generations --------------------------------------------------------
+
+    def _load_session(
+        self, model: TopicModel | str | Path
+    ) -> tuple[TopicModel, InferenceSession, str]:
+        """Build a session for ``model`` (artifact load + session setup).
+
+        Runs on an executor thread during ``swap`` so the event loop
+        keeps serving the old generation while the new one loads.
+        """
+        if isinstance(model, (str, Path)):
+            source = str(model)
+            model = TopicModel.load(model)
+        elif isinstance(model, TopicModel):
+            source = "<memory>"
+        else:
+            raise TypeError("model must be a TopicModel or a path")
+        session = InferenceSession(model, **self._session_kwargs)
+        return model, session, source
+
+    def _make_generation(
+        self, model: TopicModel, session: InferenceSession, source: str
+    ) -> ModelGeneration:
+        self._gen_counter += 1
+        lineage = model.lineage
+        generation = (lineage or {}).get("generation") or (
+            f"gen-{self._gen_counter}"
+        )
+        return ModelGeneration(
+            session=session,
+            model=model,
+            generation=str(generation),
+            lineage=lineage,
+            source=source,
+            index=self._gen_counter,
+        )
+
+    def _reap_retired(self) -> None:
+        """Close retired generations whose in-flight batches have drained."""
+        still = []
+        for gen in self._retired:
+            if gen.inflight == 0:
+                gen.session.close()
+            else:
+                still.append(gen)
+        self._retired = still
+
+    @property
+    def generation(self) -> str:
+        """Id of the generation new dispatches go to."""
+        return self._gen.generation
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start serving; returns the bound ``(host, port)``."""
+        if self._server is not None:
+            return self.address
+        self._loop = asyncio.get_running_loop()
+        self._coalescer.start()
+        self._server = await asyncio.start_server(
+            self._handle_client, self._host, self._port
+        )
+        self.address = self._server.sockets[0].getsockname()[:2]
+        return self.address
+
+    async def stop(self) -> None:
+        """Stop accepting, drain queued requests, release every session."""
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self._coalescer.close()
+        # Nudge lingering connections shut and wait for their handlers
+        # to finish, so loop teardown never cancels a reader mid-await.
+        for writer in list(self._connections):
+            writer.close()
+        if self._connections:
+            await asyncio.gather(
+                *self._connections.values(), return_exceptions=True
+            )
+        self._gen.retired = True
+        self._retired.append(self._gen)
+        self._reap_retired()
+
+    async def run(self, on_ready=None) -> None:
+        """Serve until a ``shutdown`` request (or cancellation), then stop."""
+        await self.start()
+        if on_ready is not None:
+            on_ready(self.address)
+        try:
+            await self._shutdown_requested.wait()
+        finally:
+            await self.stop()
+
+    async def __aenter__(self) -> "ServingServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # -- connection handling ------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        # One write lock per connection: responses for pipelined
+        # requests complete out of order, and frames must not interleave.
+        lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        done = asyncio.get_running_loop().create_future()
+        self._connections[writer] = done
+        try:
+            while True:
+                try:
+                    msg = await read_frame(reader)
+                except FrameError as exc:
+                    await self._write(
+                        writer, lock,
+                        {"type": "error", "error": "bad_frame",
+                         "message": str(exc)},
+                    )
+                    break
+                if msg is None:
+                    break
+                if await self._handle_message(msg, writer, lock, tasks):
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._connections.pop(writer, None)
+            if not done.done():
+                done.set_result(None)
+
+    async def _write(
+        self, writer: asyncio.StreamWriter, lock: asyncio.Lock, message: dict
+    ) -> None:
+        try:
+            async with lock:
+                await write_frame(writer, message)
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away; nothing left to tell it
+
+    async def _handle_message(
+        self,
+        msg: dict,
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+        tasks: set[asyncio.Task],
+    ) -> bool:
+        """Handle one request; True ends the connection's read loop."""
+        op = msg.get("op")
+        rid = msg.get("id")
+        if op == "ping":
+            await self._write(writer, lock, {
+                "type": "pong", "id": rid, "version": PROTOCOL_VERSION,
+                "generation": self._gen.generation,
+            })
+        elif op == "infer":
+            reply, request = self._admit(msg)
+            if reply is not None:
+                await self._write(writer, lock, reply)
+            else:
+                task = asyncio.get_running_loop().create_task(
+                    self._answer(request, writer, lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        elif op == "swap":
+            await self._handle_swap(msg, writer, lock)
+        elif op == "stats":
+            await self._write(writer, lock, {
+                "type": "stats", "id": rid,
+                "version": PROTOCOL_VERSION,
+                "model": self._gen.describe(),
+                "pending": self._coalescer.depth,
+                "max_pending": self._coalescer.max_pending,
+                "num_sweeps": self._session_kwargs["num_sweeps"],
+                "burn_in": self._session_kwargs["burn_in"],
+                "num_workers": self._gen.session.num_workers,
+                "latency": self._stats.snapshot(),
+            })
+        elif op == "shutdown":
+            await self._write(writer, lock, {"type": "bye", "id": rid})
+            self._shutdown_requested.set()
+            return True
+        else:
+            await self._write(writer, lock, {
+                "type": "error", "id": rid, "error": "unknown_op",
+                "message": f"unknown op {op!r}",
+            })
+        return False
+
+    # -- infer path ---------------------------------------------------------
+
+    def _admit(
+        self, msg: dict
+    ) -> tuple[dict | None, PendingRequest | None]:
+        """Validate + enqueue one infer request.
+
+        Returns ``(immediate reply, None)`` for rejections (invalid,
+        busy, shutting down) or ``(None, request)`` once queued.
+        """
+        rid = msg.get("id")
+
+        def refuse(error: str, message: str) -> tuple[dict, None]:
+            self._stats.record_error()
+            return (
+                {"type": "error", "id": rid, "error": error,
+                 "message": message},
+                None,
+            )
+
+        raw = msg.get("docs")
+        if not isinstance(raw, list) or not raw:
+            return refuse(
+                "invalid_request", "docs must be a non-empty list of "
+                "token-id lists",
+            )
+        seed = msg.get("seed", 0)
+        if not isinstance(seed, int) or isinstance(seed, bool) or seed < 0:
+            return refuse(
+                "invalid_request", "seed must be a non-negative integer"
+            )
+        docs: list[np.ndarray] = []
+        num_words = self._gen.model.num_words
+        for d in raw:
+            if not isinstance(d, list):
+                return refuse(
+                    "invalid_request", "each document must be a list of "
+                    "token ids",
+                )
+            try:
+                arr = np.asarray(d, dtype=np.int64)
+            except (TypeError, ValueError, OverflowError):
+                return refuse(
+                    "invalid_request", "token ids must be integers"
+                )
+            if arr.ndim != 1:
+                return refuse(
+                    "invalid_request", "each document must be a flat list"
+                )
+            if arr.size and (arr.min() < 0 or arr.max() >= num_words):
+                return refuse(
+                    "invalid_request",
+                    f"word id out of the served vocabulary "
+                    f"(V={num_words})",
+                )
+            docs.append(arr)
+        request = PendingRequest(
+            docs=docs,
+            seed=seed,
+            future=asyncio.get_running_loop().create_future(),
+            enqueued_at=asyncio.get_running_loop().time(),
+            request_id=rid,
+        )
+        try:
+            accepted = self._coalescer.submit(request)
+        except RuntimeError:
+            return refuse("shutting_down", "server is shutting down")
+        if not accepted:
+            self._stats.record_busy()
+            return (
+                {"type": "busy", "id": rid,
+                 "pending": self._coalescer.depth,
+                 "max_pending": self._coalescer.max_pending},
+                None,
+            )
+        return None, request
+
+    async def _answer(
+        self,
+        request: PendingRequest,
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+    ) -> None:
+        try:
+            reply = await request.future
+        except Exception as exc:  # coalescer backstop path
+            self._stats.record_error()
+            reply = {
+                "type": "error", "id": request.request_id,
+                "error": "inference_failed", "message": str(exc),
+            }
+        await self._write(writer, lock, reply)
+
+    async def _dispatch(self, batch: list[PendingRequest]) -> None:
+        """Run one coalesced inference for everything pending.
+
+        Snapshots the current generation once: a swap that lands while
+        this dispatch computes only affects later dispatches, and the
+        generation's inflight count keeps its arena alive until the
+        batch drains.
+        """
+        loop = self._loop if self._loop is not None else (
+            asyncio.get_running_loop()
+        )
+        gen = self._gen
+        valid: list[PendingRequest] = []
+        for req in batch:
+            # Re-check vocabulary bounds against the generation actually
+            # answering: a swap between enqueue and dispatch may have
+            # shrunk V.
+            if any(
+                d.size and int(d.max()) >= gen.model.num_words
+                for d in req.docs
+            ):
+                self._stats.record_error()
+                req.future.set_result({
+                    "type": "error", "id": req.request_id,
+                    "error": "vocabulary_mismatch",
+                    "message": (
+                        f"word id out of generation "
+                        f"{gen.generation}'s vocabulary "
+                        f"(V={gen.model.num_words})"
+                    ),
+                    "generation": gen.generation,
+                })
+            else:
+                valid.append(req)
+        if not valid:
+            return
+        gen.inflight += 1
+        try:
+            requests = [(req.docs, req.seed) for req in valid]
+            dispatched_at = loop.time()
+            thetas = await loop.run_in_executor(
+                None, partial(gen.session.transform_many, requests)
+            )
+            service_s = loop.time() - dispatched_at
+        except Exception as exc:
+            for req in valid:
+                self._stats.record_error()
+                req.future.set_result({
+                    "type": "error", "id": req.request_id,
+                    "error": "inference_failed", "message": str(exc),
+                    "generation": gen.generation,
+                })
+        else:
+            for req, theta in zip(valid, thetas):
+                queue_wait_s = dispatched_at - req.enqueued_at
+                self._stats.record(queue_wait_s, service_s)
+                req.future.set_result({
+                    "type": "result", "id": req.request_id,
+                    "theta": theta.tolist(),
+                    "generation": gen.generation,
+                    "lineage": gen.lineage,
+                    "queue_wait_s": queue_wait_s,
+                    "service_s": service_s,
+                    "coalesced_requests": len(valid),
+                })
+        finally:
+            gen.inflight -= 1
+            self._reap_retired()
+
+    # -- hot swap -----------------------------------------------------------
+
+    async def _handle_swap(
+        self, msg: dict, writer: asyncio.StreamWriter, lock: asyncio.Lock
+    ) -> None:
+        rid = msg.get("id")
+        path = msg.get("path")
+        if not isinstance(path, str) or not path:
+            self._stats.record_error()
+            await self._write(writer, lock, {
+                "type": "error", "id": rid, "error": "invalid_request",
+                "message": "swap needs a 'path' to a model artifact",
+            })
+            return
+        loop = asyncio.get_running_loop()
+        try:
+            # Artifact load + session build off the event loop: the old
+            # generation keeps answering while the new one warms up.
+            model, session, source = await loop.run_in_executor(
+                None, partial(self._load_session, path)
+            )
+        except Exception as exc:
+            self._stats.record_error()
+            await self._write(writer, lock, {
+                "type": "error", "id": rid, "error": "swap_failed",
+                "message": str(exc),
+                "generation": self._gen.generation,
+            })
+            return
+        new_gen = self._make_generation(model, session, source)
+        old = self._gen
+        self._gen = new_gen  # atomic repoint: later dispatches use new_gen
+        old.retired = True
+        self._retired.append(old)
+        self._reap_retired()  # close now if nothing is in flight on it
+        self._stats.record_swap()
+        await self._write(writer, lock, {
+            "type": "swapped", "id": rid,
+            "generation": new_gen.generation,
+            "previous": old.generation,
+            "lineage": new_gen.lineage,
+            "model": new_gen.describe(),
+        })

@@ -363,3 +363,84 @@ class TestParallelFlags:
                    "--burn-in", "1", "--num-workers", "2"])
         assert rc == 0
         assert "perplexity" in capsys.readouterr().out
+
+
+class TestServeQuery:
+    """The serving subcommands (the server itself is tested in
+    tests/test_serving.py; here: parsing, wiring, and the lineage line)."""
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "--model", "m.npz"])
+        assert args.port == 0
+        assert args.max_pending == 64
+        assert args.sweeps == 20 and args.burn_in == 8
+
+    def test_query_parser_defaults(self):
+        args = build_parser().parse_args(["query", "--port", "7"])
+        assert args.op == "infer"
+        assert args.host == "127.0.0.1"
+
+    def test_topics_prints_lineage(self, tmp_path, capsys):
+        model = tmp_path / "m.npz"
+        assert main([
+            "train", "--topics", "6", "--iterations", "2",
+            "--output", str(model), "--likelihood-every", "0",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["topics", "--model", str(model)]) == 0
+        out = capsys.readouterr().out
+        assert "generation" in out and "parent -" in out
+
+    def test_query_unreachable_server_is_handled(self, capsys):
+        # nothing listens on this port; the client must fail cleanly
+        rc = main(["query", "--port", "1", "--op", "ping"])
+        assert rc == 2
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_query_swap_requires_path(self, capsys):
+        rc = main(["query", "--port", "1", "--op", "swap"])
+        # refused before any connection attempt
+        assert rc == 2
+
+    def test_serve_and_query_end_to_end(self, tmp_path, capsys):
+        """Full loop through the CLI entry points, in one process."""
+        import asyncio
+        import threading
+
+        from repro.serving import ServingServer
+
+        model = tmp_path / "m.npz"
+        assert main([
+            "train", "--topics", "6", "--iterations", "2",
+            "--output", str(model), "--likelihood-every", "0",
+        ]) == 0
+        capsys.readouterr()
+        # cmd_serve blocks; run the same server object it would build on
+        # a thread, then drive cmd_query against it from the test thread.
+        server = ServingServer(str(model), num_sweeps=5, burn_in=1)
+        ready = threading.Event()
+        addr: list = []
+
+        def serve():
+            def on_ready(address):
+                addr.append(address)
+                ready.set()
+
+            asyncio.run(server.run(on_ready))
+
+        t = threading.Thread(target=serve, daemon=True)
+        t.start()
+        assert ready.wait(timeout=30.0)
+        port = str(addr[0][1])
+        try:
+            assert main(["query", "--port", port, "--op", "ping"]) == 0
+            assert "pong" in capsys.readouterr().out
+            assert main(["query", "--port", port, "--max-docs", "3"]) == 0
+            out = capsys.readouterr().out
+            assert "generation" in out and "top topics" in out
+            assert main(["query", "--port", port, "--op", "stats"]) == 0
+            assert '"completed": 1' in capsys.readouterr().out
+        finally:
+            assert main(["query", "--port", port, "--op", "shutdown"]) == 0
+            t.join(timeout=30.0)
+        assert not t.is_alive()

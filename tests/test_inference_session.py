@@ -337,3 +337,119 @@ class TestParallelInference:
         ) as session:
             got = session.transform(test, seed=3)
         assert np.array_equal(ref, got)
+
+
+class TestTransformMany:
+    """Coalesced multi-request inference: the serving tier's contract."""
+
+    def _docs(self, test, lo, hi):
+        return [
+            test.word_ids[test.doc_offsets[d]: test.doc_offsets[d + 1]]
+            .astype(np.int64)
+            for d in range(lo, hi)
+        ]
+
+    def test_each_request_bit_identical_to_standalone(self, trained, model):
+        _, test = trained
+        session = InferenceSession(model, num_sweeps=7, burn_in=2)
+        requests = [
+            (self._docs(test, 0, 5), 11),
+            (self._docs(test, 5, 6), 42),
+            (self._docs(test, 6, 14), 11),  # same seed as request 0
+            (self._docs(test, 14, 17), 0),
+        ]
+        coalesced = session.transform_many(requests)
+        for (docs, seed), theta in zip(requests, coalesced):
+            assert np.array_equal(
+                theta, session.transform(docs, seed=seed)
+            ), "coalescing changed a request's draws"
+
+    def test_pooled_matches_in_process(self, trained, model):
+        _, test = trained
+        requests = [
+            (self._docs(test, 0, 6), 3),
+            (self._docs(test, 6, 9), 9),
+            (self._docs(test, 9, 20), 3),
+        ]
+        serial = InferenceSession(
+            model, num_sweeps=7, burn_in=2
+        ).transform_many(requests)
+        with InferenceSession(
+            model, num_sweeps=7, burn_in=2, num_workers=2, batch_docs=4
+        ) as pooled:
+            par = pooled.transform_many(requests)
+        for a, b in zip(serial, par):
+            assert np.array_equal(a, b)
+
+    def test_empty_documents_and_requests(self, model):
+        session = InferenceSession(model, num_sweeps=5, burn_in=1)
+        assert session.transform_many([]) == []
+        [theta] = session.transform_many(
+            [([np.array([], dtype=np.int64), np.array([1, 2])], 0)]
+        )
+        assert theta.shape == (2, model.num_topics)
+        assert np.allclose(theta[0], 1.0 / model.num_topics)
+
+    def test_schedule_validation(self, trained, model):
+        _, test = trained
+        session = InferenceSession(model, num_sweeps=7, burn_in=2)
+        with pytest.raises(ValueError, match="exceed"):
+            session.transform_many(
+                [(self._docs(test, 0, 1), 0)], num_sweeps=2, burn_in=5
+            )
+
+
+class TestInferencePoolFailure:
+    """Crash injection through the serving pool (PR-5 idiom extended)."""
+
+    def test_worker_exception_surfaces_no_leak_restartable(
+        self, trained, model, monkeypatch
+    ):
+        import glob
+
+        from repro.parallel.shm import pick_context
+
+        if pick_context().get_start_method() != "fork":
+            pytest.skip("fault injection needs fork inheritance")
+        _, test = trained
+        before = set(glob.glob("/dev/shm/psm_*"))
+
+        def boom(self, *args, **kwargs):
+            raise RuntimeError("injected inference failure")
+
+        monkeypatch.setattr(InferenceSession, "_fold_in_batch", boom)
+        session = InferenceSession(
+            model, num_sweeps=6, burn_in=1, num_workers=2
+        )
+        with pytest.raises(RuntimeError, match="injected inference failure"):
+            session.transform(test, seed=1)
+        # the failed call tore the pool down and unlinked its arena
+        assert set(glob.glob("/dev/shm/psm_*")) <= before
+        monkeypatch.undo()
+        got = session.transform(test, seed=1)  # rebuilds a clean pool
+        session.close()
+        ref = InferenceSession(model, num_sweeps=6, burn_in=1).transform(
+            test, seed=1
+        )
+        assert np.array_equal(ref, got)
+        assert set(glob.glob("/dev/shm/psm_*")) <= before
+
+    def test_worker_death_between_requests_is_named(self, trained, model):
+        from repro.parallel.pool import WorkerDied
+        from repro.parallel.shm import pick_context
+
+        if pick_context().get_start_method() != "fork":
+            pytest.skip("process kill needs fork-cheap workers")
+        _, test = trained
+        session = InferenceSession(
+            model, num_sweeps=6, burn_in=1, num_workers=2
+        )
+        a = session.transform(test, seed=2)
+        victim = session._pool._procs[0]
+        victim.terminate()
+        victim.join(timeout=5.0)
+        with pytest.raises(WorkerDied, match="inference worker"):
+            session.transform(test, seed=2)
+        b = session.transform(test, seed=2)  # fresh pool, same bits
+        session.close()
+        assert np.array_equal(a, b)

@@ -363,3 +363,51 @@ class TestTopWordIndex:
         np.savez_compressed(bad, **data)
         loaded = TopicModel.load(bad)
         assert loaded.top_words(0, 2).tolist() == [0, 2]
+
+
+class TestLineage:
+    """Model-generation lineage: who trained it, from what, when."""
+
+    def test_export_attaches_lineage(self, corpus):
+        trainer = create_trainer("culda", corpus, topics=6, seed=0)
+        trainer.fit(1, likelihood_every=0)
+        model = trainer.export_model()
+        lin = model.lineage
+        assert lin is not None
+        assert model.generation == lin["generation"]
+        assert lin["parent"] is None
+        assert lin["created_at"]  # ISO timestamp
+        assert model.describe()["lineage"] == lin
+
+    def test_parent_threads_through_export(self, corpus):
+        t1 = create_trainer("culda", corpus, topics=6, seed=0)
+        t1.fit(1, likelihood_every=0)
+        m1 = t1.export_model()
+        t2 = create_trainer("culda", corpus, topics=6, seed=1)
+        t2.fit(1, likelihood_every=0)
+        m2 = t2.export_model(parent=m1.generation)
+        assert m2.lineage["parent"] == m1.generation
+        assert m2.generation != m1.generation
+
+    def test_lineage_survives_save_load(self, corpus, tmp_path):
+        trainer = create_trainer("culda", corpus, topics=6, seed=0)
+        trainer.fit(1, likelihood_every=0)
+        model = trainer.export_model()
+        model.save(tmp_path / "m.npz")
+        back = TopicModel.load(tmp_path / "m.npz")
+        assert back.lineage == model.lineage
+        assert back.generation == model.generation
+
+    def test_hand_built_model_has_no_lineage(self):
+        m = tiny_model()
+        assert m.lineage is None
+        assert m.generation is None
+        assert m.describe()["lineage"] is None
+
+    def test_generations_are_unique(self):
+        from repro.model import make_lineage
+
+        a = make_lineage()
+        b = make_lineage(parent=a["generation"])
+        assert a["generation"] != b["generation"]
+        assert b["parent"] == a["generation"]

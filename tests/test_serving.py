@@ -1,0 +1,546 @@
+"""Tests for the streaming serving tier.
+
+The acceptance criteria of the serving PR, as executable checks:
+
+- concurrent clients receive theta blocks **bit-identical** to calling
+  ``InferenceSession.transform`` in-process (coalescing preserves every
+  request's stand-alone draws);
+- a hot swap under load drops **zero** in-flight requests — every
+  response is bit-exact under the generation that answered it;
+- admission control rejects with a typed ``busy`` at the configured
+  queue depth;
+- an inference worker dying mid-request surfaces as a clear error to
+  the affected client and the server recovers for the next request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.api import create_trainer
+from repro.corpus.synthetic import generate_synthetic_corpus, small_spec
+from repro.model import InferenceSession
+from repro.serving import (
+    BatchCoalescer,
+    FrameError,
+    LatencyStats,
+    PendingRequest,
+    ServerBusy,
+    ServingClient,
+    ServingError,
+    ServingServer,
+    decode_payload,
+    encode_frame,
+    quantiles,
+    read_frame,
+    write_frame,
+)
+
+SWEEPS, BURN = 6, 2
+
+
+def run(coro, timeout: float = 90.0):
+    """Drive one async test scenario to completion (no pytest-asyncio)."""
+    return asyncio.run(asyncio.wait_for(coro, timeout=timeout))
+
+
+@pytest.fixture(scope="module")
+def stack(tmp_path_factory):
+    """Two trained generations (child knows its parent), docs, artifacts."""
+    corpus = generate_synthetic_corpus(
+        small_spec(num_docs=120, num_words=150, mean_doc_len=25,
+                   num_topics=5),
+        seed=7,
+    )
+    t1 = create_trainer("culda", corpus, topics=8, seed=1)
+    t1.fit(3, likelihood_every=0)
+    m1 = t1.export_model()
+    t2 = create_trainer("culda", corpus, topics=8, seed=2)
+    t2.fit(3, likelihood_every=0)
+    m2 = t2.export_model(parent=m1.generation)
+    tmp = tmp_path_factory.mktemp("serving")
+    m1.save(tmp / "m1.npz")
+    m2.save(tmp / "m2.npz")
+    docs = [
+        corpus.word_ids[corpus.doc_offsets[d]: corpus.doc_offsets[d + 1]]
+        .astype(np.int64)
+        for d in range(24)
+    ]
+    return {
+        "m1": m1, "m2": m2, "docs": docs,
+        "m1_path": str(tmp / "m1.npz"), "m2_path": str(tmp / "m2.npz"),
+        "ref1": InferenceSession(m1, num_sweeps=SWEEPS, burn_in=BURN),
+        "ref2": InferenceSession(m2, num_sweeps=SWEEPS, burn_in=BURN),
+    }
+
+
+def make_server(stack, **kwargs):
+    kwargs.setdefault("num_sweeps", SWEEPS)
+    kwargs.setdefault("burn_in", BURN)
+    return ServingServer(stack["m1"], **kwargs)
+
+
+class TestFrames:
+    def test_roundtrip(self):
+        msg = {"op": "infer", "docs": [[1, 2]], "theta": [0.1, 0.9]}
+        assert decode_payload(encode_frame(msg)[4:]) == msg
+
+    def test_floats_roundtrip_bit_exact(self):
+        rng = np.random.default_rng(3)
+        vals = rng.random(64).tolist()
+        back = decode_payload(encode_frame({"v": vals})[4:])["v"]
+        assert np.array_equal(
+            np.asarray(vals, dtype=np.float64),
+            np.asarray(back, dtype=np.float64),
+        )
+
+    def test_rejects_non_object(self):
+        with pytest.raises(FrameError, match="JSON object"):
+            decode_payload(b"[1,2,3]")
+
+    def test_rejects_bad_json(self):
+        with pytest.raises(FrameError, match="not valid JSON"):
+            decode_payload(b"{nope")
+
+    def test_encode_rejects_oversized(self, monkeypatch):
+        import repro.serving.protocol as proto
+
+        monkeypatch.setattr(proto, "MAX_FRAME_BYTES", 8)
+        with pytest.raises(FrameError, match="exceeds"):
+            proto.encode_frame({"big": "x" * 32})
+
+    def test_read_frame_streams(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame({"a": 1}))
+            reader.feed_data(encode_frame({"b": 2}))
+            reader.feed_eof()
+            assert await read_frame(reader) == {"a": 1}
+            assert await read_frame(reader) == {"b": 2}
+            assert await read_frame(reader) is None  # clean EOF
+
+        run(scenario())
+
+    def test_read_frame_truncations(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b"\x00\x00")  # half a header
+            reader.feed_eof()
+            with pytest.raises(FrameError, match="mid-header"):
+                await read_frame(reader)
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame({"a": 1})[:-2])
+            reader.feed_eof()
+            with pytest.raises(FrameError, match="mid-frame"):
+                await read_frame(reader)
+            reader = asyncio.StreamReader()
+            reader.feed_data(b"\xff\xff\xff\xff")  # 4 GiB announced
+            with pytest.raises(FrameError, match="announced"):
+                await read_frame(reader)
+
+        run(scenario())
+
+
+class TestLatencyStats:
+    def test_empty_snapshot(self):
+        snap = LatencyStats().snapshot()
+        assert snap["completed"] == 0
+        assert snap["queue_wait_s"] is None
+        assert quantiles([]) is None
+
+    def test_counters_and_quantiles(self):
+        st = LatencyStats()
+        for i in range(1, 101):
+            st.record(queue_wait_s=i / 1000.0, service_s=0.01)
+        st.record_busy()
+        st.record_error()
+        st.record_swap()
+        snap = st.snapshot()
+        assert snap["completed"] == 100
+        assert snap["busy_rejected"] == 1
+        assert snap["errors"] == 1
+        assert snap["swaps"] == 1
+        assert snap["queue_wait_s"]["p50"] == pytest.approx(0.0505)
+        assert snap["service_s"]["max"] == pytest.approx(0.01)
+        assert snap["total_s"]["mean"] == pytest.approx(0.0605)
+
+    def test_window_ages_out(self):
+        st = LatencyStats(window=4)
+        for i in range(10):
+            st.record(float(i), 0.0)
+        snap = st.snapshot()
+        assert snap["completed"] == 10
+        assert snap["window_samples"] == 4
+        assert snap["queue_wait_s"]["max"] == 9.0  # only recent samples
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError, match="window"):
+            LatencyStats(window=0)
+
+
+def _pending(n_docs: int = 1, seed: int = 0) -> PendingRequest:
+    return PendingRequest(
+        docs=[np.array([0, 1], dtype=np.int64)] * n_docs,
+        seed=seed,
+        future=asyncio.get_running_loop().create_future(),
+        enqueued_at=0.0,
+    )
+
+
+class TestCoalescer:
+    def test_pending_requests_fold_into_one_dispatch(self):
+        async def scenario():
+            batches = []
+
+            async def dispatch(batch):
+                batches.append(batch)
+                for req in batch:
+                    req.future.set_result(req.seed)
+
+            c = BatchCoalescer(dispatch, max_pending=16)
+            reqs = [_pending(seed=i) for i in range(5)]
+            for r in reqs:
+                assert c.submit(r)
+            assert c.depth == 5
+            c.start()
+            results = await asyncio.gather(*[r.future for r in reqs])
+            await c.close()
+            assert len(batches) == 1 and len(batches[0]) == 5
+            assert results == [0, 1, 2, 3, 4]
+
+        run(scenario())
+
+    def test_admission_control_refuses_at_depth(self):
+        async def scenario():
+            async def dispatch(batch):
+                for req in batch:
+                    req.future.set_result(None)
+
+            c = BatchCoalescer(dispatch, max_pending=2)
+            assert c.submit(_pending())
+            assert c.submit(_pending())
+            assert not c.submit(_pending())  # full -> busy
+            c.start()
+            await c.close()
+
+        run(scenario())
+
+    def test_close_drains_queued_work(self):
+        async def scenario():
+            done = []
+
+            async def dispatch(batch):
+                for req in batch:
+                    done.append(req.seed)
+                    req.future.set_result(None)
+
+            c = BatchCoalescer(dispatch, max_pending=8)
+            c.start()
+            await asyncio.sleep(0)  # let the drain task reach its wait
+            for i in range(3):
+                c.submit(_pending(seed=i))
+            await c.close()
+            assert sorted(done) == [0, 1, 2]
+            with pytest.raises(RuntimeError, match="closed"):
+                c.submit(_pending())
+
+        run(scenario())
+
+    def test_dispatcher_bug_fails_requests_not_the_loop(self):
+        async def scenario():
+            calls = []
+
+            async def dispatch(batch):
+                calls.append(len(batch))
+                if len(calls) == 1:
+                    raise RuntimeError("injected dispatcher bug")
+                for req in batch:
+                    req.future.set_result("ok")
+
+            c = BatchCoalescer(dispatch, max_pending=8)
+            first = _pending()
+            c.submit(first)
+            c.start()
+            with pytest.raises(RuntimeError, match="injected"):
+                await first.future
+            second = _pending()
+            c.submit(second)  # the drain loop must have survived
+            assert await second.future == "ok"
+            await c.close()
+
+        run(scenario())
+
+    def test_rejects_negative_depth(self):
+        with pytest.raises(ValueError, match="max_pending"):
+            BatchCoalescer(lambda batch: None, max_pending=-1)
+
+
+class TestServing:
+    def test_concurrent_clients_bit_identical(self, stack):
+        """Acceptance: >= 8 concurrent clients, each reply bit-identical
+        to in-process transform of that client's own request."""
+
+        async def scenario():
+            async with make_server(stack) as server:
+                host, port = server.address
+
+                async def one(cid):
+                    async with await ServingClient.connect(host, port) as c:
+                        mine = stack["docs"][cid * 3: cid * 3 + 3]
+                        r = await c.infer(mine, seed=100 + cid)
+                        return cid, mine, r
+
+                replies = await asyncio.gather(*[one(i) for i in range(8)])
+                for cid, mine, r in replies:
+                    expect = stack["ref1"].transform(mine, seed=100 + cid)
+                    assert np.array_equal(r.theta, expect)
+                    assert r.generation == stack["m1"].generation
+                    assert r.queue_wait_s >= 0.0
+                    assert r.service_s > 0.0
+                # they really were folded together, not serialized 1-by-1
+                assert max(r.coalesced_requests for _, _, r in replies) > 1
+
+        run(scenario())
+
+    def test_sequential_requests_reuse_connection(self, stack):
+        async def scenario():
+            async with make_server(stack) as server:
+                host, port = server.address
+                async with await ServingClient.connect(host, port) as c:
+                    a = await c.infer(stack["docs"][:2], seed=4)
+                    b = await c.infer(stack["docs"][:2], seed=4)
+                    assert np.array_equal(a.theta, b.theta)
+                    pong = await c.ping()
+                    assert pong["generation"] == stack["m1"].generation
+
+        run(scenario())
+
+    def test_swap_under_load_drops_nothing(self, stack):
+        """Requests streaming across a hot swap: every reply arrives and
+        is bit-exact under whichever generation answered it."""
+
+        async def scenario():
+            async with make_server(stack) as server:
+                host, port = server.address
+                stop = asyncio.Event()
+                replies: list = []
+
+                async def load_client(cid):
+                    async with await ServingClient.connect(host, port) as c:
+                        i = 0
+                        while not stop.is_set():
+                            mine = stack["docs"][cid * 2: cid * 2 + 2]
+                            r = await c.infer(mine, seed=cid * 1000 + i)
+                            replies.append((cid, i, mine, r))
+                            i += 1
+
+                clients = [
+                    asyncio.get_running_loop().create_task(load_client(i))
+                    for i in range(4)
+                ]
+                while len(replies) < 6:  # traffic flowing pre-swap
+                    await asyncio.sleep(0.01)
+                async with await ServingClient.connect(host, port) as admin:
+                    swapped = await admin.swap(stack["m2_path"])
+                    assert swapped["generation"] == stack["m2"].generation
+                    assert swapped["previous"] == stack["m1"].generation
+                    # after the ack, new requests answer on the new model
+                    post = await admin.infer(stack["docs"][:2], seed=77)
+                    assert post.generation == stack["m2"].generation
+                target = len(replies) + 4
+                while len(replies) < target:  # post-swap traffic too
+                    await asyncio.sleep(0.01)
+                stop.set()
+                await asyncio.gather(*clients)
+                gens = {r.generation for _, _, _, r in replies}
+                assert gens == {
+                    stack["m1"].generation, stack["m2"].generation
+                }
+                for cid, i, mine, r in replies:
+                    ref = (
+                        stack["ref1"]
+                        if r.generation == stack["m1"].generation
+                        else stack["ref2"]
+                    )
+                    assert np.array_equal(
+                        r.theta, ref.transform(mine, seed=cid * 1000 + i)
+                    ), "a reply crossed the swap with wrong bits"
+
+        run(scenario(), timeout=180.0)
+
+    def test_swap_reports_lineage_chain(self, stack):
+        async def scenario():
+            async with make_server(stack) as server:
+                host, port = server.address
+                async with await ServingClient.connect(host, port) as c:
+                    swapped = await c.swap(stack["m2_path"])
+                    # the v2 artifact carries its parent's generation id
+                    assert (
+                        swapped["lineage"]["parent"]
+                        == stack["m1"].generation
+                    )
+                    r = await c.infer(stack["docs"][:1], seed=1)
+                    assert r.lineage["generation"] == r.generation
+
+        run(scenario())
+
+    def test_swap_failure_keeps_serving(self, stack, tmp_path):
+        async def scenario():
+            async with make_server(stack) as server:
+                host, port = server.address
+                bad = tmp_path / "nope.npz"
+                async with await ServingClient.connect(host, port) as c:
+                    with pytest.raises(ServingError, match="swap_failed"):
+                        await c.swap(str(bad))
+                    r = await c.infer(stack["docs"][:1], seed=5)
+                    assert r.generation == stack["m1"].generation
+
+        run(scenario())
+
+    def test_busy_at_configured_depth(self, stack):
+        async def scenario():
+            async with make_server(stack, max_pending=0) as server:
+                host, port = server.address
+                async with await ServingClient.connect(host, port) as c:
+                    with pytest.raises(ServerBusy) as exc:
+                        await c.infer(stack["docs"][:1], seed=0)
+                    assert exc.value.max_pending == 0
+                    stats = await c.stats()
+                    assert stats["latency"]["busy_rejected"] == 1
+
+        run(scenario())
+
+    def test_typed_validation_errors(self, stack):
+        async def scenario():
+            async with make_server(stack) as server:
+                host, port = server.address
+                async with await ServingClient.connect(host, port) as c:
+                    with pytest.raises(ServingError, match="invalid_request"):
+                        await c.infer([[999_999]], seed=0)  # out of vocab
+                    with pytest.raises(ServingError, match="invalid_request"):
+                        await c.infer([[0, 1]], seed=-3)  # bad seed
+                    with pytest.raises(ServingError, match="invalid_request"):
+                        await c._roundtrip({"op": "infer", "docs": []})
+                    with pytest.raises(ServingError, match="unknown_op"):
+                        await c._roundtrip({"op": "frobnicate"})
+                    # the connection survives every typed refusal
+                    r = await c.infer(stack["docs"][:1], seed=2)
+                    assert r.generation == stack["m1"].generation
+
+        run(scenario())
+
+    def test_malformed_frame_gets_bad_frame_error(self, stack):
+        async def scenario():
+            async with make_server(stack) as server:
+                host, port = server.address
+                reader, writer = await asyncio.open_connection(host, port)
+                try:
+                    await write_frame(writer, {"op": "ping"})
+                    assert (await read_frame(reader))["type"] == "pong"
+                    writer.write(b"\x00\x00\x00\x04nope")  # not JSON
+                    await writer.drain()
+                    reply = await read_frame(reader)
+                    assert reply["type"] == "error"
+                    assert reply["error"] == "bad_frame"
+                finally:
+                    writer.close()
+                    await writer.wait_closed()
+
+        run(scenario())
+
+    def test_stats_and_shutdown_over_protocol(self, stack):
+        async def scenario():
+            server = make_server(stack)
+            ready = asyncio.Event()
+            addr: list = []
+
+            def on_ready(address):
+                addr.append(address)
+                ready.set()
+
+            runner = asyncio.get_running_loop().create_task(
+                server.run(on_ready)
+            )
+            await ready.wait()
+            host, port = addr[0]
+            async with await ServingClient.connect(host, port) as c:
+                await c.infer(stack["docs"][:2], seed=0)
+                stats = await c.stats()
+                assert stats["version"] == 1
+                assert stats["latency"]["completed"] == 1
+                assert stats["latency"]["total_s"]["p99"] > 0.0
+                assert stats["num_sweeps"] == SWEEPS
+                assert stats["model"]["generation"] == stack["m1"].generation
+                bye = await c.shutdown()
+                assert bye["type"] == "bye"
+            await asyncio.wait_for(runner, timeout=30.0)
+
+        run(scenario())
+
+    def test_stop_is_idempotent_and_releases_sessions(self, stack):
+        import glob
+
+        before = set(glob.glob("/dev/shm/psm_*"))
+
+        async def scenario():
+            server = make_server(stack, num_workers=2)
+            host, port = await server.start()
+            async with await ServingClient.connect(host, port) as c:
+                r = await c.infer(stack["docs"][:4], seed=3)
+                assert np.array_equal(
+                    r.theta, stack["ref1"].transform(
+                        stack["docs"][:4], seed=3
+                    )
+                )
+            await server.stop()
+            await server.stop()  # idempotent
+
+        run(scenario())
+        assert set(glob.glob("/dev/shm/psm_*")) <= before
+
+
+class TestServerWorkerFailure:
+    """The PR-5 crash-injection idiom, extended through the server."""
+
+    def test_worker_failure_mid_request_surfaces_and_recovers(
+        self, stack, monkeypatch
+    ):
+        from repro.parallel.shm import pick_context
+
+        if pick_context().get_start_method() != "fork":
+            pytest.skip("fault injection needs fork inheritance")
+        import glob
+
+        before = set(glob.glob("/dev/shm/psm_*"))
+
+        def boom(self, *args, **kwargs):
+            raise RuntimeError("injected inference failure")
+
+        async def scenario():
+            async with make_server(stack, num_workers=2) as server:
+                host, port = server.address
+                async with await ServingClient.connect(host, port) as c:
+                    monkeypatch.setattr(
+                        InferenceSession, "_fold_in_batch", boom
+                    )
+                    # affected client gets a typed error, not a hang
+                    with pytest.raises(
+                        ServingError, match="inference_failed"
+                    ):
+                        await c.infer(stack["docs"][:2], seed=0)
+                    monkeypatch.undo()
+                    # next request rebuilds the pool and succeeds
+                    r = await c.infer(stack["docs"][:2], seed=0)
+                    assert np.array_equal(
+                        r.theta,
+                        stack["ref1"].transform(stack["docs"][:2], seed=0),
+                    )
+                    stats = await c.stats()
+                    assert stats["latency"]["errors"] >= 1
+                    assert stats["latency"]["completed"] == 1
+
+        run(scenario(), timeout=180.0)
+        assert set(glob.glob("/dev/shm/psm_*")) <= before

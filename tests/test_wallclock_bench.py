@@ -114,3 +114,21 @@ def test_committed_report_has_inference_scaling():
         assert point["tokens_per_sec"] > 0
     assert "bit-identical" in curve["note"]
     assert report["environment"]["cpu_count"] >= 1
+
+
+def test_committed_report_has_serving_section():
+    """PR 6: the committed JSON carries the open-loop serving load run —
+    throughput and p50/p99 at 1 and 2 inference workers."""
+    report = json.loads((REPO / "BENCH_wallclock.json").read_text())
+    serving = report["serving"]
+    assert serving["num_clients"] == 8
+    assert serving["offered_rps"] > serving["calibrated_capacity_rps"]
+    assert set(serving["workers"]) == {"1", "2"}
+    for point in serving["workers"].values():
+        assert point["completed"] > 0
+        assert point["achieved_rps"] > 0
+        lat = point["client_latency_s"]
+        assert lat["p99"] >= lat["p50"] > 0
+        assert point["server_queue_wait_s"]["p50"] >= 0
+    assert "open-loop" in serving["note"]
+    assert report["environment"]["cpu_count"] >= 1
