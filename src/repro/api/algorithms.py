@@ -52,6 +52,10 @@ def _resolve_platform(platform):
                      "prereduce (per-worker pre-reduced deltas) or overlap "
                      "(pre-reduce + pipelined sync; same draws)",
         "worker_affinity": "CPU ids to pin OS workers to (round-robin)",
+        "recovery_retries": "process-mode crash-recovery respawn budget "
+                            "per incident (default 2; 0 disables)",
+        "recovery_backoff": "base seconds backed off before respawn "
+                            "attempt k: base*2**(k-1) (default 0.05)",
         "validate_every": "run invariant checks every N iterations (0 off)",
     },
 )
@@ -75,6 +79,8 @@ def _make_culda(
     num_workers: int | None = None,
     sync_mode: str = "barrier",
     worker_affinity=None,
+    recovery_retries: int = 2,
+    recovery_backoff: float = 0.05,
     validate_every: int = 0,
 ):
     config = TrainerConfig(
@@ -95,6 +101,8 @@ def _make_culda(
         worker_affinity=(
             tuple(worker_affinity) if worker_affinity is not None else None
         ),
+        recovery_retries=recovery_retries,
+        recovery_backoff=recovery_backoff,
         seed=seed,
     )
     inner = CuLdaTrainer(
@@ -157,6 +165,10 @@ def _make_saberlda(
         "sync_mode": "process-mode sync: barrier (default) or overlap "
                      "(pipelined PS merge + worker likelihood; same draws)",
         "worker_affinity": "CPU ids to pin OS workers to (round-robin)",
+        "recovery_retries": "process-mode crash-recovery respawn budget "
+                            "per incident (default 2; 0 disables)",
+        "recovery_backoff": "base seconds backed off before respawn "
+                            "attempt k: base*2**(k-1) (default 0.05)",
     },
 )
 def _make_ldastar(
@@ -172,11 +184,15 @@ def _make_ldastar(
     num_workers: int | None = None,
     sync_mode: str = "barrier",
     worker_affinity=None,
+    recovery_retries: int = 2,
+    recovery_backoff: float = 0.05,
 ):
     kwargs = {
         "num_workers": workers, "alpha": alpha, "beta": beta, "seed": seed,
         "execution": execution, "num_processes": num_workers,
         "sync_mode": sync_mode, "worker_affinity": worker_affinity,
+        "recovery_retries": recovery_retries,
+        "recovery_backoff": recovery_backoff,
     }
     if cpu is not None:
         kwargs["cpu"] = cpu

@@ -21,7 +21,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any, TextIO
 
 from repro.core.model import LdaState
-from repro.core.snapshot import save_checkpoint
+from repro.core.snapshot import run_info, save_checkpoint
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.protocol import IterationRecord, TrainResult
@@ -119,27 +119,81 @@ class Checkpointer(Callback):
     records the skip in :attr:`skipped`.
 
     ``path`` may contain ``{iteration}``, expanded per save; otherwise
-    the file is overwritten each time.
+    the file is overwritten each time.  Saves are atomic (temp file +
+    rename) and carry the v2 resumable-run record when the trainer
+    exposes one (registry adapters do), so ``repro train --resume``
+    works straight off a callback-saved file.
+
+    Parameters
+    ----------
+    keep_last:
+        When set (and ``path`` expands to distinct files), only the
+        newest N checkpoints are kept; older saves are deleted after
+        each successful write — bounded disk, crash-safe ordering.
+    save_on_recovery:
+        Checkpoint immediately after the trainer reports a crash
+        recovery (its ``recovery_events`` grew this iteration), without
+        waiting for the cadence — the run just proved it is running on
+        infrastructure that fails.
     """
 
-    def __init__(self, path: str | Path, every: int = 10):
+    def __init__(
+        self,
+        path: str | Path,
+        every: int = 10,
+        *,
+        keep_last: int | None = None,
+        save_on_recovery: bool = True,
+    ):
         if every < 1:
             raise ValueError("every must be >= 1")
+        if keep_last is not None and keep_last < 1:
+            raise ValueError("keep_last must be >= 1 (or None)")
         self.path = str(path)
         self.every = every
+        self.keep_last = keep_last
+        self.save_on_recovery = save_on_recovery
         self.saved: list[Path] = []
         self.skipped = False
+        self._recoveries_seen = 0
+
+    def on_train_begin(self, trainer: Any, num_iterations: int) -> None:
+        self._recoveries_seen = len(getattr(trainer, "recovery_events", ()))
+
+    def _recovered(self, trainer: Any) -> bool:
+        seen = len(getattr(trainer, "recovery_events", ()))
+        grew = seen > self._recoveries_seen
+        self._recoveries_seen = seen
+        return grew
 
     def on_iteration_end(self, trainer: Any, record: "IterationRecord"):
-        if (record.iteration + 1) % self.every != 0:
+        due = (record.iteration + 1) % self.every == 0
+        if self.save_on_recovery and self._recovered(trainer):
+            due = True
+        if not due:
             return None
         state = trainer.state
         if not isinstance(state, LdaState):
             self.skipped = True
             return None
         target = Path(self.path.format(iteration=record.iteration))
-        save_checkpoint(state, target)
-        self.saved.append(target)
+        written = save_checkpoint(
+            state,
+            target,
+            vocabulary=getattr(
+                getattr(trainer, "corpus", None), "vocabulary", None
+            ),
+            run=run_info(trainer),
+        )
+        if written not in self.saved:
+            self.saved.append(written)
+        if self.keep_last is not None:
+            while len(self.saved) > self.keep_last:
+                old = self.saved.pop(0)
+                try:
+                    old.unlink()
+                except OSError:  # pragma: no cover - already gone
+                    pass
         return None
 
 

@@ -66,6 +66,8 @@ class LdaStarTrainer:
         num_processes: int | None = None,
         sync_mode: str = "barrier",
         worker_affinity=None,
+        recovery_retries: int = 2,
+        recovery_backoff: float = 0.05,
     ):
         """``execution="process"`` runs the cluster workers' chunk passes
         on ``num_processes`` real OS workers over shared memory (see
@@ -78,7 +80,8 @@ class LdaStarTrainer:
         host wall-clock.  LDA*'s process engine already pre-reduces (one
         delta pair per OS worker), so there is no separate "prereduce"
         mode here.  ``worker_affinity`` pins OS workers to the given CPU
-        ids round-robin.
+        ids round-robin.  ``recovery_retries``/``recovery_backoff``
+        bound process-mode crash recovery (see docs/ROBUSTNESS.md).
         """
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -129,6 +132,13 @@ class LdaStarTrainer:
         self._deltas = np.zeros_like(self.state.phi, dtype=np.int64)
         self._delta_totals = np.zeros_like(self.state.topic_totals)
         self._engine = None
+        if recovery_retries < 0:
+            raise ValueError("recovery_retries must be >= 0")
+        if recovery_backoff < 0:
+            raise ValueError("recovery_backoff must be >= 0")
+        self.recovery_retries = int(recovery_retries)
+        self.recovery_backoff = float(recovery_backoff)
+        self._recovery_log: list[dict] = []
 
     def _worker_seconds(self, stats: SamplingStats) -> float:
         """Roofline time of one worker's chunk pass on its CPU."""
@@ -176,6 +186,9 @@ class LdaStarTrainer:
                 num_workers=self.num_processes,
                 mode="delta",
                 worker_affinity=self.worker_affinity,
+                recovery_retries=self.recovery_retries,
+                recovery_backoff=self.recovery_backoff,
+                recovery_log=self._recovery_log,
             )
             self._engine.start()
         return self._engine
@@ -206,6 +219,44 @@ class LdaStarTrainer:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    # -- robustness ------------------------------------------------------------
+
+    @property
+    def recovery_events(self) -> list[dict]:
+        """Crash-recovery events recorded so far (empty when undisturbed)."""
+        return self._recovery_log
+
+    def resume_state(self) -> dict:
+        """Progress counters a resumable checkpoint must carry."""
+        return {
+            "iterations_done": self._iterations_done,
+            "sim_time": self._sim_time,
+        }
+
+    def restore(self, state: LdaState, run: dict | None = None) -> None:
+        """Adopt checkpointed state; continue bit-identically from it.
+
+        Same contract as :meth:`repro.core.trainer.CuLdaTrainer.restore`:
+        the checkpoint must come from a run with this trainer's corpus,
+        worker count and seed.
+        """
+        if state.num_topics != self.config.num_topics:
+            raise ValueError(
+                f"checkpoint has {state.num_topics} topics, config "
+                f"expects {self.config.num_topics}"
+            )
+        if len(state.chunks) != self.num_workers:
+            raise ValueError(
+                f"checkpoint has {len(state.chunks)} chunks, this trainer "
+                f"simulates {self.num_workers} workers"
+            )
+        self.close()
+        self.state = state
+        run = run or {}
+        self._iterations_done = int(run.get("iterations_done", 0))
+        self._sim_time = float(run.get("sim_time", 0.0))
+        self.history = []
 
     def _sample_workers_serial(self, it: int) -> tuple[list, int, int]:
         """All workers' chunk passes in-process against the iteration-start

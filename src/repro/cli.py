@@ -25,6 +25,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import signal
 import sys
 from collections.abc import Sequence
 from pathlib import Path
@@ -35,7 +36,7 @@ from repro.analysis.heldout import document_completion
 from repro.analysis.reporting import render_table
 from repro.api import algorithm_names, create_trainer, get_algorithm
 from repro.core.model import LdaState
-from repro.core.snapshot import save_checkpoint
+from repro.core.snapshot import load_checkpoint_full, run_info, save_checkpoint
 from repro.corpus.document import Corpus
 from repro.corpus.io import read_uci_bow
 from repro.corpus.stats import corpus_stats
@@ -87,7 +88,11 @@ def _parse_affinity(text: str | None) -> tuple[int, ...] | None:
 
 def _build_trainer(args: argparse.Namespace, corpus: Corpus):
     """Construct ``args.algo`` through the registry, forwarding only the
-    flags that algorithm accepts; warn about flags it would ignore."""
+    flags that algorithm accepts; warn about flags it would ignore.
+
+    Returns ``(trainer, kwargs)`` — the kwargs are what a resumable
+    checkpoint records so ``--resume`` can rebuild the same trainer.
+    """
     kwargs: dict = {"topics": args.topics, "seed": args.seed}
     accepted = get_algorithm(args.algo).all_options()
     for flag, default in _ALGO_FLAG_DEFAULTS.items():
@@ -102,7 +107,7 @@ def _build_trainer(args: argparse.Namespace, corpus: Corpus):
                 f"algorithm {args.algo!r}; ignoring",
                 file=sys.stderr,
             )
-    return create_trainer(args.algo, corpus, **kwargs)
+    return create_trainer(args.algo, corpus, **kwargs), kwargs
 
 
 def _close_trainer(trainer) -> None:
@@ -116,7 +121,36 @@ def cmd_train(args: argparse.Namespace) -> int:
     corpus = _load_corpus(args)
     st = corpus_stats(corpus)
     print(f"corpus: D={st.num_docs} V={st.num_words} T={st.num_tokens}")
-    trainer = _build_trainer(args, corpus)
+    likelihood_every = args.likelihood_every
+    if args.resume:
+        bundle = load_checkpoint_full(args.resume, corpus)
+        run = bundle.run
+        if run is not None:
+            # A v2 resumable checkpoint rebuilds the recorded trainer;
+            # the CLI algorithm/flags are ignored (the run's own
+            # configuration wins — it must, for bit-identity).
+            trainer = create_trainer(
+                run["algorithm"], corpus, **run["trainer_kwargs"]
+            )
+            kwargs = dict(run["trainer_kwargs"])
+            args.algo = run["algorithm"]
+            if likelihood_every is None:
+                likelihood_every = run.get("likelihood_every")
+            trainer.restore(bundle.state, run)
+            print(
+                f"resumed {run['algorithm']} from {args.resume} at "
+                f"iteration {run.get('iterations_done', 0)}"
+            )
+        else:
+            # v1 (or metadata-less) checkpoint: state only, trainer
+            # rebuilt from the CLI flags.
+            trainer, kwargs = _build_trainer(args, corpus)
+            trainer.restore(bundle.state)
+            print(f"resumed {args.algo} from {args.resume} (state only)")
+    else:
+        trainer, kwargs = _build_trainer(args, corpus)
+    if likelihood_every is None:
+        likelihood_every = 5
     if args.checkpoint and not isinstance(trainer.state, LdaState):
         # Refuse before training, not after the work is done.  (--output
         # works for every algorithm via export_model.)
@@ -128,19 +162,35 @@ def cmd_train(args: argparse.Namespace) -> int:
         return 2
     try:
         result = trainer.fit(
-            args.iterations, likelihood_every=args.likelihood_every
+            args.iterations, likelihood_every=likelihood_every
         )
         print(
             f"done: {result.num_iterations} iterations of {args.algo}, "
             f"{trainer.average_tokens_per_sec() / 1e6:.1f}M tokens/s "
             f"(simulated), LL/token {result.final_log_likelihood}"
         )
+        recoveries = getattr(trainer, "recovery_events", ())
+        if recoveries:
+            print(
+                f"recovered from {len(recoveries)} fault(s) during "
+                f"training (bit-identical replay)"
+            )
         if args.output:
             trainer.export_model().save(args.output)
             print(f"model written to {args.output}")
         if args.checkpoint:
-            save_checkpoint(trainer.state, args.checkpoint)
-            print(f"checkpoint written to {args.checkpoint}")
+            written = save_checkpoint(
+                trainer.state,
+                args.checkpoint,
+                vocabulary=corpus.vocabulary,
+                run=run_info(
+                    trainer,
+                    algorithm=args.algo,
+                    trainer_kwargs=kwargs,
+                    likelihood_every=likelihood_every,
+                ),
+            )
+            print(f"checkpoint written to {written}")
     finally:
         _close_trainer(trainer)
     return 0
@@ -295,8 +345,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
             flush=True,
         )
 
+    async def run_with_signals() -> None:
+        # SIGTERM drains exactly like SIGINT: in-flight requests finish,
+        # tracked connections close, exit code 0 — what a supervisor
+        # (systemd, Kubernetes) expects from a graceful stop.
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, server.request_shutdown)
+            except (NotImplementedError, ValueError):
+                # Platform without loop signal support (or non-main
+                # thread): SIGINT still arrives as KeyboardInterrupt.
+                pass
+        await server.run(on_ready)
+
     try:
-        asyncio.run(server.run(on_ready))
+        asyncio.run(run_with_signals())
     except KeyboardInterrupt:
         pass
     return 0
@@ -307,7 +371,12 @@ def cmd_query(args: argparse.Namespace) -> int:
     from repro.serving import ServingClient, ServingError
 
     async def go() -> int:
-        client = await ServingClient.connect(args.host, args.port)
+        client = await ServingClient.connect(
+            args.host,
+            args.port,
+            timeout=args.timeout,
+            retries=args.retries,
+        )
         try:
             if args.op == "ping":
                 print(json.dumps(await client.ping(), indent=2))
@@ -359,7 +428,7 @@ def cmd_query(args: argparse.Namespace) -> int:
     except ServingError as exc:  # includes ServerBusy
         print(f"server refused: {exc}", file=sys.stderr)
         return 3
-    except (ConnectionError, OSError) as exc:
+    except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
         print(f"error: cannot reach {args.host}:{args.port}: {exc}",
               file=sys.stderr)
         return 2
@@ -367,7 +436,7 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 def cmd_benchmark(args: argparse.Namespace) -> int:
     corpus = _load_corpus(args)
-    trainer = _build_trainer(args, corpus)
+    trainer, _ = _build_trainer(args, corpus)
     try:
         trainer.fit(args.iterations, likelihood_every=0)
     finally:
@@ -472,9 +541,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated CPU ids to pin OS workers to, e.g. '0,2,4' "
              "(round-robin; --execution process only)",
     )
-    p_train.add_argument("--likelihood-every", type=int, default=5)
+    p_train.add_argument(
+        "--likelihood-every", type=int, default=None,
+        help="LL/token cadence (default 5; a resumed run inherits the "
+             "checkpoint's cadence unless overridden)",
+    )
     p_train.add_argument("--output", help="write model .npz here")
     p_train.add_argument("--checkpoint", help="write resumable checkpoint here")
+    p_train.add_argument(
+        "--resume",
+        help="continue from a checkpoint; a v2 checkpoint rebuilds the "
+             "recorded trainer and continues bit-identically (v1 restores "
+             "state only, trainer comes from the flags)",
+    )
     p_train.set_defaults(func=cmd_train)
 
     p_topics = sub.add_parser("topics", help="inspect a saved model")
@@ -578,6 +657,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--top", type=int, default=3)
     p_query.add_argument("--show-docs", dest="show_docs", type=int,
                          default=10)
+    p_query.add_argument(
+        "--timeout", type=float, default=None,
+        help="seconds allowed per connect and per request (default: wait "
+             "forever)",
+    )
+    p_query.add_argument(
+        "--retries", type=int, default=0,
+        help="bounded retries with jittered exponential backoff on 'busy' "
+             "and transient connection errors (default 0 = fail fast)",
+    )
     p_query.set_defaults(func=cmd_query)
 
     p_bench = sub.add_parser("benchmark", help="quick throughput check")

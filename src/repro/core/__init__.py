@@ -15,7 +15,15 @@ from repro.core.inference import FoldInSampler
 from repro.core.likelihood import log_likelihood, log_likelihood_per_token, perplexity
 from repro.core.model import ChunkState, LdaState
 from repro.core.rng import RngPool
-from repro.core.snapshot import load_checkpoint, load_model, save_checkpoint, save_model
+from repro.core.snapshot import (
+    CheckpointBundle,
+    load_checkpoint,
+    load_checkpoint_full,
+    load_model,
+    run_info,
+    save_checkpoint,
+    save_model,
+)
 from repro.core.sampler import SampleResult, conditional_distribution, sample_chunk
 from repro.core.trainer import CuLdaTrainer, IterationRecord
 from repro.core.tree import IndexTree, cdf_sample
@@ -32,6 +40,9 @@ __all__ = [
     "load_model",
     "save_checkpoint",
     "load_checkpoint",
+    "load_checkpoint_full",
+    "CheckpointBundle",
+    "run_info",
     "IndexTree",
     "cdf_sample",
     "sample_chunk",

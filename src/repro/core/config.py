@@ -72,6 +72,17 @@ class TrainerConfig:
         Optional CPU ids to pin OS workers to (``os.sched_setaffinity``;
         worker ``w`` is pinned to ``worker_affinity[w % len]``).  Ignored
         in serial mode and on platforms without affinity support.
+    recovery_retries:
+        Process-mode crash recovery budget: how many times a crashed
+        iteration may be replayed (pool respawn + shared-state rollback)
+        before the run fails with
+        :class:`~repro.parallel.engine.RecoveryFailed`.  ``0`` disables
+        recovery (and the per-iteration snapshot copies).  Recovery is
+        bit-identical — see docs/ROBUSTNESS.md.
+    recovery_backoff:
+        Base host-side backoff in seconds before respawn attempt ``k``
+        (``recovery_backoff * 2**(k-1)``).  Wall-clock only; simulated
+        clocks are unaffected.
     seed:
         RNG seed for the whole run (reproducible).
     """
@@ -91,6 +102,8 @@ class TrainerConfig:
     num_workers: int | None = None
     sync_mode: str = "barrier"
     worker_affinity: tuple[int, ...] | None = None
+    recovery_retries: int = 2
+    recovery_backoff: float = 0.05
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -129,6 +142,14 @@ class TrainerConfig:
             raise ValueError(
                 f"sync_mode={self.sync_mode!r} requires execution='process' "
                 f"(serial execution has no workers to overlap with)"
+            )
+        if self.recovery_retries < 0:
+            raise ValueError(
+                f"recovery_retries must be >= 0, got {self.recovery_retries}"
+            )
+        if self.recovery_backoff < 0:
+            raise ValueError(
+                f"recovery_backoff must be >= 0, got {self.recovery_backoff}"
             )
         if self.worker_affinity is not None:
             from repro.parallel.worker import normalize_affinity

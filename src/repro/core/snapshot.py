@@ -2,17 +2,32 @@
 
 Algorithm 1 ends by collecting the trained model from the devices (lines
 17-20); a real deployment then persists it.  Snapshots are a single
-``.npz`` with the corpus-independent model (phi, hyper-parameters) plus,
-optionally, the full chunked training state so a run can be resumed
-exactly (topic assignments, chunk boundaries).
+``.npz`` with the corpus-independent model (phi, hyper-parameters) plus
+the full chunked training state so a run can be resumed exactly (topic
+assignments, chunk boundaries).
 
-The file format is versioned; loaders reject unknown versions and
-corrupted invariants rather than silently mis-training.
+Schema v2 additionally makes the checkpoint *self-describing*: the
+vocabulary, a lineage record (generation/parent/created_at, same shape
+as v2 model artifacts) and a **run record** — algorithm name, trainer
+kwargs, seed, iterations done, simulated-clock position and likelihood
+cadence — everything ``repro train --resume`` needs to rebuild the
+trainer and continue **bit-identically** (RNG streams are keyed by
+``(seed, iteration, chunk)``, so the iteration counter is the entire RNG
+cursor).  v1 files still load; their bundle simply has no
+vocabulary/lineage/run.
+
+Writes are atomic (temp file + ``os.replace``), so a crash mid-save can
+never leave a torn checkpoint behind.  The file format is versioned;
+loaders reject unknown versions and corrupted invariants rather than
+silently mis-training.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import warnings
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
@@ -21,14 +36,15 @@ from repro.core.model import ChunkState, LdaState
 from repro.corpus.document import Corpus
 from repro.corpus.encoding import encode_chunk
 from repro.corpus.partition import ChunkSpec
+from repro.corpus.vocab import Vocabulary
 
-#: Version written for checkpoint artifacts.  The layout is unchanged
-#: since v1, so checkpoints keep writing 1 — older builds stay able to
-#: read them.  Model artifacts are owned by :mod:`repro.model.serialize`
-#: (schema v2 with a v1 compat loader); its READABLE_VERSIONS is shared
-#: here so a v2 model file handed to ``load_checkpoint`` reports "not a
+#: Version written for checkpoint artifacts.  v2 adds the optional
+#: ``vocab`` array and ``metadata_json`` (lineage + run record) on top
+#: of the unchanged v1 array layout.  Model artifacts are owned by
+#: :mod:`repro.model.serialize`; its READABLE_VERSIONS is shared here so
+#: a model file handed to ``load_checkpoint`` reports "not a
 #: checkpoint", not a version error.
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 
 
 def save_model(state: LdaState, path: str | Path) -> None:
@@ -82,8 +98,93 @@ def load_model(path: str | Path) -> dict:
     }
 
 
-def save_checkpoint(state: LdaState, path: str | Path) -> None:
-    """Persist the complete training state (resumable)."""
+@dataclass(frozen=True)
+class CheckpointBundle:
+    """Everything a v2 checkpoint carries.
+
+    ``state`` is always present; ``vocabulary``, ``lineage`` and ``run``
+    are ``None`` for v1 files (and for v2 files saved without them).
+    ``run`` is the resumable-run record: ``algorithm``,
+    ``trainer_kwargs``, ``seed``, ``iterations_done``, ``sim_time`` and
+    ``likelihood_every``.
+    """
+
+    state: LdaState
+    vocabulary: Vocabulary | None
+    lineage: dict | None
+    run: dict | None
+    version: int
+
+
+def run_info(
+    trainer,
+    algorithm: str | None = None,
+    trainer_kwargs: dict | None = None,
+    likelihood_every: int | None = None,
+) -> dict | None:
+    """Resumable-run record for ``trainer``, or ``None`` if it can't.
+
+    Uses the unified-API surface when available (adapter ``name`` /
+    ``_options`` and the trainer's ``resume_state()``); any trainer
+    without ``resume_state`` is not resumable and yields ``None``.
+    """
+    resume = getattr(trainer, "resume_state", None)
+    if resume is None:
+        return None
+    algorithm = algorithm or getattr(trainer, "name", None)
+    if trainer_kwargs is None:
+        trainer_kwargs = getattr(trainer, "_options", None)
+    if algorithm is None or trainer_kwargs is None:
+        return None
+    info = {
+        "algorithm": str(algorithm),
+        "trainer_kwargs": dict(trainer_kwargs),
+        **resume(),
+    }
+    if likelihood_every is not None:
+        info["likelihood_every"] = int(likelihood_every)
+    return info
+
+
+def _atomic_savez(path: str | Path, payload: dict) -> Path:
+    """``np.savez_compressed`` with crash-safe replace semantics.
+
+    Mirrors numpy's suffix rule (a path not ending in ``.npz`` gets it
+    appended) so the visible filename is identical to a plain save; the
+    data is staged in a sibling temp file and published with
+    ``os.replace``, so readers only ever see a complete checkpoint.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **payload)
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return path
+
+
+def save_checkpoint(
+    state: LdaState,
+    path: str | Path,
+    *,
+    vocabulary: Vocabulary | None = None,
+    run: dict | None = None,
+    parent: str | None = None,
+) -> Path:
+    """Persist the complete training state (resumable); returns the path.
+
+    ``vocabulary`` and ``run`` (see :func:`run_info`) make the
+    checkpoint self-describing for ``repro train --resume``; ``parent``
+    links the lineage record to the generation this checkpoint
+    supersedes.  The write is atomic.
+    """
+    from repro.model import make_lineage
+
     payload: dict[str, np.ndarray | int | float | str] = {
         "version": FORMAT_VERSION,
         "kind": "checkpoint",
@@ -94,7 +195,12 @@ def save_checkpoint(state: LdaState, path: str | Path) -> None:
         "num_topics": state.num_topics,
         "num_words": state.num_words,
         "num_chunks": len(state.chunks),
+        "metadata_json": json.dumps(
+            {"lineage": make_lineage(parent), "run": run}
+        ),
     }
+    if vocabulary is not None:
+        payload["vocab"] = np.asarray(list(vocabulary), dtype=np.str_)
     for i, cs in enumerate(state.chunks):
         spec = cs.chunk.spec
         payload[f"chunk{i}_topics"] = cs.topics
@@ -102,15 +208,21 @@ def save_checkpoint(state: LdaState, path: str | Path) -> None:
             [spec.chunk_id, spec.doc_lo, spec.doc_hi, spec.token_lo, spec.token_hi],
             dtype=np.int64,
         )
-    np.savez_compressed(Path(path), **payload)
+    return _atomic_savez(path, payload)
 
 
 def load_checkpoint(path: str | Path, corpus: Corpus) -> LdaState:
     """Rebuild a resumable :class:`LdaState` from a checkpoint + corpus.
 
-    The corpus must be the one the checkpoint was trained on (token
-    counts per chunk are verified).
+    Reads v1 and v2 files; for the v2 metadata use
+    :func:`load_checkpoint_full`.  The corpus must be the one the
+    checkpoint was trained on (token counts per chunk are verified).
     """
+    return load_checkpoint_full(path, corpus).state
+
+
+def load_checkpoint_full(path: str | Path, corpus: Corpus) -> CheckpointBundle:
+    """Load a checkpoint with its v2 metadata (vocabulary/lineage/run)."""
     with np.load(Path(path), allow_pickle=False) as z:
         data = {k: z[k] for k in z.files}
     _check_version(data)
@@ -147,7 +259,21 @@ def load_checkpoint(path: str | Path, corpus: Corpus) -> LdaState:
     if not np.array_equal(state.phi, data["phi"]):
         raise ValueError("checkpoint does not match this corpus (phi mismatch)")
     state.validate()
-    return state
+    vocabulary = None
+    if "vocab" in data:
+        vocabulary = Vocabulary([str(t) for t in data["vocab"]])
+    lineage = run = None
+    if "metadata_json" in data:
+        meta = json.loads(str(data["metadata_json"]))
+        lineage = meta.get("lineage")
+        run = meta.get("run")
+    return CheckpointBundle(
+        state=state,
+        vocabulary=vocabulary,
+        lineage=lineage,
+        run=run,
+        version=int(data["version"]),
+    )
 
 
 def _check_version(data: dict) -> None:

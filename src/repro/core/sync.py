@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import faults
 from repro.gpusim.clock import KernelCost
 from repro.gpusim.device import SimulatedGPU, p2p_copy
 from repro.gpusim.interconnect import broadcast_pairs, tree_reduce_pairs
@@ -94,6 +95,9 @@ def synchronize_prereduced(
     unchanged: overlap is a *host* wall-clock optimisation and must not
     move the simulated clocks.
     """
+    # Before any mutation or clock charge, so a caller-side retry after
+    # an injected transient failure replays the sync cleanly.
+    faults.raise_if("merge_fail", sync="prereduce")
     phi_new = reconcile_prereduced(phi_ref, [d for d, _ in worker_deltas])
     totals_new = totals_ref.astype(np.int64)  # astype always copies here
     for _, dtot in worker_deltas:
@@ -154,6 +158,7 @@ def synchronize(
     ``device_totals[g]`` array in place (they are the replicas the next
     iteration samples against) and returns ``(phi_new, totals_new)``.
     """
+    faults.raise_if("merge_fail", sync="barrier")
     phi_new = reconcile_phi(phi_ref, device_phis)
     totals_new = phi_new.sum(axis=1, dtype=np.int64)
     for g in range(len(device_phis)):

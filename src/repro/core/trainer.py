@@ -21,10 +21,12 @@ Typical use::
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.faults import FaultInjected
 from repro.corpus.document import Corpus
 from repro.corpus.encoding import topic_dtype_for
 from repro.corpus.partition import assign_round_robin, partition_by_tokens
@@ -131,6 +133,9 @@ class CuLdaTrainer:
         self._iterations_done = 0
         #: lazy ProcessEngine for config.execution == "process"
         self._engine = None
+        #: crash-recovery / merge-retry events; shared with the engine so
+        #: the trail survives engine rebuilds (see :attr:`recovery_events`).
+        self._recovery_log: list[dict] = []
 
     # -- setup ----------------------------------------------------------------
 
@@ -202,6 +207,9 @@ class CuLdaTrainer:
                 num_workers=self.config.num_workers,
                 sync_mode=self.config.sync_mode,
                 worker_affinity=self.config.worker_affinity,
+                recovery_retries=self.config.recovery_retries,
+                recovery_backoff=self.config.recovery_backoff,
+                recovery_log=self._recovery_log,
             )
             self._engine.start()
             for g, dev in enumerate(self.devices):
@@ -265,6 +273,90 @@ class CuLdaTrainer:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    # -- robustness ------------------------------------------------------------
+
+    @property
+    def recovery_events(self) -> list[dict]:
+        """Crash-recovery / merge-retry events recorded so far.
+
+        One dict per incident (``iteration``, ``attempt``, ``error``,
+        ``backoff_s``); empty for an undisturbed run.  The
+        :class:`~repro.api.callbacks.Checkpointer` watches this to
+        autosave after a recovery.
+        """
+        return self._recovery_log
+
+    def _sync_with_retry(self, fn, *args, **kwargs):
+        """Run a phi sync, retrying injected transient merge failures.
+
+        ``merge_fail`` raises *before* any mutation or simulated-clock
+        charge, so the retry replays the sync bit-identically.  Budget
+        and backoff are the crash-recovery knobs.
+        """
+        attempt = 0
+        while True:
+            try:
+                return fn(*args, **kwargs)
+            except FaultInjected as exc:
+                attempt += 1
+                if attempt > self.config.recovery_retries:
+                    raise
+                backoff = self.config.recovery_backoff * (2 ** (attempt - 1))
+                self._recovery_log.append(
+                    {
+                        "iteration": self._iterations_done,
+                        "attempt": attempt,
+                        "error": str(exc),
+                        "backoff_s": backoff,
+                    }
+                )
+                if backoff:
+                    time.sleep(backoff)
+
+    def resume_state(self) -> dict:
+        """Progress counters a resumable checkpoint must carry."""
+        return {
+            "iterations_done": self._iterations_done,
+            "sim_time": max(d.gpu.sync() for d in self.devices),
+        }
+
+    def restore(self, state: LdaState, run: dict | None = None) -> None:
+        """Adopt checkpointed state; continue bit-identically from it.
+
+        ``state`` must come from a checkpoint of a run with this
+        trainer's configuration (same corpus, partition and seed — the
+        RNG streams are keyed by ``(seed, iteration, chunk)``, so only
+        the iteration counter needs restoring for the draws to line up).
+        ``run`` optionally carries the v2 checkpoint's progress counters
+        (``iterations_done``, ``sim_time``); without it the trainer
+        resumes at iteration 0 of the given state.
+        """
+        if state.num_topics != self.config.num_topics:
+            raise ValueError(
+                f"checkpoint has {state.num_topics} topics, config "
+                f"expects {self.config.num_topics}"
+            )
+        if len(state.chunks) != len(self.state.chunks):
+            raise ValueError(
+                f"checkpoint has {len(state.chunks)} chunks, this trainer "
+                f"partitioned {len(self.state.chunks)} — same corpus and "
+                f"num_gpus*chunks_per_gpu required"
+            )
+        self.close()
+        self.state = state
+        for dev in self.devices:
+            dev.phi = state.phi.copy()
+            dev.totals = state.topic_totals.copy()
+        run = run or {}
+        self._iterations_done = int(run.get("iterations_done", 0))
+        sim_time = float(run.get("sim_time", 0.0))
+        # Construction already charged alloc + initial transfers; a
+        # checkpointed clock can only be at or past that point.
+        for dev in self.devices:
+            dev.gpu.timeline.advance_to(sim_time)
+        self.history = []
+        self.outcomes = []
 
     # -- training -------------------------------------------------------------
 
@@ -334,7 +426,8 @@ class CuLdaTrainer:
                     outcome = replay_parallel_accounting(
                         self.devices, self.state, self.config, it, results
                     )
-                phi_new, totals_new = synchronize(
+                phi_new, totals_new = self._sync_with_retry(
+                    synchronize,
                     self.state.phi,
                     [d.phi for d in self.devices],
                     [d.totals for d in self.devices],
@@ -346,7 +439,8 @@ class CuLdaTrainer:
             else:
                 # Pre-reduced functional merge first — O(W*K*V), and it
                 # unblocks the next iteration's kick-off...
-                phi_new, totals_new = synchronize_prereduced(
+                phi_new, totals_new = self._sync_with_retry(
+                    synchronize_prereduced,
                     self.state.phi,
                     self.state.topic_totals,
                     engine.worker_accumulators(),

@@ -35,6 +35,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import faults
 from repro.parallel.pool import (
     WorkerDied,
     recv_reply,
@@ -67,6 +68,11 @@ class _InferencePlan:
     batch_docs: int
     worker_index: int
     affinity: tuple[int, ...] | None = None
+    #: Fault spec (see :mod:`repro.faults`) re-armed inside the worker.
+    faults: str | None = None
+    #: 0 on the first spawn; bumps on every pool restart so one-shot
+    #: faults don't re-fire in replacement workers.
+    attempt: int = 0
 
 
 class InferenceWorkerPool:
@@ -95,6 +101,7 @@ class InferenceWorkerPool:
         self._procs: list = []
         self._conns: list = []
         self._finalizer = None
+        self._starts = 0
 
     # -- lifecycle --------------------------------------------------------
 
@@ -119,9 +126,12 @@ class InferenceWorkerPool:
                 batch_docs=self._batch_docs,
                 worker_index=w,
                 affinity=self.worker_affinity,
+                faults=faults.active_spec(),
+                attempt=self._starts,
             )
             for w in range(self.num_workers)
         ]
+        self._starts += 1
         procs, conns = spawn_workers(
             arena, plans, _inference_worker_main, "repro-infer"
         )
@@ -223,6 +233,10 @@ def _inference_worker_main(conn, plan: _InferencePlan) -> None:
     arena = None
     session = None
     try:
+        faults.install(plan.faults)
+        faults.crash_if(
+            "shm_attach", worker=plan.worker_index, attempt=plan.attempt
+        )
         set_worker_affinity(plan.worker_index, plan.affinity)
         arena = ShmArena.attach(plan.layout)
         session = InferenceSession._from_matrix(

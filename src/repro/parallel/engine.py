@@ -23,18 +23,47 @@ The engine is start-lazy, restartable (a closed engine can be rebuilt
 from current master state), and cleans up its shared segment and worker
 processes on :meth:`close` — with a finalizer backstop for abandoned
 instances.
+
+Crash recovery
+--------------
+A worker process dying mid-iteration (OOM kill, injected crash, bug) no
+longer aborts the run.  Every :meth:`dispatch_iteration` first captures
+a **recovery snapshot** of the shared state the workers are about to
+mutate (chunk topic assignments, theta CSR slots, phi/totals replicas);
+when :meth:`collect_iteration` sees :class:`~repro.parallel.pool.WorkerDied`,
+the engine terminates the remaining workers *without* unlinking the
+arena, restores the snapshot in place, respawns the pool and replays the
+same ``(iteration, want_ll, refresh)`` kick-off.  Because the RNG stream
+of a chunk pass is keyed purely by ``(seed, iteration, chunk_id)`` and a
+fresh worker rebuilds its private theta deterministically from the
+restored shared assignments, the replay reproduces the lost iteration
+**bit-for-bit** — model, likelihood terms and (master-side) simulated
+clocks are indistinguishable from an uninterrupted run.  The retry
+budget is bounded (``recovery_retries`` respawns per incident, with
+exponential host-side backoff); past it a :class:`RecoveryFailed`
+carries the terminal diagnosis.  Deterministic worker *exceptions*
+(a remote traceback reply) are not retried — replaying a deterministic
+bug would fail identically, so it surfaces immediately.
 """
 
 from __future__ import annotations
 
 import os
+import time
 import weakref
 
 import numpy as np
 
+from repro import faults
 from repro.core.model import ChunkState
 from repro.core.sparse import CsrCounts, index_dtype
-from repro.parallel.pool import recv_reply, shutdown_pool, spawn_workers
+from repro.parallel.pool import (
+    WorkerDied,
+    recv_reply,
+    shutdown_pool,
+    spawn_workers,
+    stop_workers,
+)
 from repro.parallel.shm import ShmArena
 from repro.parallel.worker import (
     ChunkMeta,
@@ -44,7 +73,19 @@ from repro.parallel.worker import (
     worker_main,
 )
 
-__all__ = ["ProcessEngine", "resolve_num_workers"]
+__all__ = ["ProcessEngine", "RecoveryFailed", "resolve_num_workers"]
+
+
+class RecoveryFailed(RuntimeError):
+    """Crash recovery exhausted its retry budget; the run cannot continue."""
+
+    def __init__(self, iteration: int, attempts: int, last_error: str):
+        super().__init__(
+            f"iteration {iteration} could not be recovered after "
+            f"{attempts} respawn attempt(s); last error: {last_error}"
+        )
+        self.iteration = iteration
+        self.attempts = attempts
 
 
 def resolve_num_workers(requested: int | None, num_groups: int) -> int:
@@ -95,6 +136,9 @@ class ProcessEngine:
         mode: str = "replica",
         sync_mode: str = "barrier",
         worker_affinity=None,
+        recovery_retries: int = 2,
+        recovery_backoff: float = 0.05,
+        recovery_log: list | None = None,
     ):
         if mode not in ("replica", "delta"):
             raise ValueError(f"mode must be 'replica' or 'delta', got {mode!r}")
@@ -110,6 +154,14 @@ class ProcessEngine:
             )
         if not groups:
             raise ValueError("need at least one group")
+        if recovery_retries < 0:
+            raise ValueError(
+                f"recovery_retries must be >= 0, got {recovery_retries}"
+            )
+        if recovery_backoff < 0:
+            raise ValueError(
+                f"recovery_backoff must be >= 0, got {recovery_backoff}"
+            )
         self.mode = mode
         self.sync_mode = sync_mode
         self.worker_affinity = normalize_affinity(worker_affinity)
@@ -130,6 +182,21 @@ class ProcessEngine:
         self._closed = False
         #: iteration id dispatched but not yet collected (overlap pipeline)
         self._inflight: int | None = None
+        #: respawn budget per crash incident (0 disables recovery —
+        #: and with it the per-dispatch snapshot copies).
+        self.recovery_retries = int(recovery_retries)
+        #: base host-side backoff before respawn attempt k: base * 2**(k-1).
+        self.recovery_backoff = float(recovery_backoff)
+        #: one dict per respawn attempt (iteration, attempt, error,
+        #: backoff_s); pass a shared list so events survive engine
+        #: rebuilds (the owning trainer does).
+        self.recovery_log: list = (
+            recovery_log if recovery_log is not None else []
+        )
+        #: the full ("iter", ...) arguments of the in-flight dispatch —
+        #: exactly what a recovery replay must re-send.
+        self._inflight_args: tuple | None = None
+        self._snapshot: dict | None = None
 
     # -- lifecycle --------------------------------------------------------
 
@@ -221,6 +288,22 @@ class ProcessEngine:
                 arena.view("model/phi")[...] = self._init_replicas[0][0]
                 arena.view("model/totals")[...] = self._init_replicas[0][1]
 
+        plans = self._build_plans(arena, attempt=0)
+        procs, conns = spawn_workers(arena, plans, worker_main, "repro-exec")
+        self._arena = arena
+        self._procs = procs
+        self._conns = conns
+        self._finalizer = weakref.finalize(
+            self, shutdown_pool, arena, procs, list(conns)
+        )
+
+    def _build_plans(self, arena: ShmArena, attempt: int) -> list[WorkerPlan]:
+        """Worker plans for (re)spawning against ``arena``.
+
+        ``attempt`` tags the plans with the recovery attempt they belong
+        to and travels into the fault-match context, so injected crashes
+        do not re-fire on every replay unless armed to.
+        """
         plans = []
         for w in range(self.num_workers):
             owned = [
@@ -242,15 +325,11 @@ class ProcessEngine:
                     worker_index=w,
                     sync_mode=self.sync_mode,
                     affinity=self.worker_affinity,
+                    faults=faults.active_spec(),
+                    attempt=attempt,
                 )
             )
-        procs, conns = spawn_workers(arena, plans, worker_main, "repro-exec")
-        self._arena = arena
-        self._procs = procs
-        self._conns = conns
-        self._finalizer = weakref.finalize(
-            self, shutdown_pool, arena, procs, list(conns)
-        )
+        return plans
 
     def close(self) -> None:
         """Stop workers, copy shared state back to private arrays, unlink.
@@ -354,14 +433,59 @@ class ProcessEngine:
                 f"iteration {self._inflight} is already in flight; "
                 f"collect it before dispatching another"
             )
-        for conn in self._conns:
-            conn.send(("iter", iteration, want_ll, refresh_replicas))
+        self._capture_snapshot()
+        self._inflight_args = (iteration, want_ll, refresh_replicas)
         self._inflight = iteration
+        for conn in self._conns:
+            try:
+                conn.send(("iter", iteration, want_ll, refresh_replicas))
+            except (BrokenPipeError, ConnectionError, OSError):
+                # A worker already died; collect_iteration will see the
+                # death (WorkerDied) and run recovery from the snapshot.
+                pass
 
     def collect_iteration(self) -> dict[int, ChunkResult]:
-        """Barrier: wait for the in-flight pass, return results by chunk id."""
+        """Barrier: wait for the in-flight pass, return results by chunk id.
+
+        A :class:`~repro.parallel.pool.WorkerDied` here triggers crash
+        recovery: restore the pre-dispatch snapshot, respawn the pool and
+        replay the identical kick-off, up to ``recovery_retries`` times
+        with exponential backoff — then :class:`RecoveryFailed`.
+        """
         if self._inflight is None:
             raise RuntimeError("no iteration in flight")
+        iteration = self._inflight
+        attempt = 0
+        while True:
+            try:
+                if attempt > 0:
+                    self._respawn(attempt)
+                return self._collect_once()
+            except WorkerDied as exc:
+                attempt += 1
+                if self.recovery_retries <= 0 or self._snapshot is None:
+                    self._inflight = None
+                    raise
+                if attempt > self.recovery_retries:
+                    self._inflight = None
+                    raise RecoveryFailed(
+                        iteration, attempt - 1, str(exc)
+                    ) from exc
+                backoff = self.recovery_backoff * (2 ** (attempt - 1))
+                self.recovery_log.append(
+                    {
+                        "iteration": iteration,
+                        "attempt": attempt,
+                        "error": str(exc),
+                        "backoff_s": backoff,
+                    }
+                )
+                if backoff:
+                    time.sleep(backoff)
+
+    def _collect_once(self) -> dict[int, ChunkResult]:
+        """One collection pass; keeps ``_inflight`` set on WorkerDied so
+        the recovery loop can replay, clears it on any other outcome."""
         results: dict[int, ChunkResult] = {}
         try:
             for w, conn in enumerate(self._conns):
@@ -370,8 +494,14 @@ class ProcessEngine:
                     raise RuntimeError(f"unexpected worker reply {kind!r}")
                 for r in payload:
                     results[r.chunk_id] = r
-        finally:
+        except WorkerDied:
+            raise
+        except Exception:
             self._inflight = None
+            raise
+        self._inflight = None
+        self._inflight_args = None
+        self._snapshot = None
         for cid, r in results.items():
             self._chunks[cid].theta = self._theta_view(
                 self._arena, cid, r.theta_nnz
@@ -428,6 +558,88 @@ class ProcessEngine:
             out.extend(payload)
         out.sort(key=lambda pair: pair[0])
         return [{"group": gi, **stats} for gi, stats in out]
+
+    # -- crash recovery ----------------------------------------------------
+
+    def _capture_snapshot(self) -> None:
+        """Copy the shared state workers are about to mutate.
+
+        Chunk topic assignments plus theta CSR contents always; the
+        per-group phi/totals replicas in replica mode (delta mode's
+        ``model/*`` is master-written only, and both modes' per-worker
+        accumulators are zeroed worker-side at iteration start, so
+        neither needs rollback).  Disabled when ``recovery_retries`` is
+        0 — then a crash is terminal and the copies would be waste.
+        """
+        if self.recovery_retries <= 0:
+            return
+        arena = self._arena
+        chunks = {}
+        for cid, cs in self._chunks.items():
+            nnz = cs.theta.nnz
+            chunks[cid] = (
+                np.array(arena.view(f"chunk{cid}/topics")),
+                np.array(arena.view(f"chunk{cid}/theta_indptr")),
+                np.array(arena.view(f"chunk{cid}/theta_indices")[:nnz]),
+                np.array(arena.view(f"chunk{cid}/theta_data")[:nnz]),
+                nnz,
+            )
+        replicas = []
+        if self.mode == "replica":
+            for g in range(len(self._groups)):
+                replicas.append(
+                    (
+                        np.array(arena.view(f"rep{g}/phi")),
+                        np.array(arena.view(f"rep{g}/totals")),
+                    )
+                )
+        self._snapshot = {"chunks": chunks, "replicas": replicas}
+
+    def _restore_snapshot(self) -> None:
+        """Write the recovery snapshot back into the arena in place."""
+        arena = self._arena
+        snap = self._snapshot
+        for cid, (topics, indptr, indices, data, nnz) in snap["chunks"].items():
+            arena.view(f"chunk{cid}/topics")[...] = topics
+            arena.view(f"chunk{cid}/theta_indptr")[...] = indptr
+            arena.view(f"chunk{cid}/theta_indices")[:nnz] = indices
+            arena.view(f"chunk{cid}/theta_data")[:nnz] = data
+            self._chunks[cid].theta = self._theta_view(arena, cid, nnz)
+        for g, (phi, totals) in enumerate(snap["replicas"]):
+            arena.view(f"rep{g}/phi")[...] = phi
+            arena.view(f"rep{g}/totals")[...] = totals
+
+    def _respawn(self, attempt: int) -> None:
+        """Tear down the dead pool, roll back, respawn, replay the dispatch.
+
+        The arena stays mapped and linked throughout; only the worker
+        processes are replaced.  The replacement plans carry ``attempt``
+        so armed faults do not re-fire by default (see
+        :mod:`repro.faults`).
+        """
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        stop_workers(self._procs, self._conns)
+        self._restore_snapshot()
+        arena = self._arena
+        plans = self._build_plans(arena, attempt=attempt)
+        procs, conns = spawn_workers(arena, plans, worker_main, "repro-exec")
+        self._procs = procs
+        self._conns = conns
+        self._finalizer = weakref.finalize(
+            self, shutdown_pool, arena, procs, list(conns)
+        )
+        iteration, want_ll, refresh = self._inflight_args
+        for w, conn in enumerate(self._conns):
+            try:
+                conn.send(("iter", iteration, want_ll, refresh))
+            except (BrokenPipeError, ConnectionError, OSError) as exc:
+                # Count an immediately-dead replacement against the
+                # retry budget like any other death.
+                raise WorkerDied(
+                    "execution", w, self._procs[w].exitcode
+                ) from exc
 
     # -- internals ---------------------------------------------------------
 

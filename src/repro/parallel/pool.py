@@ -17,7 +17,13 @@ import gc
 
 from repro.parallel.shm import ShmArena, pick_context
 
-__all__ = ["WorkerDied", "spawn_workers", "recv_reply", "shutdown_pool"]
+__all__ = [
+    "WorkerDied",
+    "spawn_workers",
+    "recv_reply",
+    "shutdown_pool",
+    "stop_workers",
+]
 
 #: Seconds between liveness checks while waiting on a worker reply.
 POLL_SECONDS = 1.0
@@ -80,6 +86,31 @@ def recv_reply(role: str, w: int, proc, conn) -> tuple:
     if msg[0] == "error":
         raise RuntimeError(f"{role} worker {w} failed:\n{msg[1]}")
     return msg
+
+
+def stop_workers(procs: list, conns: list) -> None:
+    """Terminate pool processes and close their pipes — arena untouched.
+
+    The crash-recovery path: after a worker death the engine tears the
+    *processes* down with this, restores the shared state in place, and
+    respawns against the same arena.  Unlike :func:`shutdown_pool` no
+    ``stop`` message is sent (surviving workers may be mid-iteration and
+    would answer ``done`` first, desynchronising a future pipe), and the
+    segment stays mapped and linked for the replacement pool.
+    """
+    for p in procs:
+        if p.is_alive():
+            p.terminate()
+    for p in procs:
+        p.join(timeout=2.0)
+        if p.is_alive():  # pragma: no cover - hung worker
+            p.kill()
+            p.join(timeout=1.0)
+    for conn in conns:
+        try:
+            conn.close()
+        except Exception:
+            pass
 
 
 def shutdown_pool(arena: ShmArena, procs: list, conns: list) -> None:

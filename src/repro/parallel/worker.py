@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import faults
 from repro.core.likelihood import chunk_doc_terms
 from repro.core.rng import RngPool
 from repro.core.sampler import sample_chunk
@@ -140,6 +141,13 @@ class WorkerPlan:
     #: optional CPU ids; this worker pins itself to
     #: ``affinity[worker_index % len(affinity)]`` at start-up.
     affinity: tuple[int, ...] | None = None
+    #: fault spec armed in this worker (see :mod:`repro.faults`); carried
+    #: in the plan so a respawned worker re-arms the exact same faults.
+    faults: str | None = None
+    #: recovery attempt this worker belongs to (0 = the original spawn);
+    #: part of the fault-match context so an injected crash does not, by
+    #: default, also kill every replay.
+    attempt: int = 0
 
 
 class _LocalChunk:
@@ -262,6 +270,10 @@ def worker_main(conn, plan: WorkerPlan) -> None:
     """
     arena = None
     try:
+        faults.install(plan.faults)
+        faults.crash_if(
+            "shm_attach", worker=plan.worker_index, attempt=plan.attempt
+        )
         applied_cpu = set_worker_affinity(plan.worker_index, plan.affinity)
         arena = ShmArena.attach(plan.layout)
         pool = RngPool(plan.seed)
@@ -319,6 +331,10 @@ def worker_main(conn, plan: WorkerPlan) -> None:
             if refresh:
                 if model_phi is None:  # pragma: no cover - protocol misuse
                     raise ValueError("refresh kick-off without a model buffer")
+                faults.crash_if(
+                    "worker_crash", phase="broadcast", iteration=iteration,
+                    worker=plan.worker_index, attempt=plan.attempt,
+                )
                 # The overlap broadcast: each worker copies the freshly
                 # reconciled model into its own replicas, so the master
                 # never pays the O(G*K*V) write.
@@ -334,6 +350,11 @@ def worker_main(conn, plan: WorkerPlan) -> None:
             results = []
             for _, phi, totals, chunks, workspace in groups:
                 for lc in chunks:
+                    faults.crash_if(
+                        "worker_crash", phase="sample", iteration=iteration,
+                        chunk=lc.meta.chunk_id, worker=plan.worker_index,
+                        attempt=plan.attempt,
+                    )
                     results.append(
                         run_chunk_pass(
                             lc, phi, totals, iteration, pool,
@@ -346,6 +367,13 @@ def worker_main(conn, plan: WorkerPlan) -> None:
                             want_ll=want_ll,
                         )
                     )
+            # "merge" phase: sampling done and published, reply not yet
+            # sent — the worker's pre-reduced accumulators are written
+            # but the master has not observed the barrier.
+            faults.crash_if(
+                "worker_crash", phase="merge", iteration=iteration,
+                worker=plan.worker_index, attempt=plan.attempt,
+            )
             conn.send(("done", results))
     except (EOFError, KeyboardInterrupt):  # pragma: no cover - shutdown races
         pass

@@ -12,11 +12,22 @@ shape the coalescer folds together.  Typed outcomes:
 - a ``busy`` response raises :class:`ServerBusy` (retryable overload);
 - any ``error`` response raises :class:`ServingError` carrying the
   server's typed error code.
+
+Robustness (both opt-in, defaults preserve fail-fast semantics):
+
+- ``timeout=`` bounds the connect and every individual request;
+- ``retries=`` re-attempts ``busy`` responses, transient connection
+  errors and request timeouts with jittered exponential backoff,
+  reconnecting as needed.  Every protocol operation is idempotent
+  server-side (``infer`` is a pure function of docs+seed+generation, the
+  rest are reads or at-most-once controls), so a resend after an
+  ambiguous failure cannot corrupt anything.
 """
 
 from __future__ import annotations
 
 import asyncio
+import random
 from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import Any
@@ -60,20 +71,62 @@ class InferReply:
     coalesced_requests: int
 
 
+#: Base/ceiling of the retry backoff, in seconds (exponential, jittered).
+RETRY_BACKOFF_BASE = 0.05
+RETRY_BACKOFF_MAX = 2.0
+
+#: Failures worth a retry: overload and transport-level trouble.  Typed
+#: server errors other than ``busy`` are deterministic and never retried.
+_TRANSIENT = (ServerBusy, ConnectionError, OSError, asyncio.TimeoutError)
+
+
 class ServingClient:
-    """One sequential connection to a :class:`~repro.serving.ServingServer`."""
+    """One sequential connection to a :class:`~repro.serving.ServingServer`.
+
+    ``timeout`` bounds the connect and each request in seconds (``None``
+    waits forever); ``retries`` allows that many re-attempts of a failed
+    request on :class:`ServerBusy`, transient connection errors and
+    timeouts, with jittered exponential backoff and automatic reconnect.
+    """
 
     def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        host: str | None = None,
+        port: int | None = None,
+        timeout: float | None = None,
+        retries: int = 0,
     ):
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
         self._reader = reader
         self._writer = writer
+        self._host = host
+        self._port = port
+        self.timeout = timeout
+        self.retries = retries
         self._request_counter = 0
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "ServingClient":
-        reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        timeout: float | None = None,
+        retries: int = 0,
+    ) -> "ServingClient":
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout
+        )
+        return cls(
+            reader, writer,
+            host=host, port=port, timeout=timeout, retries=retries,
+        )
 
     async def close(self) -> None:
         self._writer.close()
@@ -88,10 +141,13 @@ class ServingClient:
     async def __aexit__(self, *exc) -> None:
         await self.close()
 
-    async def _roundtrip(self, message: dict) -> dict:
-        """One request, one reply (single outstanding request per client)."""
-        self._request_counter += 1
-        message = {"id": self._request_counter, **message}
+    async def _reconnect(self) -> None:
+        await self.close()
+        self._reader, self._writer = await asyncio.wait_for(
+            asyncio.open_connection(self._host, self._port), self.timeout
+        )
+
+    async def _send_and_receive(self, message: dict) -> dict:
         await write_frame(self._writer, message)
         reply = await read_frame(self._reader)
         if reply is None:
@@ -107,6 +163,40 @@ class ServingClient:
                 str(reply.get("message", "")),
             )
         return reply
+
+    async def _roundtrip(self, message: dict) -> dict:
+        """One request, one reply (single outstanding request per client).
+
+        With ``retries > 0``, transient failures back off
+        ``min(base * 2**attempt, max) * U(0.5, 1.0)`` seconds (jitter
+        decorrelates a thundering herd of retrying clients) and try
+        again — reconnecting first if the transport broke.
+        """
+        self._request_counter += 1
+        message = {"id": self._request_counter, **message}
+        attempt = 0
+        while True:
+            try:
+                return await asyncio.wait_for(
+                    self._send_and_receive(message), self.timeout
+                )
+            except _TRANSIENT as exc:
+                if attempt >= self.retries:
+                    raise
+                backoff = min(
+                    RETRY_BACKOFF_BASE * (2 ** attempt), RETRY_BACKOFF_MAX
+                ) * (0.5 + random.random() / 2)
+                attempt += 1
+                await asyncio.sleep(backoff)
+                if not isinstance(exc, ServerBusy):
+                    # The connection state is unknown (half-written
+                    # frame, dead socket, timed-out read): start fresh.
+                    if self._host is None:
+                        raise
+                    try:
+                        await self._reconnect()
+                    except _TRANSIENT:
+                        continue  # next attempt retries the connect too
 
     async def ping(self) -> dict:
         return await self._roundtrip({"op": "ping"})

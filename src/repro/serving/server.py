@@ -37,6 +37,7 @@ from typing import Any
 
 import numpy as np
 
+from repro import faults
 from repro.model import InferenceSession, TopicModel
 from repro.serving.coalescer import (
     DEFAULT_MAX_PENDING,
@@ -203,6 +204,15 @@ class ServingServer:
         self.address = self._server.sockets[0].getsockname()[:2]
         return self.address
 
+    def request_shutdown(self) -> None:
+        """Ask :meth:`run` to stop after draining in-flight work.
+
+        Safe to call from a signal handler registered on the serving
+        event loop (``loop.add_signal_handler``): it only sets an event,
+        and :meth:`run` performs the actual drain and teardown.
+        """
+        self._shutdown_requested.set()
+
     async def stop(self) -> None:
         """Stop accepting, drain queued requests, release every session."""
         if self._stopped:
@@ -331,7 +341,7 @@ class ServingServer:
             })
         elif op == "shutdown":
             await self._write(writer, lock, {"type": "bye", "id": rid})
-            self._shutdown_requested.set()
+            self.request_shutdown()
             return True
         else:
             await self._write(writer, lock, {
@@ -471,6 +481,13 @@ class ServingServer:
             return
         gen.inflight += 1
         try:
+            # Chaos hooks (no-ops unless armed; see repro.faults):
+            # serve_slow injects tail latency, serve_error exercises the
+            # typed inference_failed path end-to-end.
+            delay = faults.delay_if("serve_slow", op="infer")
+            if delay:
+                await asyncio.sleep(delay)
+            faults.raise_if("serve_error", op="infer")
             requests = [(req.docs, req.seed) for req in valid]
             dispatched_at = loop.time()
             thetas = await loop.run_in_executor(

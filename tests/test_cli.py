@@ -23,6 +23,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
 
+    def test_train_resume_and_cadence_flags(self):
+        args = build_parser().parse_args(["train"])
+        assert args.resume is None
+        # None so a resumed run can inherit the checkpoint's cadence.
+        assert args.likelihood_every is None
+        args = build_parser().parse_args(["train", "--resume", "ck.npz"])
+        assert args.resume == "ck.npz"
+
+    def test_query_timeout_retry_flags(self):
+        args = build_parser().parse_args(["query", "--port", "1"])
+        assert args.timeout is None
+        assert args.retries == 0
+        args = build_parser().parse_args(
+            ["query", "--port", "1", "--timeout", "2.5", "--retries", "4"]
+        )
+        assert args.timeout == 2.5
+        assert args.retries == 4
+
 
 class TestTrain:
     def test_train_synthetic_default(self, capsys):

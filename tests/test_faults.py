@@ -1,0 +1,150 @@
+"""Unit tests for the fault-injection registry (:mod:`repro.faults`).
+
+The chaos suites (test_recovery.py, test_checkpoint_v2.py) lean on this
+machinery, so its matching semantics — times budgets, the attempt-0
+default that prevents crash loops across respawns, env arming — are
+pinned here in isolation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.faults import Fault, FaultInjected, parse_spec
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    faults.reset()
+    yield
+    faults.reset()
+
+
+class TestParseSpec:
+    def test_bare_point(self):
+        (f,) = parse_spec("merge_fail")
+        assert f.point == "merge_fail"
+        assert f.match == {}
+        assert f.times == 1
+        assert f.delay_ms == 0.0
+
+    def test_full_clause(self):
+        (f,) = parse_spec(
+            "worker_crash@phase=sample,iteration=1,worker=0,times=3"
+        )
+        assert f.point == "worker_crash"
+        assert f.match == {"phase": "sample", "iteration": 1, "worker": 0}
+        assert f.times == 3
+
+    def test_multiple_clauses_and_whitespace(self):
+        parsed = parse_spec(
+            " merge_fail ; serve_slow@op=infer,delay_ms=25 ;"
+        )
+        assert [f.point for f in parsed] == ["merge_fail", "serve_slow"]
+        assert parsed[1].delay_ms == 25.0
+
+    def test_times_any_is_unlimited(self):
+        (f,) = parse_spec("worker_crash@times=any")
+        assert f.times is None
+
+    def test_malformed_condition_raises(self):
+        with pytest.raises(ValueError, match="key=value"):
+            parse_spec("worker_crash@phase")
+
+    def test_missing_point_raises(self):
+        with pytest.raises(ValueError, match="no point name"):
+            parse_spec("@phase=sample")
+
+
+class TestMatching:
+    def test_context_keys_compared_as_strings(self):
+        f = Fault(point="p", match={"iteration": 2, "phase": "merge"})
+        assert f.matches("p", {"iteration": 2, "phase": "merge"})
+        assert f.matches("p", {"iteration": "2", "phase": "merge"})
+        assert not f.matches("p", {"iteration": 3, "phase": "merge"})
+        assert not f.matches("q", {"iteration": 2, "phase": "merge"})
+
+    def test_key_absent_from_context_never_matches(self):
+        f = Fault(point="p", match={"chunk": 0})
+        assert not f.matches("p", {"iteration": 1})
+
+    def test_any_wildcard(self):
+        f = Fault(point="p", match={"worker": "any"})
+        assert f.matches("p", {"worker": 0})
+        assert f.matches("p", {"worker": 7})
+
+    def test_times_budget(self):
+        faults.install("p@times=2,attempt=any")
+        assert faults.check("p") is not None
+        assert faults.check("p") is not None
+        assert faults.check("p") is None  # budget spent
+
+    def test_unnamed_attempt_matches_attempt_zero_only(self):
+        # The crash-loop guard: a respawned worker re-arms the same
+        # spec, so an attempt-less clause must not fire on replays.
+        f = Fault(point="p", match={})
+        assert f.matches("p", {"attempt": 0})
+        assert not f.matches("p", {"attempt": 1})
+
+    def test_attempt_any_survives_respawn(self):
+        f = Fault(point="p", match={"attempt": "any"})
+        assert f.matches("p", {"attempt": 0})
+        assert f.matches("p", {"attempt": 3})
+
+    def test_attempt_targets_exact_replay(self):
+        f = Fault(point="p", match={"attempt": 1})
+        assert not f.matches("p", {"attempt": 0})
+        assert f.matches("p", {"attempt": 1})
+
+
+class TestRegistry:
+    def test_install_resets_fired_counters(self):
+        faults.install("p")
+        assert faults.check("p") is not None
+        assert faults.check("p") is None
+        faults.install("p")  # what a respawned worker does
+        assert faults.check("p") is not None
+
+    def test_active_spec_round_trips(self):
+        spec = "worker_crash@phase=sample;merge_fail"
+        faults.install(spec)
+        assert faults.active_spec() == spec
+        faults.install(None)
+        assert faults.active_spec() is None
+
+    def test_arm_appends(self):
+        faults.install("merge_fail")
+        faults.arm("serve_error@op=infer")
+        assert faults.check("merge_fail") is not None
+        assert faults.check("serve_error", op="infer") is not None
+
+    def test_env_var_read_lazily(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "merge_fail@sync=barrier")
+        assert faults.check("merge_fail", sync="barrier") is not None
+        # A second read comes from the registry, not the environment.
+        monkeypatch.delenv(faults.ENV_VAR)
+        assert faults.active_spec() == "merge_fail@sync=barrier"
+
+    def test_nothing_armed_is_a_noop(self):
+        assert faults.check("worker_crash", phase="sample") is None
+        assert faults.delay_if("serve_slow") == 0.0
+        faults.raise_if("merge_fail")  # does not raise
+
+
+class TestInjectionStyles:
+    def test_raise_if_raises_typed_error_with_context(self):
+        faults.install("merge_fail@sync=prereduce")
+        with pytest.raises(FaultInjected) as exc:
+            faults.raise_if("merge_fail", sync="prereduce")
+        assert exc.value.point == "merge_fail"
+        assert exc.value.context == {"sync": "prereduce"}
+
+    def test_delay_if_converts_ms_to_seconds(self):
+        faults.install("serve_slow@op=infer,delay_ms=250")
+        assert faults.delay_if("serve_slow", op="infer") == 0.25
+        # times=1 default: the delay is consumed.
+        assert faults.delay_if("serve_slow", op="infer") == 0.0
+
+    def test_crash_exit_code_is_distinctive(self):
+        assert faults.CRASH_EXIT_CODE == 173

@@ -16,6 +16,7 @@ The acceptance criteria of the serving PR, as executable checks:
 from __future__ import annotations
 
 import asyncio
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -544,3 +545,170 @@ class TestServerWorkerFailure:
 
         run(scenario(), timeout=180.0)
         assert set(glob.glob("/dev/shm/psm_*")) <= before
+
+
+class TestServingRobustness:
+    """Chaos hooks and client timeout/retry behaviour (the robustness PR)."""
+
+    @pytest.fixture(autouse=True)
+    def disarm(self):
+        from repro import faults
+
+        faults.reset()
+        yield
+        faults.reset()
+
+    def test_client_rejects_bad_knobs(self):
+        class _Fake:
+            pass
+
+        with pytest.raises(ValueError, match="retries"):
+            ServingClient(_Fake(), _Fake(), retries=-1)
+        with pytest.raises(ValueError, match="timeout"):
+            ServingClient(_Fake(), _Fake(), timeout=0.0)
+
+    def test_serve_error_fault_is_typed_and_transient(self, stack):
+        from repro import faults
+
+        async def scenario():
+            async with make_server(stack) as server:
+                host, port = server.address
+                async with await ServingClient.connect(host, port) as c:
+                    faults.install("serve_error@op=infer")
+                    with pytest.raises(
+                        ServingError, match="inference_failed"
+                    ):
+                        await c.infer(stack["docs"][:2], seed=0)
+                    # times=1: the very next request is healthy again —
+                    # and still bit-identical to the in-process oracle.
+                    r = await c.infer(stack["docs"][:2], seed=0)
+                    assert np.array_equal(
+                        r.theta,
+                        stack["ref1"].transform(stack["docs"][:2], seed=0),
+                    )
+
+        run(scenario())
+
+    def test_timeout_without_retries_raises(self, stack):
+        from repro import faults
+
+        async def scenario():
+            async with make_server(stack) as server:
+                host, port = server.address
+                faults.install("serve_slow@op=infer,delay_ms=2000,times=any")
+                async with await ServingClient.connect(
+                    host, port, timeout=0.2
+                ) as c:
+                    with pytest.raises(asyncio.TimeoutError):
+                        await c.infer(stack["docs"][:1], seed=0)
+
+        run(scenario())
+
+    def test_retry_after_timeout_reconnects_and_succeeds(self, stack):
+        from repro import faults
+
+        async def scenario():
+            async with make_server(stack) as server:
+                host, port = server.address
+                # One slow response (times=1 default); the retry lands on
+                # a healthy server and must match the oracle exactly.
+                faults.install("serve_slow@op=infer,delay_ms=1000")
+                async with await ServingClient.connect(
+                    host, port, timeout=0.3, retries=8
+                ) as c:
+                    r = await c.infer(stack["docs"][:2], seed=4)
+                    assert np.array_equal(
+                        r.theta,
+                        stack["ref1"].transform(stack["docs"][:2], seed=4),
+                    )
+
+        run(scenario())
+
+    def test_retry_on_busy_same_connection(self, stack):
+        """ServerBusy retries must not reconnect (the connection is
+        fine); with a drained queue the retry succeeds."""
+
+        async def scenario():
+            async with make_server(stack, max_pending=1) as server:
+                host, port = server.address
+                async with await ServingClient.connect(
+                    host, port, retries=8
+                ) as fast:
+                    # Saturate: several no-retry clients race one slot.
+                    others = [
+                        await ServingClient.connect(host, port)
+                        for _ in range(4)
+                    ]
+                    try:
+                        tasks = [
+                            asyncio.ensure_future(
+                                c.infer(stack["docs"][:3], seed=i)
+                            )
+                            for i, c in enumerate(others)
+                        ]
+                        r = await fast.infer(stack["docs"][:2], seed=9)
+                        assert np.array_equal(
+                            r.theta,
+                            stack["ref1"].transform(
+                                stack["docs"][:2], seed=9
+                            ),
+                        )
+                        await asyncio.gather(
+                            *tasks, return_exceptions=True
+                        )
+                    finally:
+                        for c in others:
+                            await c.close()
+
+        run(scenario())
+
+    def test_request_shutdown_drains_run(self, stack):
+        async def scenario():
+            server = make_server(stack)
+            task = asyncio.ensure_future(server.run())
+            while server.address is None:
+                await asyncio.sleep(0.01)
+            host, port = server.address
+            async with await ServingClient.connect(host, port) as c:
+                await c.infer(stack["docs"][:1], seed=0)
+            server.request_shutdown()
+            await asyncio.wait_for(task, 30)
+
+        run(scenario())
+
+
+class TestServeSigterm:
+    def test_sigterm_drains_like_sigint(self, stack):
+        """`repro serve` under SIGTERM: ready line printed, clean exit 0
+        — the graceful-stop contract a process supervisor relies on."""
+        import os
+        import signal as _signal
+        import subprocess
+        import sys
+        import time
+
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--model", stack["m1_path"], "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env,
+        )
+        try:
+            deadline = time.monotonic() + 60
+            ready = ""
+            while time.monotonic() < deadline:
+                line = proc.stdout.readline()
+                if "serving" in line:
+                    ready = line
+                    break
+            assert "generation=" in ready, f"no ready line: {ready!r}"
+            proc.send_signal(_signal.SIGTERM)
+            rc = proc.wait(timeout=30)
+            assert rc == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
