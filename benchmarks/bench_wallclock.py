@@ -639,6 +639,161 @@ def run_serving_bench(
     }
 
 
+#: Faulted-serving SLO run: every request carries this deadline, and
+#: every FAULT_EVERY-th dispatch is slowed well past it.
+FAULTED_DEADLINE_MS = 300.0
+FAULTED_SLOW_DELAY_MS = 900.0
+FAULTED_EVERY = 10
+FAULTED_CLIENTS = 6
+FAULTED_REQUESTS_PER_CLIENT = 15
+#: Reply-latency bound asserted on the committed report: with deadlines
+#: enforced server-side, even faulted requests answer by deadline plus
+#: slack for the round trip and scheduler jitter.
+FAULTED_P99_BOUND_FACTOR = 1.5
+
+
+def run_faulted_serving_bench(
+    topics: int,
+    scale: float = 1.0,
+    num_clients: int = FAULTED_CLIENTS,
+    requests_per_client: int = FAULTED_REQUESTS_PER_CLIENT,
+    docs_per_request: int = SERVING_DOCS_PER_REQUEST,
+    num_sweeps: int = 10,
+    burn_in: int = 4,
+    train_iterations: int = 3,
+    deadline_ms: float = FAULTED_DEADLINE_MS,
+) -> dict:
+    """Closed-loop serving under a 10% ``serve_slow`` fault, with deadlines.
+
+    Every request carries ``deadline_ms``; every ``FAULTED_EVERY``-th
+    dispatch is slowed to ``FAULTED_SLOW_DELAY_MS`` — well past the
+    deadline — via the chaos registry.  The SLO under test: **no client
+    waits past its deadline**.  Affected requests come back as typed
+    ``deadline_exceeded`` replies at the deadline, unaffected requests
+    complete normally, and the p99 of *all* reply latencies stays under
+    ``deadline * FAULTED_P99_BOUND_FACTOR``.  The server's shed /
+    deadline / watchdog counters are recorded alongside.
+    """
+    import asyncio
+
+    from repro import faults
+    from repro.serving import DeadlineExceeded, ServingClient, ServingServer
+    from repro.serving.stats import quantiles
+
+    corpus, spec = make_corpus(scale, preset="medium")
+    num_docs = max(num_clients * docs_per_request, 64)
+    split = max(1, corpus.num_docs - num_docs)
+    train, test = corpus.subset(0, split), corpus.subset(split, corpus.num_docs)
+    trainer = create_trainer("culda", train, topics=topics, seed=0)
+    trainer.fit(train_iterations, likelihood_every=0)
+    model = trainer.export_model()
+    doc_arrays = [
+        test.word_ids[test.doc_offsets[d]: test.doc_offsets[d + 1]]
+        .astype(np.int64)
+        for d in range(test.num_docs)
+    ]
+
+    fault_spec = (
+        f"serve_slow@op=infer,delay_ms={FAULTED_SLOW_DELAY_MS:.0f},"
+        f"every={FAULTED_EVERY},times=any"
+    )
+
+    async def drive() -> dict:
+        server = ServingServer(
+            model,
+            num_sweeps=num_sweeps,
+            burn_in=burn_in,
+            max_pending=num_clients * requests_per_client,
+        )
+        host, port = await server.start()
+        all_latencies: list[float] = []
+        ok_latencies: list[float] = []
+        deadline_hits = 0
+        errors = 0
+
+        async def client(cid: int) -> None:
+            nonlocal deadline_hits, errors
+            loop = asyncio.get_running_loop()
+            async with await ServingClient.connect(host, port) as c:
+                for i in range(requests_per_client):
+                    lo = (cid * docs_per_request + i) % max(
+                        1, len(doc_arrays) - docs_per_request
+                    )
+                    docs = doc_arrays[lo: lo + docs_per_request]
+                    t0 = loop.time()
+                    try:
+                        await c.infer(
+                            docs, seed=cid * 100_000 + i,
+                            deadline_ms=deadline_ms,
+                        )
+                        ok_latencies.append(loop.time() - t0)
+                        all_latencies.append(ok_latencies[-1])
+                    except DeadlineExceeded:
+                        deadline_hits += 1
+                        all_latencies.append(loop.time() - t0)
+                    except Exception:
+                        errors += 1
+
+        t_bench = time.perf_counter()
+        faults.install(fault_spec)
+        try:
+            await asyncio.gather(*[client(c) for c in range(num_clients)])
+        finally:
+            faults.reset()
+        wall = time.perf_counter() - t_bench
+        server_snap = server._stats.snapshot()
+        breaker_snap = server._breaker.snapshot()
+        await server.stop()
+        return {
+            "wall_seconds": wall,
+            "completed": len(ok_latencies),
+            "deadline_exceeded_client": deadline_hits,
+            "transport_errors": errors,
+            "reply_latency_s": quantiles(all_latencies),
+            "ok_latency_s": quantiles(ok_latencies),
+            "server_counters": {
+                "shed_expired": server_snap["shed_expired"],
+                "deadline_exceeded": server_snap["deadline_exceeded"],
+                "watchdog_fired": server_snap["watchdog_fired"],
+                "errors": server_snap["errors"],
+            },
+            "breaker": breaker_snap,
+        }
+
+    res = asyncio.run(drive())
+    bound_s = deadline_ms / 1000.0 * FAULTED_P99_BOUND_FACTOR
+    p99 = res["reply_latency_s"]["p99"] if res["reply_latency_s"] else None
+    res_note = (
+        f"p99 over ALL replies (successes and typed deadline errors) "
+        f"vs the {bound_s * 1e3:.0f} ms bound"
+    )
+    print(
+        f"faulted serving: {res['completed']} ok, "
+        f"{res['deadline_exceeded_client']} deadline_exceeded, "
+        f"p99 {p99 * 1e3:7.1f} ms (bound {bound_s * 1e3:.0f} ms)"
+    )
+    return {
+        "preset": "medium",
+        "corpus": {"spec": spec, "seed": CORPUS_SEED},
+        "num_clients": num_clients,
+        "requests_per_client": requests_per_client,
+        "docs_per_request": docs_per_request,
+        "num_sweeps": num_sweeps,
+        "burn_in": burn_in,
+        "deadline_ms": deadline_ms,
+        "fault": fault_spec,
+        "fault_fraction": 1.0 / FAULTED_EVERY,
+        "p99_bound_s": bound_s,
+        "p99_within_bound": (p99 is not None and p99 <= bound_s),
+        "run": res,
+        "note": (
+            "closed-loop with per-request deadline_ms under a "
+            f"{100 // FAULTED_EVERY}% serve_slow fault; {res_note}; "
+            "typed replies asserted in tests/test_serving.py"
+        ),
+    }
+
+
 def run_scaling_sweep(
     topics: int,
     warmup: int,
@@ -828,8 +983,12 @@ def run(
         )
 
     serving_report = None
+    faulted_serving_report = None
     if serving:
         serving_report = run_serving_bench(topics=topics, scale=scale)
+        faulted_serving_report = run_faulted_serving_bench(
+            topics=topics, scale=scale
+        )
 
     report = {
         "protocol": {
@@ -888,6 +1047,8 @@ def run(
         report["inference"] = inference_report
     if serving_report is not None:
         report["serving"] = serving_report
+    if faulted_serving_report is not None:
+        report["serving_faulted"] = faulted_serving_report
     out_path = Path(out_path)
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"report written to {out_path}")

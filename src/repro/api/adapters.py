@@ -24,6 +24,7 @@ from typing import Any
 import numpy as np
 
 from repro.api.protocol import IterationRecord, LdaTrainer
+from repro.core.likelihood import ensure_finite
 
 __all__ = ["HistoryTrainerAdapter", "SweepTrainerAdapter"]
 
@@ -163,7 +164,14 @@ class SweepTrainerAdapter(_DelegatingAdapter):
             self.inner.sweep()
             dur = max(time.perf_counter() - t0, 1e-9)
             self._elapsed += dur
-            ll = model.log_likelihood_per_token() if compute_likelihood else None
+            ll = (
+                ensure_finite(
+                    model.log_likelihood_per_token(),
+                    iteration=len(self._records),
+                )
+                if compute_likelihood
+                else None
+            )
             theta = model.theta
             mean_kd = (
                 float(np.count_nonzero(theta) / theta.shape[0])

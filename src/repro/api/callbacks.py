@@ -16,12 +16,14 @@ takes over the cadence decision entirely.
 from __future__ import annotations
 
 import sys
+import warnings
 from collections.abc import Iterable
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, TextIO
 
 from repro.core.model import LdaState
 from repro.core.snapshot import run_info, save_checkpoint
+from repro.integrity import verify_artifact
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.protocol import IterationRecord, TrainResult
@@ -130,6 +132,12 @@ class Checkpointer(Callback):
         When set (and ``path`` expands to distinct files), only the
         newest N checkpoints are kept; older saves are deleted after
         each successful write — bounded disk, crash-safe ordering.
+        Every fresh write is **load-verified first** (reopened, payload
+        digest recomputed — :func:`repro.integrity.verify_artifact`):
+        a file that fails verification is recorded in
+        :attr:`verify_failures`, warned about, and never counted toward
+        ``keep_last`` — a torn final write cannot destroy the last good
+        checkpoint.
     save_on_recovery:
         Checkpoint immediately after the trainer reports a crash
         recovery (its ``recovery_events`` grew this iteration), without
@@ -154,6 +162,9 @@ class Checkpointer(Callback):
         self.keep_last = keep_last
         self.save_on_recovery = save_on_recovery
         self.saved: list[Path] = []
+        #: Writes that failed the post-save integrity check (kept on
+        #: disk as evidence; never counted toward ``keep_last``).
+        self.verify_failures: list[Path] = []
         self.skipped = False
         self._recoveries_seen = 0
 
@@ -185,6 +196,20 @@ class Checkpointer(Callback):
             ),
             run=run_info(trainer),
         )
+        # Load-verify the fresh write (reopen + digest check) BEFORE any
+        # pruning: if this file is torn or bit-flipped, the older
+        # checkpoints are the only good ones left — keep them.
+        report = verify_artifact(written)
+        if report["status"] == "corrupt":
+            self.verify_failures.append(written)
+            warnings.warn(
+                f"checkpoint {written} failed post-write verification "
+                f"({report.get('detail', 'digest mismatch')}); older "
+                f"checkpoints were NOT pruned",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
         if written not in self.saved:
             self.saved.append(written)
         if self.keep_last is not None:

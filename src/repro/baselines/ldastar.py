@@ -23,7 +23,11 @@ import numpy as np
 
 from repro.core.config import TrainerConfig
 from repro.core.costs import SamplingStats, int_bytes, sampling_cost, tree_depth_for
-from repro.core.likelihood import likelihood_due, log_likelihood_per_token
+from repro.core.likelihood import (
+    ensure_finite,
+    likelihood_due,
+    log_likelihood_per_token,
+)
 from repro.core.model import LdaState
 from repro.core.rng import RngPool
 from repro.core.sampler import sample_chunk
@@ -365,14 +369,22 @@ class LdaStarTrainer:
                     self._dispatch_process(engine, it + 1, needs_ll(it + 1))
                     inflight = it + 1
                 ll = (
-                    self._assemble_likelihood(results) / total_tokens
+                    ensure_finite(
+                        self._assemble_likelihood(results) / total_tokens,
+                        iteration=it,
+                    )
                     if need_ll else None
                 )
             else:
                 worker_times, changed_total, sum_kd = (
                     self._sample_workers_serial(it)
                 )
-                ll = log_likelihood_per_token(self.state) if need_ll else None
+                ll = (
+                    ensure_finite(
+                        log_likelihood_per_token(self.state), iteration=it
+                    )
+                    if need_ll else None
+                )
 
             dur = max(worker_times) + self._network_seconds(changed_total)
             self._sim_time += dur

@@ -8,6 +8,7 @@
     python -m repro evaluate --model model.npz --docword test_docs.txt
     python -m repro serve --model model.npz --port 7070
     python -m repro query --host 127.0.0.1 --port 7070 --docword new_docs.txt
+    python -m repro verify-artifact model.npz checkpoint.npz
     python -m repro benchmark --algo lightlda --topics 256
     python -m repro algorithms
 
@@ -334,6 +335,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         num_workers=args.num_workers,
         worker_affinity=_parse_affinity(args.worker_affinity),
         max_pending=args.max_pending,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset_s=args.breaker_reset,
     )
 
     def on_ready(address) -> None:
@@ -398,7 +401,11 @@ def cmd_query(args: argparse.Namespace) -> int:
                     ]
                     for d in range(min(corpus.num_docs, args.max_docs))
                 ]
-                reply = await client.infer(docs, seed=args.inference_seed)
+                reply = await client.infer(
+                    docs,
+                    seed=args.inference_seed,
+                    deadline_ms=args.deadline_ms,
+                )
                 print(
                     f"generation {reply.generation}: {len(docs)} documents, "
                     f"queue wait {reply.queue_wait_s * 1e3:.1f} ms, "
@@ -432,6 +439,29 @@ def cmd_query(args: argparse.Namespace) -> int:
         print(f"error: cannot reach {args.host}:{args.port}: {exc}",
               file=sys.stderr)
         return 2
+
+
+def cmd_verify_artifact(args: argparse.Namespace) -> int:
+    """Offline integrity check of a model artifact or checkpoint."""
+    from repro.integrity import verify_artifact
+
+    worst = 0
+    for path in args.paths:
+        report = verify_artifact(path)
+        rows = [
+            ["path", report["path"]],
+            ["kind", report["kind"] or "?"],
+            ["version", report["version"] if report["version"] is not None
+             else "?"],
+            ["status", report["status"]],
+            ["digest", (report.get("digest") or "-")[:16]],
+            ["stored digest", (report.get("stored_digest") or "-")[:16]],
+            ["detail", report.get("detail", "")],
+        ]
+        print(render_table(["field", "value"], rows))
+        if report["status"] == "corrupt":
+            worst = 1
+    return worst
 
 
 def cmd_benchmark(args: argparse.Namespace) -> int:
@@ -636,6 +666,15 @@ def build_parser() -> argparse.ArgumentParser:
                          default=64,
                          help="queued requests beyond which clients get a "
                               "typed 'busy' response")
+    p_serve.add_argument(
+        "--breaker-threshold", dest="breaker_threshold", type=int, default=5,
+        help="consecutive dispatch failures that open the circuit breaker "
+             "(typed 'circuit_open' refusals; 0 disables)",
+    )
+    p_serve.add_argument(
+        "--breaker-reset", dest="breaker_reset", type=float, default=2.0,
+        help="seconds an open breaker waits before its half-open probe",
+    )
     p_serve.set_defaults(func=cmd_serve)
 
     p_query = sub.add_parser(
@@ -664,10 +703,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_query.add_argument(
         "--retries", type=int, default=0,
-        help="bounded retries with jittered exponential backoff on 'busy' "
-             "and transient connection errors (default 0 = fail fast)",
+        help="bounded retries with jittered exponential backoff on 'busy', "
+             "'circuit_open' and transient connection errors (default 0 = "
+             "fail fast)",
+    )
+    p_query.add_argument(
+        "--deadline-ms", dest="deadline_ms", type=float, default=None,
+        help="server-side deadline for --op infer: the reply arrives by "
+             "this budget or is a typed 'deadline_exceeded' (default: none)",
     )
     p_query.set_defaults(func=cmd_query)
+
+    p_verify = sub.add_parser(
+        "verify-artifact",
+        help="offline integrity check (payload sha256) of model artifacts "
+             "and checkpoints",
+    )
+    p_verify.add_argument(
+        "paths", nargs="+",
+        help="artifact .npz files to verify (exit 1 if any is corrupt)",
+    )
+    p_verify.set_defaults(func=cmd_verify_artifact)
 
     p_bench = sub.add_parser("benchmark", help="quick throughput check")
     add_corpus_args(p_bench)

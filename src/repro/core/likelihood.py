@@ -33,6 +33,37 @@ from repro.core.model import LdaState
 from repro.perf import counts_of_counts_lngamma, lngamma_table
 
 
+class NumericalError(ArithmeticError):
+    """A likelihood evaluation produced NaN/inf.
+
+    A non-finite LL/token means the chain's counts are broken (overflow,
+    corrupted state, a kernel bug) — silently propagating ``nan`` would
+    poison callbacks (early stopping compares against it and never
+    stops) and get persisted into checkpoints.  Raised by
+    :func:`ensure_finite`, naming the iteration when the caller knows it.
+    """
+
+    def __init__(self, value: float, iteration: int | None = None):
+        where = f" at iteration {iteration}" if iteration is not None else ""
+        super().__init__(
+            f"non-finite log-likelihood ({value!r}){where}: the model "
+            f"state is numerically broken"
+        )
+        self.value = value
+        self.iteration = iteration
+
+
+def ensure_finite(value: float, *, iteration: int | None = None) -> float:
+    """Pass ``value`` through, raising :class:`NumericalError` on NaN/inf.
+
+    The guard every LL producer wraps its result in before the number
+    reaches records, callbacks or checkpoints.
+    """
+    if not np.isfinite(value):
+        raise NumericalError(float(value), iteration)
+    return float(value)
+
+
 def likelihood_due(iteration: int, every: int) -> bool:
     """The default LL cadence: every ``every``-th completed iteration.
 

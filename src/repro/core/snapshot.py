@@ -17,9 +17,12 @@ cursor).  v1 files still load; their bundle simply has no
 vocabulary/lineage/run.
 
 Writes are atomic (temp file + ``os.replace``), so a crash mid-save can
-never leave a torn checkpoint behind.  The file format is versioned;
-loaders reject unknown versions and corrupted invariants rather than
-silently mis-training.
+never leave a torn checkpoint behind, and ``metadata_json`` carries a
+sha256 digest over the payload arrays (:mod:`repro.integrity`) that
+loaders recompute and compare — a bit-flipped checkpoint is a typed
+``ValueError``, never a silently corrupted resume.  The file format is
+versioned; loaders reject unknown versions and corrupted invariants
+rather than silently mis-training.
 """
 
 from __future__ import annotations
@@ -33,6 +36,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.model import ChunkState, LdaState
+from repro.integrity import integrity_record, verify_payload
 from repro.corpus.document import Corpus
 from repro.corpus.encoding import encode_chunk
 from repro.corpus.partition import ChunkSpec
@@ -114,6 +118,10 @@ class CheckpointBundle:
     lineage: dict | None
     run: dict | None
     version: int
+    #: Digest-verification outcome: ``{"status": "verified", ...}`` when
+    #: the recorded sha256 matched, ``{"status": "unverified"}`` for
+    #: files written before digests existed (corrupted files raise).
+    integrity: dict | None = None
 
 
 def run_info(
@@ -195,9 +203,6 @@ def save_checkpoint(
         "num_topics": state.num_topics,
         "num_words": state.num_words,
         "num_chunks": len(state.chunks),
-        "metadata_json": json.dumps(
-            {"lineage": make_lineage(parent), "run": run}
-        ),
     }
     if vocabulary is not None:
         payload["vocab"] = np.asarray(list(vocabulary), dtype=np.str_)
@@ -208,6 +213,11 @@ def save_checkpoint(
             [spec.chunk_id, spec.doc_lo, spec.doc_hi, spec.token_lo, spec.token_hi],
             dtype=np.int64,
         )
+    payload["metadata_json"] = json.dumps({
+        "lineage": make_lineage(parent),
+        "run": run,
+        "integrity": integrity_record(payload),
+    })
     return _atomic_savez(path, payload)
 
 
@@ -228,6 +238,13 @@ def load_checkpoint_full(path: str | Path, corpus: Corpus) -> CheckpointBundle:
     _check_version(data)
     if str(data["kind"]) != "checkpoint":
         raise ValueError(f"not a checkpoint artifact: kind={data['kind']}")
+    meta: dict = {}
+    if "metadata_json" in data:
+        meta = json.loads(str(data["metadata_json"]))
+    try:
+        integrity = verify_payload(data, meta)
+    except ValueError as exc:
+        raise ValueError(f"checkpoint corrupted: {exc}") from exc
     if int(data["num_words"]) != corpus.num_words:
         raise ValueError(
             f"checkpoint was trained on V={int(data['num_words'])}, "
@@ -262,17 +279,13 @@ def load_checkpoint_full(path: str | Path, corpus: Corpus) -> CheckpointBundle:
     vocabulary = None
     if "vocab" in data:
         vocabulary = Vocabulary([str(t) for t in data["vocab"]])
-    lineage = run = None
-    if "metadata_json" in data:
-        meta = json.loads(str(data["metadata_json"]))
-        lineage = meta.get("lineage")
-        run = meta.get("run")
     return CheckpointBundle(
         state=state,
         vocabulary=vocabulary,
-        lineage=lineage,
-        run=run,
+        lineage=meta.get("lineage"),
+        run=meta.get("run"),
         version=int(data["version"]),
+        integrity=integrity,
     )
 
 

@@ -33,6 +33,7 @@ from repro.corpus.partition import assign_round_robin, partition_by_tokens
 from repro.core.config import TrainerConfig
 from repro.core.costs import phi_replica_bytes, theta_replica_bytes
 from repro.core.likelihood import (
+    ensure_finite,
     likelihood_due,
     log_likelihood_from_terms,
     log_likelihood_per_token,
@@ -487,6 +488,7 @@ class CuLdaTrainer:
                     ll = self._assemble_likelihood(results) / total_tokens
                 else:
                     ll = log_likelihood_per_token(self.state)
+                ll = ensure_finite(ll, iteration=it)
             else:
                 ll = None
             dur = t1 - t0

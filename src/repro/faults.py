@@ -21,13 +21,17 @@ Grammar: ``;``-separated clauses, each ``point`` or
 ``point@key=value,key=value``.  Match keys compare against the context
 the injection point supplies (``iteration``, ``chunk``, ``worker``,
 ``phase``, ``op``...); a key the spec names but the context lacks never
-matches.  Values: integers, bare strings, or ``any`` (wildcard).  Two
+matches.  Values: integers, bare strings, or ``any`` (wildcard).  Three
 keys are control knobs rather than matchers:
 
 - ``times=N`` — fire at most N times per process (default 1);
   ``times=any`` fires forever;
-- ``delay_ms=X`` — for delay points (:func:`delay_if`), the injected
-  latency.
+- ``delay_ms=X`` — for delay points (:func:`delay_if` /
+  :func:`sleep_if`), the injected latency;
+- ``every=N`` — fire on every Nth otherwise-matching check (the 1st,
+  N+1st, ...), so a probabilistic failure rate becomes a deterministic
+  one: ``serve_slow@op=infer,every=10,times=any`` slows exactly 10% of
+  dispatches.
 
 Determinism across recovery
 ---------------------------
@@ -53,16 +57,25 @@ Points currently wired (see docs/ROBUSTNESS.md):
 ``serve_error``     serving dispatch raises -> typed
                     ``inference_failed`` response
 ``serve_slow``      serving dispatch sleeps ``delay_ms`` first
+``serve_hang``      serving dispatch **wedges on the executor thread**
+                    for ``delay_ms`` (default one hour — effectively
+                    forever), past the event loop's reach: only the
+                    deadline watchdog can answer the affected clients
+``artifact_corrupt``  flips one phi count after an artifact read so the
+                    digest verification sees a genuinely corrupted
+                    payload (matches ``op=load`` and ``path=<name>``)
 ==================  ====================================================
 """
 
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 
 __all__ = [
     "CRASH_EXIT_CODE",
+    "DEFAULT_HANG_SECONDS",
     "ENV_VAR",
     "Fault",
     "FaultInjected",
@@ -75,6 +88,7 @@ __all__ = [
     "parse_spec",
     "raise_if",
     "reset",
+    "sleep_if",
 ]
 
 #: Exit code of an injected process crash — distinctive in worker logs.
@@ -86,7 +100,11 @@ ENV_VAR = "REPRO_FAULTS"
 ANY = "any"
 
 #: Keys that configure the fault rather than match the context.
-_CONTROL_KEYS = ("times", "delay_ms")
+_CONTROL_KEYS = ("times", "delay_ms", "every")
+
+#: ``sleep_if`` with no ``delay_ms``: one hour — "forever" for any test
+#: with a timeout, without actually deadlocking a leaked thread for good.
+DEFAULT_HANG_SECONDS = 3600.0
 
 
 class FaultInjected(RuntimeError):
@@ -109,7 +127,11 @@ class Fault:
     times: int | None = 1
     #: injected latency for delay points, in milliseconds.
     delay_ms: float = 0.0
+    #: fire on every Nth otherwise-matching check (1 = every match).
+    every: int = 1
     fired: int = 0
+    #: otherwise-matching checks seen (drives the ``every`` cadence).
+    seen: int = 0
 
     def matches(self, point: str, context: dict) -> bool:
         if point != self.point:
@@ -131,7 +153,10 @@ class Fault:
                 return False
             if str(context[key]) != str(want):
                 return False
-        return True
+        # Conditions satisfied: advance the every-N cadence and fire on
+        # the 1st, every+1st, ... such check.
+        self.seen += 1
+        return (self.seen - 1) % self.every == 0
 
 
 def _parse_value(text: str) -> object:
@@ -162,6 +187,7 @@ def parse_spec(spec: str) -> list[Fault]:
         match: dict[str, object] = {}
         times: int | None = 1
         delay_ms = 0.0
+        every = 1
         if raw.strip():
             for pair in raw.split(","):
                 key, sep, value = pair.partition("=")
@@ -176,10 +202,20 @@ def parse_spec(spec: str) -> list[Fault]:
                     times = None if parsed == ANY else int(parsed)  # type: ignore[arg-type]
                 elif key == "delay_ms":
                     delay_ms = float(value)
+                elif key == "every":
+                    every = int(parsed)  # type: ignore[arg-type]
+                    if every < 1:
+                        raise ValueError(
+                            f"every must be >= 1, got {parsed!r} in "
+                            f"{clause!r}"
+                        )
                 else:
                     match[key] = parsed
         faults.append(
-            Fault(point=point, match=match, times=times, delay_ms=delay_ms)
+            Fault(
+                point=point, match=match, times=times, delay_ms=delay_ms,
+                every=every,
+            )
         )
     return faults
 
@@ -262,3 +298,21 @@ def delay_if(point: str, **context) -> float:
     """Injected latency in **seconds** for a delay point (0.0 = none)."""
     fault = check(point, **context)
     return fault.delay_ms / 1000.0 if fault is not None else 0.0
+
+
+def sleep_if(point: str, **context) -> None:
+    """**Blocking** sleep if a matching fault is armed (thread wedge).
+
+    Unlike :func:`delay_if` (whose caller awaits cooperatively), this
+    blocks the calling thread outright — on an executor thread it
+    simulates a wedged inference dispatch that the event loop cannot
+    interrupt, which is exactly what the serving deadline watchdog must
+    survive.  With no ``delay_ms`` the wedge lasts
+    :data:`DEFAULT_HANG_SECONDS`.
+    """
+    fault = check(point, **context)
+    if fault is not None:
+        seconds = (
+            fault.delay_ms / 1000.0 if fault.delay_ms else DEFAULT_HANG_SECONDS
+        )
+        time.sleep(seconds)

@@ -15,8 +15,11 @@ Schema history:
   Still loads (compat path); never written anymore.
 - **v2** (current) — v1 fields plus optional ``vocab`` (one term per
   word id), ``metadata_json`` (JSON provenance: algorithm, iterations,
-  options, and the ``lineage`` model-generation record —
-  generation/parent/created_at — that hot swap and rollback key on) and
+  options, the ``lineage`` model-generation record —
+  generation/parent/created_at — that hot swap and rollback key on, and
+  the ``integrity`` record: a sha256 digest over the payload arrays,
+  recomputed and compared on load; see :mod:`repro.integrity`.  Files
+  written before digests existed load with ``status: "unverified"``) and
   ``top_word_index`` (the precomputed per-topic top-word-id serving
   index; files written before it existed simply lack the array and the
   index is rebuilt lazily — no version bump needed, the layout of the
@@ -34,7 +37,9 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import faults
 from repro.corpus.vocab import Vocabulary
+from repro.integrity import integrity_record, verify_payload
 from repro.model.artifact import TopicModel
 
 __all__ = [
@@ -54,7 +59,12 @@ READABLE_VERSIONS = (1, 2)
 
 
 def save_topic_model(model: TopicModel, path: str | Path) -> None:
-    """Write ``model`` to ``path`` as a schema-v2 ``.npz``."""
+    """Write ``model`` to ``path`` as a schema-v2 ``.npz``.
+
+    The payload arrays are digested (sha256) and the digest stored in
+    ``metadata_json["integrity"]``, so :func:`load_topic_model` can
+    detect a truncated or bit-flipped file instead of serving it.
+    """
     payload: dict = {
         "version": SCHEMA_VERSION,
         "kind": "model",
@@ -64,7 +74,6 @@ def save_topic_model(model: TopicModel, path: str | Path) -> None:
         "beta": model.beta,
         "num_topics": model.num_topics,
         "num_words": model.num_words,
-        "metadata_json": json.dumps(model.metadata, default=str, sort_keys=True),
         # Precompute the serving index at save time: models are written
         # once and served many times, and the index lets top_words answer
         # without an argpartition over V per query.
@@ -72,6 +81,10 @@ def save_topic_model(model: TopicModel, path: str | Path) -> None:
     }
     if model.vocabulary is not None:
         payload["vocab"] = np.asarray(list(model.vocabulary), dtype=np.str_)
+    metadata = {**model.metadata, "integrity": integrity_record(payload)}
+    payload["metadata_json"] = json.dumps(
+        metadata, default=str, sort_keys=True
+    )
     np.savez_compressed(Path(path), **payload)
 
 
@@ -86,6 +99,14 @@ def load_topic_model(path: str | Path) -> TopicModel:
     """
     with np.load(Path(path), allow_pickle=False) as z:
         data = {k: z[k] for k in z.files}
+    # Chaos hook (no-op unless armed): flip one phi count after the read
+    # so the *real* digest verification below catches the corruption —
+    # exactly what a bit-rotted or torn file would look like.
+    if "phi" in data and faults.check(
+        "artifact_corrupt", op="load", path=Path(path).name
+    ):
+        data["phi"] = data["phi"].copy()
+        data["phi"].flat[0] += 1
     if "version" not in data:
         raise ValueError("not a repro snapshot (no version field)")
     version = int(data["version"])
@@ -116,6 +137,10 @@ def load_topic_model(path: str | Path) -> TopicModel:
         )
     else:
         metadata = {"schema_version": 1}
+    try:
+        metadata["integrity"] = verify_payload(data, metadata)
+    except ValueError as exc:
+        raise ValueError(f"model artifact corrupted: {exc}") from exc
     try:
         model = TopicModel(
             phi=phi,

@@ -7,16 +7,22 @@ Layers (each importable on its own):
   pending requests into lockstep dispatches;
 - :mod:`repro.serving.stats` — per-request latency accounting (queue
   wait vs service, windowed p50/p99);
+- :mod:`repro.serving.breaker` — the circuit breaker that turns
+  consecutive dispatch failures into fast typed refusals;
 - :mod:`repro.serving.server` — the asyncio server: concurrent clients,
-  bit-identical coalesced inference, hot model swap with zero dropped
-  requests;
+  bit-identical coalesced inference, request deadlines with watchdogged
+  dispatches and pool self-healing, digest-verified hot model swap with
+  last-good rollback and zero dropped requests;
 - :mod:`repro.serving.client` — the sequential protocol client.
 
 Entry points: ``repro serve`` / ``repro query`` on the CLI,
 :class:`ServingServer` / :class:`ServingClient` in-process.
 """
 
+from repro.serving.breaker import CircuitBreaker
 from repro.serving.client import (
+    CircuitOpen,
+    DeadlineExceeded,
     InferReply,
     ServerBusy,
     ServingClient,
@@ -51,6 +57,9 @@ __all__ = [
     "InferReply",
     "ServingError",
     "ServerBusy",
+    "CircuitOpen",
+    "DeadlineExceeded",
+    "CircuitBreaker",
     "BatchCoalescer",
     "PendingRequest",
     "LatencyStats",

@@ -1,0 +1,123 @@
+"""Circuit breaker: stop hammering an inference path that keeps failing.
+
+A bare ``busy`` reject protects the queue from *depth*; it does nothing
+about a server whose dispatches are failing — clients keep paying full
+inference latency to receive ``inference_failed``, and a wedged pool
+keeps being rebuilt under load.  :class:`CircuitBreaker` is the standard
+three-state remedy, driven entirely by the dispatch outcomes the server
+already observes:
+
+- **closed** (healthy): requests flow; consecutive dispatch failures
+  (typed ``inference_failed`` or a deadline-watchdog teardown) are
+  counted, and reaching ``failure_threshold`` trips the breaker;
+- **open**: admission refuses instantly with a typed ``circuit_open``
+  response (retryable, like ``busy``) — failing fast costs the client a
+  round-trip, not an inference timeout — until ``reset_timeout_s``
+  elapses;
+- **half-open**: exactly one probe request is admitted; its dispatch
+  succeeding closes the circuit (counters cleared), failing re-opens it
+  for another full ``reset_timeout_s``.
+
+Timestamps come from the caller (the serving event loop's clock), so the
+breaker itself is deterministic and trivially testable.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "CircuitBreaker",
+    "DEFAULT_FAILURE_THRESHOLD",
+    "DEFAULT_RESET_TIMEOUT_S",
+]
+
+#: Consecutive dispatch failures that trip the breaker.
+DEFAULT_FAILURE_THRESHOLD = 5
+
+#: Seconds an open breaker waits before admitting a half-open probe.
+DEFAULT_RESET_TIMEOUT_S = 2.0
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a timed half-open probe.
+
+    ``failure_threshold=0`` disables the breaker entirely (it never
+    opens) — the escape hatch for deployments that want PR-6 behaviour.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = DEFAULT_FAILURE_THRESHOLD,
+        reset_timeout_s: float = DEFAULT_RESET_TIMEOUT_S,
+    ):
+        if failure_threshold < 0:
+            raise ValueError("failure_threshold must be >= 0")
+        if reset_timeout_s <= 0:
+            raise ValueError("reset_timeout_s must be positive")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout_s = float(reset_timeout_s)
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at: float | None = None
+        self.times_opened = 0
+
+    def allow(self, now: float) -> bool:
+        """May a request be admitted at time ``now``?
+
+        In the open state, the first call after ``reset_timeout_s``
+        transitions to half-open and admits that caller as the probe;
+        everyone else is refused until the probe's outcome arrives.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if now - self.opened_at >= self.reset_timeout_s:
+                self.state = HALF_OPEN
+                return True
+            return False
+        return False  # half-open: probe already in flight
+
+    def record_success(self) -> None:
+        """A dispatch completed: close the circuit, clear the count."""
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = None
+
+    def record_failure(self, now: float) -> None:
+        """A dispatch failed or timed out: count it, maybe trip."""
+        if self.state == HALF_OPEN:
+            # The probe failed: straight back to open, full timeout.
+            self.state = OPEN
+            self.opened_at = now
+            self.times_opened += 1
+            return
+        self.consecutive_failures += 1
+        if (
+            self.failure_threshold
+            and self.state == CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self.state = OPEN
+            self.opened_at = now
+            self.times_opened += 1
+
+    def retry_after_s(self, now: float) -> float:
+        """Seconds until an open breaker admits its probe (0 if not open)."""
+        if self.state != OPEN or self.opened_at is None:
+            return 0.0
+        return max(0.0, self.reset_timeout_s - (now - self.opened_at))
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready state for the ``stats`` op."""
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "failure_threshold": self.failure_threshold,
+            "reset_timeout_s": self.reset_timeout_s,
+            "times_opened": self.times_opened,
+        }

@@ -10,8 +10,14 @@ shape the coalescer folds together.  Typed outcomes:
 - :meth:`ServingClient.infer` returns an :class:`InferReply` (theta plus
   the generation that answered and the server-measured latency split);
 - a ``busy`` response raises :class:`ServerBusy` (retryable overload);
-- any ``error`` response raises :class:`ServingError` carrying the
-  server's typed error code.
+- a ``circuit_open`` response raises :class:`CircuitOpen` (the server's
+  breaker is refusing work while its inference path recovers — also
+  retryable);
+- a ``deadline_exceeded`` response raises :class:`DeadlineExceeded`
+  (the ``deadline_ms`` this client attached passed on the server —
+  **not** retried: the budget is spent);
+- any other ``error`` response raises :class:`ServingError` carrying
+  the server's typed error code.
 
 Robustness (both opt-in, defaults preserve fail-fast semantics):
 
@@ -36,7 +42,14 @@ import numpy as np
 
 from repro.serving.protocol import read_frame, write_frame
 
-__all__ = ["ServingClient", "InferReply", "ServingError", "ServerBusy"]
+__all__ = [
+    "ServingClient",
+    "InferReply",
+    "ServingError",
+    "ServerBusy",
+    "CircuitOpen",
+    "DeadlineExceeded",
+]
 
 
 class ServingError(RuntimeError):
@@ -59,6 +72,23 @@ class ServerBusy(ServingError):
         self.max_pending = max_pending
 
 
+class CircuitOpen(ServingError):
+    """The server's circuit breaker is open; retry after it cools down."""
+
+    def __init__(self, message: str, retry_after_s: float):
+        super().__init__("circuit_open", message)
+        self.retry_after_s = retry_after_s
+
+
+class DeadlineExceeded(ServingError):
+    """The request's ``deadline_ms`` passed on the server (shed or
+    answered by the dispatch watchdog).  Deterministically final for
+    this request — never retried automatically."""
+
+    def __init__(self, message: str):
+        super().__init__("deadline_exceeded", message)
+
+
 @dataclass(frozen=True)
 class InferReply:
     """One answered inference: theta plus serving provenance."""
@@ -75,9 +105,12 @@ class InferReply:
 RETRY_BACKOFF_BASE = 0.05
 RETRY_BACKOFF_MAX = 2.0
 
-#: Failures worth a retry: overload and transport-level trouble.  Typed
-#: server errors other than ``busy`` are deterministic and never retried.
-_TRANSIENT = (ServerBusy, ConnectionError, OSError, asyncio.TimeoutError)
+#: Failures worth a retry: overload (queue-full or open breaker) and
+#: transport-level trouble.  Other typed server errors — including
+#: ``deadline_exceeded`` — are deterministic and never retried.
+_TRANSIENT = (
+    ServerBusy, CircuitOpen, ConnectionError, OSError, asyncio.TimeoutError,
+)
 
 
 class ServingClient:
@@ -158,10 +191,15 @@ class ServingClient:
                 int(reply.get("max_pending", -1)),
             )
         if reply.get("type") == "error":
-            raise ServingError(
-                str(reply.get("error", "unknown")),
-                str(reply.get("message", "")),
-            )
+            error = str(reply.get("error", "unknown"))
+            message = str(reply.get("message", ""))
+            if error == "circuit_open":
+                raise CircuitOpen(
+                    message, float(reply.get("retry_after_s", 0.0))
+                )
+            if error == "deadline_exceeded":
+                raise DeadlineExceeded(message)
+            raise ServingError(error, message)
         return reply
 
     async def _roundtrip(self, message: dict) -> dict:
@@ -205,16 +243,26 @@ class ServingClient:
         self,
         docs: Sequence[Sequence[int]] | Sequence[np.ndarray],
         seed: int = 0,
+        *,
+        deadline_ms: float | None = None,
     ) -> InferReply:
         """Topic mixtures for ``docs``: bit-identical to in-process
         ``InferenceSession.transform(docs, seed=seed)`` on the served
-        generation."""
+        generation.
+
+        ``deadline_ms`` rides with the request: the server sheds it
+        (typed ``deadline_exceeded`` -> :class:`DeadlineExceeded`)
+        rather than answer after the deadline — queued, mid-dispatch,
+        or wedged, the client hears back by its deadline plus one
+        network round-trip.
+        """
         payload = [
             np.asarray(d, dtype=np.int64).ravel().tolist() for d in docs
         ]
-        reply = await self._roundtrip(
-            {"op": "infer", "docs": payload, "seed": int(seed)}
-        )
+        message = {"op": "infer", "docs": payload, "seed": int(seed)}
+        if deadline_ms is not None:
+            message["deadline_ms"] = float(deadline_ms)
+        reply = await self._roundtrip(message)
         return InferReply(
             theta=np.asarray(reply["theta"], dtype=np.float64),
             generation=str(reply["generation"]),

@@ -14,14 +14,26 @@ protocol of :mod:`repro.serving.protocol`:
 - every response records ``queue_wait_s`` (coalescer hold time) and
   ``service_s`` (the inference span it rode), aggregated by
   :class:`~repro.serving.stats.LatencyStats` for the ``stats`` op;
-- a ``swap`` request loads a new model artifact and **atomically**
-  repoints subsequent dispatches at a fresh generation while in-flight
-  batches drain on the old one — zero dropped requests, and each
-  response names the generation (lineage id) that answered it;
-- admission control bounds the queue: past ``max_pending`` waiting
-  requests, clients get a typed ``busy`` response instead of unbounded
-  buffering.  Overload and degraded workers are states the protocol
-  speaks, not crashes.
+- a ``swap`` request loads a new model artifact, **verifies its
+  integrity digest and invariants** (phi/totals consistency, finite
+  hyper-parameters — see :mod:`repro.integrity`), and only then
+  **atomically** repoints subsequent dispatches at a fresh generation
+  while in-flight batches drain on the old one — zero dropped requests;
+  a corrupt or invalid artifact is a typed ``swap_rejected`` and the
+  current generation keeps serving (last-good rollback);
+- requests may carry a ``deadline_ms``: entries whose deadline passes
+  while queued are **shed** before wasting inference work, a dispatched
+  request is answered ``deadline_exceeded`` at its own deadline, and a
+  dispatch whose every waiter has a deadline runs under a watchdog —
+  if the inference call is still wedged when the last deadline passes,
+  the generation is retired and a fresh session (lazily rebuilt worker
+  pool) installed, so one hung worker cannot poison later requests;
+- admission control bounds the queue (typed ``busy`` past
+  ``max_pending``) and a :class:`~repro.serving.breaker.CircuitBreaker`
+  bounds *failure*: consecutive dispatch failures/timeouts open the
+  circuit (typed ``circuit_open`` refusals, no inference attempted)
+  until a half-open probe succeeds.  Overload and degraded workers are
+  states the protocol speaks, not crashes.
 
 Inference runs on an executor thread, so the event loop keeps accepting,
 answering and swapping while the engine computes.
@@ -39,6 +51,11 @@ import numpy as np
 
 from repro import faults
 from repro.model import InferenceSession, TopicModel
+from repro.serving.breaker import (
+    DEFAULT_FAILURE_THRESHOLD,
+    DEFAULT_RESET_TIMEOUT_S,
+    CircuitBreaker,
+)
 from repro.serving.coalescer import (
     DEFAULT_MAX_PENDING,
     BatchCoalescer,
@@ -81,6 +98,7 @@ class ModelGeneration:
             "source": self.source,
             "num_topics": self.model.num_topics,
             "num_words": self.model.num_words,
+            "integrity": (self.model.metadata or {}).get("integrity"),
         }
 
 
@@ -101,6 +119,9 @@ class ServingServer:
     max_pending:
         Admission-control depth: queued (not yet dispatched) requests
         beyond which ``infer`` answers ``busy``.
+    breaker_threshold / breaker_reset_s:
+        Circuit-breaker knobs: consecutive dispatch failures that open
+        the circuit (0 disables) and seconds before the half-open probe.
     """
 
     def __init__(
@@ -115,6 +136,8 @@ class ServingServer:
         num_workers: int | None = None,
         worker_affinity=None,
         max_pending: int = DEFAULT_MAX_PENDING,
+        breaker_threshold: int = DEFAULT_FAILURE_THRESHOLD,
+        breaker_reset_s: float = DEFAULT_RESET_TIMEOUT_S,
     ):
         self._host = host
         self._port = port
@@ -130,7 +153,10 @@ class ServingServer:
         self._retired: list[ModelGeneration] = []
         self._gen = self._make_generation(*self._load_session(model))
         self._stats = LatencyStats()
-        self._coalescer = BatchCoalescer(self._dispatch, max_pending)
+        self._breaker = CircuitBreaker(breaker_threshold, breaker_reset_s)
+        self._coalescer = BatchCoalescer(
+            self._dispatch, max_pending, on_expired=self._shed_request
+        )
         self._server: asyncio.AbstractServer | None = None
         self._connections: dict[asyncio.StreamWriter, asyncio.Future] = {}
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -338,6 +364,7 @@ class ServingServer:
                 "burn_in": self._session_kwargs["burn_in"],
                 "num_workers": self._gen.session.num_workers,
                 "latency": self._stats.snapshot(),
+                "breaker": self._breaker.snapshot(),
             })
         elif op == "shutdown":
             await self._write(writer, lock, {"type": "bye", "id": rid})
@@ -361,6 +388,7 @@ class ServingServer:
         busy, shutting down) or ``(None, request)`` once queued.
         """
         rid = msg.get("id")
+        loop = asyncio.get_running_loop()
 
         def refuse(error: str, message: str) -> tuple[dict, None]:
             self._stats.record_error()
@@ -370,6 +398,36 @@ class ServingServer:
                 None,
             )
 
+        # Fail fast while the circuit is open: a round-trip refusal, not
+        # an inference attempt against a path that keeps failing.
+        now = loop.time()
+        if not self._breaker.allow(now):
+            self._stats.record_circuit_rejected()
+            return (
+                {"type": "error", "id": rid, "error": "circuit_open",
+                 "message": (
+                     f"circuit breaker open after "
+                     f"{self._breaker.consecutive_failures} consecutive "
+                     f"dispatch failures; retry in "
+                     f"{self._breaker.retry_after_s(now):.2f}s"
+                 ),
+                 "retry_after_s": self._breaker.retry_after_s(now)},
+                None,
+            )
+        deadline_ms = msg.get("deadline_ms")
+        deadline_at = None
+        if deadline_ms is not None:
+            if (
+                not isinstance(deadline_ms, (int, float))
+                or isinstance(deadline_ms, bool)
+                or not np.isfinite(deadline_ms)
+                or deadline_ms <= 0
+            ):
+                return refuse(
+                    "invalid_request",
+                    "deadline_ms must be a positive number of milliseconds",
+                )
+            deadline_at = now + float(deadline_ms) / 1000.0
         raw = msg.get("docs")
         if not isinstance(raw, list) or not raw:
             return refuse(
@@ -409,9 +467,10 @@ class ServingServer:
         request = PendingRequest(
             docs=docs,
             seed=seed,
-            future=asyncio.get_running_loop().create_future(),
-            enqueued_at=asyncio.get_running_loop().time(),
+            future=loop.create_future(),
+            enqueued_at=loop.time(),
             request_id=rid,
+            deadline_at=deadline_at,
         )
         try:
             accepted = self._coalescer.submit(request)
@@ -425,6 +484,12 @@ class ServingServer:
                  "max_pending": self._coalescer.max_pending},
                 None,
             )
+        if deadline_at is not None:
+            # Armed at admission, not at dispatch: a request stuck in the
+            # queue behind a slow dispatch is answered at its OWN
+            # deadline — the drain loop never gates the typed reply.
+            timer = loop.call_at(deadline_at, self._expire_request, request)
+            request.future.add_done_callback(lambda _f: timer.cancel())
         return None, request
 
     async def _answer(
@@ -443,6 +508,71 @@ class ServingServer:
             }
         await self._write(writer, lock, reply)
 
+    def _expire_reply(self, req: PendingRequest, now: float) -> dict:
+        waited_ms = (now - req.enqueued_at) * 1e3
+        return {
+            "type": "error", "id": req.request_id,
+            "error": "deadline_exceeded",
+            "message": (
+                f"request deadline passed after {waited_ms:.1f} ms "
+                f"on the server"
+            ),
+        }
+
+    def _shed_request(self, req: PendingRequest) -> None:
+        """Coalescer shed hook: answer an expired *queued* request."""
+        if req.future.done():
+            return
+        self._stats.record_shed()
+        loop = self._loop or asyncio.get_event_loop()
+        req.future.set_result(self._expire_reply(req, loop.time()))
+
+    def _expire_request(self, req: PendingRequest) -> None:
+        """Deadline timer: answer a request the moment its deadline passes.
+
+        Counted as *shed* while the request is still queued (no inference
+        was spent on it) and as *deadline_exceeded* once dispatched.
+        """
+        if req.future.done():
+            return
+        if req.meta.get("dispatched"):
+            self._stats.record_deadline_exceeded()
+        else:
+            self._stats.record_shed()
+        loop = self._loop or asyncio.get_event_loop()
+        req.future.set_result(self._expire_reply(req, loop.time()))
+
+    def _compute(self, gen: ModelGeneration, requests: list) -> list:
+        """The executor-thread side of a dispatch.
+
+        The ``serve_hang`` chaos hook wedges *here* — on the thread,
+        past the event loop's reach — so only the deadline watchdog can
+        answer the affected clients.
+        """
+        faults.sleep_if("serve_hang", op="infer")
+        return gen.session.transform_many(requests)
+
+    def _heal_generation(self, gen: ModelGeneration) -> None:
+        """Replace a generation whose dispatch the watchdog abandoned.
+
+        The abandoned executor thread may still be inside
+        ``transform_many`` on ``gen``'s session (its fold-in workspace
+        is not thread-safe), so the session cannot be reused: retire it
+        — the inflight refcount keeps it alive until the thread drains,
+        and :meth:`_reap_retired` then closes it, tearing down any
+        wedged worker pool — and install a fresh session over the same
+        model.  The new session's pool is built lazily on the next
+        dispatch (the PR-6 failure lifecycle), so one wedged worker
+        cannot poison subsequent requests.
+        """
+        if gen.retired:
+            return  # an intervening swap already replaced it
+        gen.retired = True
+        self._retired.append(gen)
+        if self._gen is gen:
+            session = InferenceSession(gen.model, **self._session_kwargs)
+            self._gen = self._make_generation(gen.model, session, gen.source)
+
     async def _dispatch(self, batch: list[PendingRequest]) -> None:
         """Run one coalesced inference for everything pending.
 
@@ -450,13 +580,29 @@ class ServingServer:
         this dispatch computes only affects later dispatches, and the
         generation's inflight count keeps its arena alive until the
         batch drains.
+
+        Deadline handling: each deadlined request was given a timer at
+        admission that answers it (typed ``deadline_exceeded``) the
+        moment its deadline passes — queued, riding this dispatch, or
+        mid-compute, no client ever blocks past its deadline.  When
+        *every* rider has a deadline the executor call
+        runs under ``asyncio.wait_for`` bounded by the latest one; the
+        watchdog firing means the inference thread is wedged, so the
+        generation is retired and healed (:meth:`_heal_generation`) and
+        the thread's eventual result discarded.
         """
         loop = self._loop if self._loop is not None else (
             asyncio.get_running_loop()
         )
         gen = self._gen
         valid: list[PendingRequest] = []
+        now = loop.time()
         for req in batch:
+            if req.future.done():
+                continue  # already answered (shed raced the drain)
+            if req.expired(now):
+                self._expire_request(req)
+                continue
             # Re-check vocabulary bounds against the generation actually
             # answering: a swap between enqueue and dispatch may have
             # shrunk V.
@@ -476,26 +622,85 @@ class ServingServer:
                     "generation": gen.generation,
                 })
             else:
+                req.meta["dispatched"] = True
                 valid.append(req)
         if not valid:
             return
         gen.inflight += 1
+        released = False
+
+        def release(_fut=None) -> None:
+            # Runs exactly once — directly when the dispatch owns the
+            # executor future's lifetime, or from its done-callback when
+            # the watchdog abandoned it (the thread may outlive us, and
+            # the retired session must not be closed under it).
+            nonlocal released
+            if released:
+                return
+            released = True
+            if _fut is not None and not _fut.cancelled():
+                _fut.exception()  # retrieved: no "never retrieved" noise
+            gen.inflight -= 1
+            self._reap_retired()
+
+        # Deadline timers were armed at admission (each request answers
+        # at its own deadline even mid-compute); here only the watchdog
+        # bound over the whole dispatch remains to compute.
+        fut: asyncio.Future | None = None
+        timed_out = False
         try:
             # Chaos hooks (no-ops unless armed; see repro.faults):
             # serve_slow injects tail latency, serve_error exercises the
-            # typed inference_failed path end-to-end.
+            # typed inference_failed path end-to-end (serve_hang lives
+            # in _compute, on the executor thread).
             delay = faults.delay_if("serve_slow", op="infer")
             if delay:
                 await asyncio.sleep(delay)
             faults.raise_if("serve_error", op="infer")
+            if all(req.future.done() for req in valid):
+                # Every rider's deadline lapsed during the delay: the
+                # timers already answered them — nothing left to compute,
+                # but the dispatch still counts as a timeout against the
+                # breaker (the server is too slow for its clients).
+                self._breaker.record_failure(loop.time())
+                return
             requests = [(req.docs, req.seed) for req in valid]
-            dispatched_at = loop.time()
-            thetas = await loop.run_in_executor(
-                None, partial(gen.session.transform_many, requests)
+            deadlines = [
+                req.deadline_at for req in valid
+                if req.deadline_at is not None
+            ]
+            hang_guard = (
+                max(0.0, max(deadlines) - loop.time())
+                if len(deadlines) == len(valid)
+                else None
             )
+            dispatched_at = loop.time()
+            fut = loop.run_in_executor(
+                None, partial(self._compute, gen, requests)
+            )
+            try:
+                thetas = await asyncio.wait_for(
+                    asyncio.shield(fut), hang_guard
+                )
+            except asyncio.TimeoutError:
+                timed_out = True
+                raise
             service_s = loop.time() - dispatched_at
-        except Exception as exc:
+        except asyncio.TimeoutError:
+            # Watchdog: the inference thread is wedged past every
+            # rider's deadline.  The timers answered the clients; tear
+            # the generation down so the next dispatch gets a clean one.
+            self._stats.record_watchdog()
+            self._breaker.record_failure(loop.time())
             for req in valid:
+                if not req.future.done():
+                    self._expire_request(req)
+            self._heal_generation(gen)
+        except Exception as exc:
+            self._breaker.record_failure(loop.time())
+            for req in valid:
+                if req.future.done():
+                    continue
                 self._stats.record_error()
                 req.future.set_result({
                     "type": "error", "id": req.request_id,
@@ -503,7 +708,10 @@ class ServingServer:
                     "generation": gen.generation,
                 })
         else:
+            self._breaker.record_success()
             for req, theta in zip(valid, thetas):
+                if req.future.done():
+                    continue  # its deadline passed mid-compute
                 queue_wait_s = dispatched_at - req.enqueued_at
                 self._stats.record(queue_wait_s, service_s)
                 req.future.set_result({
@@ -516,10 +724,35 @@ class ServingServer:
                     "coalesced_requests": len(valid),
                 })
         finally:
-            gen.inflight -= 1
-            self._reap_retired()
+            if timed_out and fut is not None:
+                fut.add_done_callback(release)
+            else:
+                release()
 
     # -- hot swap -----------------------------------------------------------
+
+    @staticmethod
+    def _check_swap_invariants(model: TopicModel) -> None:
+        """Cheap pre-repoint sanity check on a candidate generation.
+
+        The artifact loader already verified the payload digest and the
+        :class:`~repro.model.TopicModel` constructor its structural
+        invariants; this re-asserts the serving-critical ones (and adds
+        finiteness, which positivity checks alone let through) so a swap
+        can never repoint at a model that would corrupt every answer.
+        """
+        if not (np.isfinite(model.alpha) and np.isfinite(model.beta)):
+            raise ValueError(
+                f"non-finite hyper-parameters (alpha={model.alpha}, "
+                f"beta={model.beta})"
+            )
+        phi = np.asarray(model.phi)
+        if np.any(phi < 0):
+            raise ValueError("negative phi counts")
+        if not np.array_equal(
+            np.asarray(model.topic_totals), phi.sum(axis=1)
+        ):
+            raise ValueError("topic totals do not match phi row sums")
 
     async def _handle_swap(
         self, msg: dict, writer: asyncio.StreamWriter, lock: asyncio.Lock
@@ -535,16 +768,24 @@ class ServingServer:
             return
         loop = asyncio.get_running_loop()
         try:
-            # Artifact load + session build off the event loop: the old
-            # generation keeps answering while the new one warms up.
+            # Artifact load (digest-verified) + invariant check + session
+            # build, all off the event loop: the old generation keeps
+            # answering while the candidate warms up — and keeps serving
+            # (last-good rollback) if the candidate is rejected.
+            def load_and_check():
+                loaded = self._load_session(path)
+                self._check_swap_invariants(loaded[0])
+                return loaded
+
             model, session, source = await loop.run_in_executor(
-                None, partial(self._load_session, path)
+                None, load_and_check
             )
         except Exception as exc:
-            self._stats.record_error()
+            self._stats.record_swap_rejected()
             await self._write(writer, lock, {
-                "type": "error", "id": rid, "error": "swap_failed",
+                "type": "error", "id": rid, "error": "swap_rejected",
                 "message": str(exc),
+                "reason": type(exc).__name__,
                 "generation": self._gen.generation,
             })
             return

@@ -49,6 +49,11 @@ class LatencyStats:
         self.busy_rejected = 0
         self.errors = 0
         self.swaps = 0
+        self.swaps_rejected = 0
+        self.shed_expired = 0
+        self.deadline_exceeded = 0
+        self.circuit_rejected = 0
+        self.watchdog_fired = 0
 
     def record(self, queue_wait_s: float, service_s: float) -> None:
         """One completed request: its wait and the service span it rode."""
@@ -66,6 +71,26 @@ class LatencyStats:
     def record_swap(self) -> None:
         self.swaps += 1
 
+    def record_swap_rejected(self) -> None:
+        """A ``swap`` refused (corrupt/invalid artifact); still serving."""
+        self.swaps_rejected += 1
+
+    def record_shed(self) -> None:
+        """A queued request evicted because its deadline already passed."""
+        self.shed_expired += 1
+
+    def record_deadline_exceeded(self) -> None:
+        """A dispatched request answered ``deadline_exceeded``."""
+        self.deadline_exceeded += 1
+
+    def record_circuit_rejected(self) -> None:
+        """Admission refused by an open circuit breaker."""
+        self.circuit_rejected += 1
+
+    def record_watchdog(self) -> None:
+        """The dispatch watchdog fired (inference pool torn down)."""
+        self.watchdog_fired += 1
+
     def snapshot(self) -> dict[str, Any]:
         """JSON-ready digest: counters plus windowed quantiles."""
         return {
@@ -73,6 +98,11 @@ class LatencyStats:
             "busy_rejected": self.busy_rejected,
             "errors": self.errors,
             "swaps": self.swaps,
+            "swaps_rejected": self.swaps_rejected,
+            "shed_expired": self.shed_expired,
+            "deadline_exceeded": self.deadline_exceeded,
+            "circuit_rejected": self.circuit_rejected,
+            "watchdog_fired": self.watchdog_fired,
             "window": self.window,
             "window_samples": len(self._total),
             "queue_wait_s": quantiles(self._queue_wait),

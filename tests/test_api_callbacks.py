@@ -116,6 +116,44 @@ class TestCheckpointer:
         trainer.fit(1, callbacks=[cb])
         assert cb.skipped and not cb.saved
 
+    def test_saves_are_load_verified(self, corpus, tmp_path):
+        from repro.integrity import verify_artifact
+
+        trainer = culda(corpus)
+        cb = Checkpointer(tmp_path / "ck-{iteration}.npz", every=2)
+        trainer.fit(2, callbacks=[cb])
+        assert not cb.verify_failures
+        assert verify_artifact(cb.saved[0])["status"] == "verified"
+
+    def test_failed_verification_never_prunes_older_saves(
+        self, corpus, tmp_path, monkeypatch
+    ):
+        """A torn final write must not destroy the last good checkpoint:
+        the bad file is quarantined, keep_last pruning is skipped."""
+        import repro.api.callbacks as cb_mod
+
+        trainer = culda(corpus)
+        cb = Checkpointer(tmp_path / "ck-{iteration}.npz", every=1,
+                          keep_last=1)
+        trainer.fit(2, callbacks=[cb])
+        assert [p.name for p in cb.saved] == ["ck-1.npz"]  # pruned to 1
+        good = list(cb.saved)
+
+        real = cb_mod.verify_artifact
+
+        def corrupt_report(path):
+            report = real(path)
+            report.update(status="corrupt", detail="injected bit rot")
+            return report
+
+        monkeypatch.setattr(cb_mod, "verify_artifact", corrupt_report)
+        with pytest.warns(RuntimeWarning, match="NOT pruned"):
+            trainer.fit(1, callbacks=[cb])
+        # the suspect write is quarantined, the good file untouched
+        assert cb.saved == good
+        assert good[0].exists()
+        assert [p.name for p in cb.verify_failures] == ["ck-2.npz"]
+
 
 class TestProgressLogger:
     def test_logs_progress(self, corpus):

@@ -462,3 +462,42 @@ class TestServeQuery:
             assert main(["query", "--port", port, "--op", "shutdown"]) == 0
             t.join(timeout=30.0)
         assert not t.is_alive()
+
+
+class TestVerifyArtifact:
+    def test_verified_model_exits_zero(self, tmp_path, capsys):
+        model = tmp_path / "m.npz"
+        assert main(["train", "--topics", "6", "--iterations", "1",
+                     "--output", str(model)]) == 0
+        capsys.readouterr()
+        assert main(["verify-artifact", str(model)]) == 0
+        out = capsys.readouterr().out
+        assert "verified" in out and "model" in out
+
+    def test_corrupt_artifact_exits_one(self, tmp_path, capsys):
+        import numpy as np
+
+        model = tmp_path / "m.npz"
+        assert main(["train", "--topics", "6", "--iterations", "1",
+                     "--output", str(model)]) == 0
+        capsys.readouterr()
+        with np.load(model, allow_pickle=False) as z:
+            data = {k: z[k] for k in z.files}
+        phi = data["phi"].copy()
+        phi.flat[0] += 1
+        data["phi"] = phi
+        np.savez_compressed(model, **data)
+        assert main(["verify-artifact", str(model)]) == 1
+        out = capsys.readouterr().out
+        assert "corrupt" in out and "digest mismatch" in out
+
+    def test_mixed_paths_worst_status_wins(self, tmp_path, capsys):
+        model = tmp_path / "m.npz"
+        assert main(["train", "--topics", "6", "--iterations", "1",
+                     "--output", str(model)]) == 0
+        garbage = tmp_path / "garbage.npz"
+        garbage.write_bytes(b"nope")
+        capsys.readouterr()
+        assert main(["verify-artifact", str(model), str(garbage)]) == 1
+        out = capsys.readouterr().out
+        assert "verified" in out and "unreadable" in out

@@ -148,3 +148,60 @@ class TestInjectionStyles:
 
     def test_crash_exit_code_is_distinctive(self):
         assert faults.CRASH_EXIT_CODE == 173
+
+
+class TestEveryKnob:
+    def test_fires_on_every_nth_matching_check(self):
+        faults.install("serve_slow@op=infer,every=3,times=any")
+        hits = [
+            faults.check("serve_slow", op="infer") is not None
+            for _ in range(7)
+        ]
+        # 1st, 4th, 7th matching checks fire
+        assert hits == [True, False, False, True, False, False, True]
+
+    def test_every_one_is_the_default(self):
+        faults.install("serve_slow@op=infer,times=any")
+        assert all(
+            faults.check("serve_slow", op="infer") is not None
+            for _ in range(3)
+        )
+
+    def test_times_budget_counts_only_firings(self):
+        faults.install("serve_slow@op=infer,every=2,times=2")
+        fired = [
+            faults.check("serve_slow", op="infer") is not None
+            for _ in range(6)
+        ]
+        assert fired == [True, False, True, False, False, False]
+
+    def test_non_matching_checks_do_not_advance_the_cadence(self):
+        faults.install("serve_slow@op=infer,every=2,times=any")
+        assert faults.check("serve_slow", op="infer") is not None
+        assert faults.check("serve_slow", op="swap") is None  # no match
+        assert faults.check("serve_slow", op="infer") is None  # 2nd match
+        assert faults.check("serve_slow", op="infer") is not None  # 3rd
+
+    def test_rejects_every_below_one(self):
+        with pytest.raises(ValueError, match="every"):
+            faults.parse_spec("serve_slow@every=0")
+
+
+class TestSleepIf:
+    def test_sleeps_for_delay_ms(self):
+        import time
+
+        faults.install("serve_hang@op=infer,delay_ms=120")
+        t0 = time.monotonic()
+        faults.sleep_if("serve_hang", op="infer")
+        assert time.monotonic() - t0 >= 0.1
+
+    def test_noop_when_disarmed(self):
+        import time
+
+        t0 = time.monotonic()
+        faults.sleep_if("serve_hang", op="infer")
+        assert time.monotonic() - t0 < 0.05
+
+    def test_default_hang_is_an_hour(self):
+        assert faults.DEFAULT_HANG_SECONDS == 3600.0

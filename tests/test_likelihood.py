@@ -83,3 +83,48 @@ class TestDecomposedLikelihood:
             for cs in state.chunks
         ]
         assert log_likelihood_from_terms(state, terms) == log_likelihood(state)
+
+
+class TestNumericalGuard:
+    """NaN/inf likelihoods are typed errors, not silent poison."""
+
+    def test_finite_values_pass_through(self):
+        from repro.core.likelihood import ensure_finite
+
+        assert ensure_finite(-7.25) == -7.25
+        assert isinstance(ensure_finite(np.float64(-1.0)), float)
+
+    def test_nan_and_inf_raise_named_iteration(self):
+        from repro.core.likelihood import NumericalError, ensure_finite
+
+        with pytest.raises(NumericalError, match="at iteration 12"):
+            ensure_finite(float("nan"), iteration=12)
+        with pytest.raises(NumericalError, match="numerically broken"):
+            ensure_finite(float("inf"))
+        try:
+            ensure_finite(float("-inf"), iteration=3)
+        except NumericalError as exc:
+            assert exc.iteration == 3
+            assert exc.value == float("-inf")
+
+    def test_is_an_arithmetic_error(self):
+        from repro.core.likelihood import NumericalError
+
+        assert issubclass(NumericalError, ArithmeticError)
+
+    def test_trainer_surface_raises_on_poisoned_state(
+        self, small_corpus, monkeypatch
+    ):
+        """End to end: a trainer whose LL comes out non-finite raises
+        the typed error naming the iteration instead of recording nan."""
+        import repro.core.trainer as trainer_mod
+        from repro.api import create_trainer
+        from repro.core.likelihood import NumericalError
+
+        trainer = create_trainer("culda", small_corpus, topics=4, seed=0)
+        monkeypatch.setattr(
+            trainer_mod, "log_likelihood_per_token",
+            lambda state: float("nan"),
+        )
+        with pytest.raises(NumericalError, match="at iteration 0"):
+            trainer.fit(1, likelihood_every=1)

@@ -11,12 +11,15 @@ Covers the acceptance criteria of the model redesign:
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.api import algorithm_names, create_trainer
 from repro.corpus.synthetic import generate_synthetic_corpus, small_spec
 from repro.corpus.vocab import Vocabulary
+from repro.integrity import integrity_record
 from repro.model import SCHEMA_VERSION, TopicModel
 
 
@@ -125,6 +128,9 @@ class TestPersistence:
         assert np.array_equal(back.topic_totals, m.topic_totals)
         assert back.alpha == m.alpha and back.beta == m.beta
         assert back.vocabulary == m.vocabulary
+        integrity = back.metadata.pop("integrity")
+        assert integrity["status"] == "verified"
+        assert integrity["algorithm"] == "sha256"
         assert back.metadata == {"algorithm": "test", "iterations": 3}
 
     def test_v2_round_trip_without_vocab(self, tmp_path):
@@ -134,6 +140,7 @@ class TestPersistence:
         m.save(path)
         back = TopicModel.load(path)
         assert back.vocabulary is None
+        assert back.metadata.pop("integrity")["status"] == "verified"
         assert back.metadata == {}
 
     def test_v1_artifact_loads(self, tmp_path):
@@ -152,6 +159,8 @@ class TestPersistence:
         assert back.phi.dtype == np.int64  # normalized on load
         assert back.alpha == m.alpha
         assert back.vocabulary is None
+        # pre-digest file: loads, but flagged unverified
+        assert back.metadata.pop("integrity") == {"status": "unverified"}
         assert back.metadata == {"schema_version": 1}
 
     def test_current_writer_emits_v2(self, tmp_path):
@@ -359,6 +368,11 @@ class TestTopWordIndex:
             data = {k: z[k] for k in z.files}
         # row 0: word 2 instead of word 1 — same count 3
         data["top_word_index"] = np.array([[0, 2], [3, 2]])
+        # keep the integrity digest consistent with the rewritten index:
+        # this test is about *semantic* index validation, not bit rot
+        meta = json.loads(str(data.pop("metadata_json")))
+        meta["integrity"] = integrity_record(data)
+        data["metadata_json"] = json.dumps(meta, default=str, sort_keys=True)
         bad = tmp_path / "ok.npz"
         np.savez_compressed(bad, **data)
         loaded = TopicModel.load(bad)

@@ -278,6 +278,64 @@ class TestCoalescer:
         with pytest.raises(ValueError, match="max_pending"):
             BatchCoalescer(lambda batch: None, max_pending=-1)
 
+    def test_shed_expired_answers_oldest_first(self):
+        async def scenario():
+            shed = []
+
+            async def dispatch(batch):
+                for req in batch:
+                    req.future.set_result("ok")
+
+            def on_expired(req):
+                shed.append(req.seed)
+                req.future.set_result("expired")
+
+            loop = asyncio.get_running_loop()
+            c = BatchCoalescer(dispatch, max_pending=8,
+                               on_expired=on_expired)
+            now = loop.time()
+            dead1 = _pending(seed=1)
+            dead1.deadline_at = now - 0.5
+            dead2 = _pending(seed=2)
+            dead2.deadline_at = now - 0.1
+            live = _pending(seed=3)
+            live.deadline_at = now + 60.0
+            for r in (dead1, dead2, live):
+                assert c.submit(r)
+            assert c.shed_expired() == 2
+            assert shed == [1, 2]  # queue order: oldest evicted first
+            assert c.depth == 1
+            assert await dead1.future == "expired"
+            c.start()
+            assert await live.future == "ok"
+            await c.close()
+
+        run(scenario())
+
+    def test_full_queue_sheds_expired_before_refusing(self):
+        async def scenario():
+            async def dispatch(batch):
+                for req in batch:
+                    req.future.set_result(None)
+
+            def on_expired(req):
+                req.future.set_result("expired")
+
+            loop = asyncio.get_running_loop()
+            c = BatchCoalescer(dispatch, max_pending=1,
+                               on_expired=on_expired)
+            stale = _pending(seed=1)
+            stale.deadline_at = loop.time() - 1.0
+            assert c.submit(stale)
+            # Queue is at depth: the expired entry is shed to make room
+            # rather than refusing a live request.
+            assert c.submit(_pending(seed=2))
+            assert await stale.future == "expired"
+            c.start()
+            await c.close()
+
+        run(scenario())
+
 
 class TestServing:
     def test_concurrent_clients_bit_identical(self, stack):
@@ -394,7 +452,7 @@ class TestServing:
                 host, port = server.address
                 bad = tmp_path / "nope.npz"
                 async with await ServingClient.connect(host, port) as c:
-                    with pytest.raises(ServingError, match="swap_failed"):
+                    with pytest.raises(ServingError, match="swap_rejected"):
                         await c.swap(str(bad))
                     r = await c.infer(stack["docs"][:1], seed=5)
                     assert r.generation == stack["m1"].generation
@@ -673,6 +731,465 @@ class TestServingRobustness:
                 await c.infer(stack["docs"][:1], seed=0)
             server.request_shutdown()
             await asyncio.wait_for(task, 30)
+
+        run(scenario())
+
+
+class TestCircuitBreakerUnit:
+    """The breaker's state machine, on a hand-driven clock."""
+
+    def test_trips_at_threshold_and_times_probe(self):
+        from repro.serving import CircuitBreaker
+
+        b = CircuitBreaker(failure_threshold=3, reset_timeout_s=2.0)
+        assert b.allow(0.0)
+        b.record_failure(0.0)
+        b.record_failure(0.1)
+        assert b.allow(0.2)  # still closed below threshold
+        b.record_failure(0.2)
+        assert b.state == "open"
+        assert not b.allow(1.0)
+        assert b.retry_after_s(1.0) == pytest.approx(1.2)
+        # cool-down elapsed: exactly one probe admitted
+        assert b.allow(2.3)
+        assert b.state == "half_open"
+        assert not b.allow(2.4)
+        b.record_success()
+        assert b.state == "closed"
+        assert b.consecutive_failures == 0
+
+    def test_failed_probe_reopens_for_a_full_timeout(self):
+        from repro.serving import CircuitBreaker
+
+        b = CircuitBreaker(failure_threshold=1, reset_timeout_s=1.0)
+        b.record_failure(0.0)
+        assert b.allow(1.1)  # the probe
+        b.record_failure(1.2)
+        assert b.state == "open"
+        assert b.times_opened == 2
+        assert not b.allow(1.9)
+        assert b.allow(2.3)
+
+    def test_threshold_zero_disables(self):
+        from repro.serving import CircuitBreaker
+
+        b = CircuitBreaker(failure_threshold=0)
+        for i in range(50):
+            b.record_failure(float(i))
+        assert b.state == "closed"
+        assert b.allow(99.0)
+
+    def test_success_clears_the_count(self):
+        from repro.serving import CircuitBreaker
+
+        b = CircuitBreaker(failure_threshold=2)
+        b.record_failure(0.0)
+        b.record_success()
+        b.record_failure(1.0)
+        assert b.state == "closed"  # never two *consecutive* failures
+
+    def test_rejects_bad_knobs(self):
+        from repro.serving import CircuitBreaker
+
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=-1)
+        with pytest.raises(ValueError, match="reset_timeout_s"):
+            CircuitBreaker(reset_timeout_s=0.0)
+
+
+class TestDeadlinesAndWatchdog:
+    """Request deadlines: typed answers on time, wedged pools healed."""
+
+    @pytest.fixture(autouse=True)
+    def disarm(self):
+        from repro import faults
+
+        faults.reset()
+        yield
+        faults.reset()
+
+    def test_deadline_validation_is_typed(self, stack):
+        async def scenario():
+            async with make_server(stack) as server:
+                host, port = server.address
+                async with await ServingClient.connect(host, port) as c:
+                    for bad in (-1.0, 0.0):
+                        with pytest.raises(
+                            ServingError, match="invalid_request"
+                        ):
+                            await c.infer(
+                                stack["docs"][:1], seed=0, deadline_ms=bad
+                            )
+                    # a generous deadline changes nothing
+                    r = await c.infer(
+                        stack["docs"][:1], seed=2, deadline_ms=60_000
+                    )
+                    assert np.array_equal(
+                        r.theta,
+                        stack["ref1"].transform(stack["docs"][:1], seed=2),
+                    )
+
+        run(scenario())
+
+    def test_deadline_mid_dispatch_answers_on_time(self, stack):
+        """A slow dispatch: the client hears ``deadline_exceeded`` at its
+        own deadline, not after the server finishes being slow."""
+        from repro.serving import DeadlineExceeded
+
+        from repro import faults
+
+        async def scenario():
+            async with make_server(stack) as server:
+                host, port = server.address
+                async with await ServingClient.connect(host, port) as c:
+                    faults.install("serve_slow@op=infer,delay_ms=1500")
+                    loop = asyncio.get_running_loop()
+                    t0 = loop.time()
+                    with pytest.raises(DeadlineExceeded):
+                        await c.infer(
+                            stack["docs"][:1], seed=0, deadline_ms=200
+                        )
+                    # answered at the deadline, not after the 1.5s delay
+                    assert loop.time() - t0 < 1.2
+                    r = await c.infer(stack["docs"][:1], seed=0)
+                    assert np.array_equal(
+                        r.theta,
+                        stack["ref1"].transform(stack["docs"][:1], seed=0),
+                    )
+                    stats = await c.stats()
+                    assert stats["latency"]["deadline_exceeded"] >= 1
+
+        run(scenario())
+
+    def test_watchdog_heals_wedged_inference(self, stack):
+        """Acceptance: under ``serve_hang`` no client blocks past its
+        deadline — typed reply, the pool self-heals, and the next
+        request succeeds."""
+        from repro.serving import DeadlineExceeded
+
+        from repro import faults
+
+        async def scenario():
+            async with make_server(stack) as server:
+                host, port = server.address
+                async with await ServingClient.connect(host, port) as c:
+                    # a bounded hang (the real default is an hour): long
+                    # enough that only the watchdog can answer.
+                    faults.install("serve_hang@op=infer,delay_ms=2000")
+                    loop = asyncio.get_running_loop()
+                    t0 = loop.time()
+                    with pytest.raises(DeadlineExceeded):
+                        await c.infer(
+                            stack["docs"][:1], seed=3, deadline_ms=250
+                        )
+                    assert loop.time() - t0 < 1.5  # not the 2s hang
+                    # the wedged generation was retired; the next request
+                    # runs on a fresh session and is still bit-exact.
+                    r = await c.infer(stack["docs"][:2], seed=4)
+                    assert np.array_equal(
+                        r.theta,
+                        stack["ref1"].transform(stack["docs"][:2], seed=4),
+                    )
+                    stats = await c.stats()
+                    assert stats["latency"]["watchdog_fired"] == 1
+                    assert stats["latency"]["deadline_exceeded"] >= 1
+
+        run(scenario())
+
+
+class TestCircuitBreakerServing:
+    """Overload protection: failing dispatches open the circuit."""
+
+    @pytest.fixture(autouse=True)
+    def disarm(self):
+        from repro import faults
+
+        faults.reset()
+        yield
+        faults.reset()
+
+    def test_consecutive_failures_open_the_circuit(self, stack):
+        from repro.serving import CircuitOpen
+
+        from repro import faults
+
+        async def scenario():
+            async with make_server(
+                stack, breaker_threshold=2, breaker_reset_s=60.0
+            ) as server:
+                host, port = server.address
+                async with await ServingClient.connect(host, port) as c:
+                    faults.install("serve_error@op=infer,times=2")
+                    for _ in range(2):
+                        with pytest.raises(
+                            ServingError, match="inference_failed"
+                        ):
+                            await c.infer(stack["docs"][:1], seed=0)
+                    # tripped: refusals are instant and typed, and carry
+                    # the cool-down hint.
+                    with pytest.raises(CircuitOpen) as exc:
+                        await c.infer(stack["docs"][:1], seed=0)
+                    assert exc.value.retry_after_s > 0
+                    stats = await c.stats()
+                    assert stats["breaker"]["state"] == "open"
+                    assert stats["breaker"]["times_opened"] == 1
+                    assert stats["latency"]["circuit_rejected"] == 1
+
+        run(scenario())
+
+    def test_half_open_probe_closes_the_circuit(self, stack):
+        from repro.serving import CircuitOpen
+
+        from repro import faults
+
+        async def scenario():
+            async with make_server(
+                stack, breaker_threshold=1, breaker_reset_s=0.2
+            ) as server:
+                host, port = server.address
+                async with await ServingClient.connect(host, port) as c:
+                    faults.install("serve_error@op=infer")
+                    with pytest.raises(
+                        ServingError, match="inference_failed"
+                    ):
+                        await c.infer(stack["docs"][:1], seed=0)
+                    with pytest.raises(CircuitOpen):
+                        await c.infer(stack["docs"][:1], seed=0)
+                    await asyncio.sleep(0.25)
+                    # half-open: this request is the probe; the fault was
+                    # times=1 so it succeeds and closes the circuit.
+                    r = await c.infer(stack["docs"][:1], seed=1)
+                    assert np.array_equal(
+                        r.theta,
+                        stack["ref1"].transform(stack["docs"][:1], seed=1),
+                    )
+                    stats = await c.stats()
+                    assert stats["breaker"]["state"] == "closed"
+                    assert stats["breaker"]["consecutive_failures"] == 0
+
+        run(scenario())
+
+    def test_open_circuit_is_retryable_for_the_client(self, stack):
+        """CircuitOpen is transient: a client with retries waits out the
+        cool-down and lands its request."""
+        from repro import faults
+
+        async def scenario():
+            async with make_server(
+                stack, breaker_threshold=1, breaker_reset_s=0.1
+            ) as server:
+                host, port = server.address
+                faults.install("serve_error@op=infer")
+                async with await ServingClient.connect(host, port) as c0:
+                    with pytest.raises(
+                        ServingError, match="inference_failed"
+                    ):
+                        await c0.infer(stack["docs"][:1], seed=0)
+                # circuit now open; a retrying client waits out the
+                # cool-down transparently and lands its request.
+                async with await ServingClient.connect(
+                    host, port, retries=8
+                ) as c:
+                    r = await c.infer(stack["docs"][:1], seed=6)
+                    assert np.array_equal(
+                        r.theta,
+                        stack["ref1"].transform(stack["docs"][:1], seed=6),
+                    )
+
+        run(scenario())
+
+
+class TestSwapIntegrity:
+    """Swap verifies the candidate; rejection keeps the last good model."""
+
+    def _corrupted_copy(self, stack, tmp_path, mutate):
+        src = Path(stack["m2_path"])
+        dst = tmp_path / ("bad_" + src.name)
+        with np.load(src, allow_pickle=False) as z:
+            data = {k: z[k] for k in z.files}
+        mutate(data)
+        np.savez_compressed(dst, **data)
+        return dst
+
+    def test_corrupt_artifact_is_rejected_and_serving_continues(
+        self, stack, tmp_path
+    ):
+        def flip(data):
+            phi = data["phi"].copy()
+            phi.flat[0] += 1
+            data["phi"] = phi
+
+        bad = self._corrupted_copy(stack, tmp_path, flip)
+
+        async def scenario():
+            async with make_server(stack) as server:
+                host, port = server.address
+                async with await ServingClient.connect(host, port) as c:
+                    inflight = asyncio.ensure_future(
+                        c.infer(stack["docs"][:2], seed=8)
+                    )
+                    async with await ServingClient.connect(
+                        host, port
+                    ) as admin:
+                        with pytest.raises(
+                            ServingError, match="swap_rejected"
+                        ):
+                            await admin.swap(str(bad))
+                    # zero dropped in-flight requests, still last-good
+                    r = await inflight
+                    assert r.generation == stack["m1"].generation
+                    assert np.array_equal(
+                        r.theta,
+                        stack["ref1"].transform(stack["docs"][:2], seed=8),
+                    )
+                    stats = await c.stats()
+                    assert stats["latency"]["swaps_rejected"] == 1
+                    assert stats["latency"]["swaps"] == 0
+                    assert (
+                        stats["model"]["generation"]
+                        == stack["m1"].generation
+                    )
+
+        run(scenario())
+
+    def test_invariant_violation_is_rejected_even_with_valid_digest(
+        self, stack, tmp_path
+    ):
+        """A well-digested artifact with non-finite hyper-parameters is
+        still refused: digests catch rot, invariants catch bad content."""
+        import json as _json
+
+        from repro.integrity import integrity_record
+
+        def poison(data):
+            data["alpha"] = np.float64(np.inf)
+            meta = _json.loads(str(data.pop("metadata_json")))
+            meta["integrity"] = integrity_record(data)
+            data["metadata_json"] = _json.dumps(
+                meta, default=str, sort_keys=True
+            )
+
+        bad = self._corrupted_copy(stack, tmp_path, poison)
+
+        async def scenario():
+            async with make_server(stack) as server:
+                host, port = server.address
+                async with await ServingClient.connect(host, port) as c:
+                    with pytest.raises(
+                        ServingError, match="swap_rejected"
+                    ):
+                        await c.swap(str(bad))
+                    r = await c.infer(stack["docs"][:1], seed=9)
+                    assert r.generation == stack["m1"].generation
+
+        run(scenario())
+
+    def test_successful_swap_reports_verified_integrity(self, stack):
+        async def scenario():
+            async with make_server(stack) as server:
+                host, port = server.address
+                async with await ServingClient.connect(host, port) as c:
+                    swapped = await c.swap(stack["m2_path"])
+                    integ = swapped["model"]["integrity"]
+                    assert integ["status"] == "verified"
+                    assert integ["algorithm"] == "sha256"
+                    stats = await c.stats()
+                    assert (
+                        stats["model"]["integrity"]["status"] == "verified"
+                    )
+
+        run(scenario())
+
+
+class TestProtocolAdversarial:
+    """Hostile framing: typed errors or clean closes — never a wedge."""
+
+    def test_frame_reassembles_across_byte_sized_chunks(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            wire = encode_frame({"op": "ping", "id": 7})
+            task = asyncio.ensure_future(read_frame(reader))
+            for i in range(len(wire)):
+                reader.feed_data(wire[i: i + 1])
+                await asyncio.sleep(0)
+            assert await task == {"op": "ping", "id": 7}
+
+        run(scenario())
+
+    def test_oversize_header_gets_bad_frame_and_close(self, stack):
+        from repro.serving import MAX_FRAME_BYTES
+
+        async def scenario():
+            async with make_server(stack) as server:
+                host, port = server.address
+                reader, writer = await asyncio.open_connection(host, port)
+                try:
+                    writer.write(
+                        int(MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+                    )
+                    await writer.drain()
+                    reply = await asyncio.wait_for(read_frame(reader), 10)
+                    assert reply["type"] == "error"
+                    assert reply["error"] == "bad_frame"
+                    assert "announced" in reply["message"]
+                    # the server closes its side after a framing error
+                    assert await asyncio.wait_for(reader.read(), 10) == b""
+                finally:
+                    writer.close()
+                    await writer.wait_closed()
+                # and keeps serving everyone else
+                async with await ServingClient.connect(host, port) as c:
+                    assert (await c.ping())["version"] == 1
+
+        run(scenario())
+
+    def test_truncated_frame_then_close_does_not_wedge(self, stack):
+        async def scenario():
+            async with make_server(stack) as server:
+                host, port = server.address
+                for partial in (
+                    b"\x00",                       # half a header
+                    b"\x00\x00\x00\x64",           # header, no payload
+                    encode_frame({"op": "ping"})[:-3],  # payload cut
+                ):
+                    _, writer = await asyncio.open_connection(host, port)
+                    writer.write(partial)
+                    await writer.drain()
+                    writer.close()
+                    await writer.wait_closed()
+                async with await ServingClient.connect(host, port) as c:
+                    assert (await c.ping())["version"] == 1
+
+        run(scenario())
+
+    def test_garbage_payloads_are_typed_not_fatal(self, stack):
+        async def scenario():
+            async with make_server(stack) as server:
+                host, port = server.address
+                reader, writer = await asyncio.open_connection(host, port)
+                try:
+                    for payload in (b"{bad json", b"[1,2,3]", b"null"):
+                        writer.write(
+                            len(payload).to_bytes(4, "big") + payload
+                        )
+                        await writer.drain()
+                        reply = await asyncio.wait_for(
+                            read_frame(reader), 10
+                        )
+                        assert reply["type"] == "error"
+                        assert reply["error"] == "bad_frame"
+                        # bad_frame ends the connection; reconnect
+                        writer.close()
+                        await writer.wait_closed()
+                        reader, writer = await asyncio.open_connection(
+                            host, port
+                        )
+                    await write_frame(writer, {"op": "ping"})
+                    reply = await asyncio.wait_for(read_frame(reader), 10)
+                    assert reply["type"] == "pong"
+                finally:
+                    writer.close()
+                    await writer.wait_closed()
 
         run(scenario())
 

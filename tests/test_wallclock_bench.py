@@ -132,3 +132,26 @@ def test_committed_report_has_serving_section():
         assert point["server_queue_wait_s"]["p50"] >= 0
     assert "open-loop" in serving["note"]
     assert report["environment"]["cpu_count"] >= 1
+
+
+def test_committed_report_has_faulted_serving_section():
+    """PR 8: deadlines under a 10% serve_slow fault — typed shedding is
+    recorded and the reply p99 stays bounded by the deadline SLO."""
+    report = json.loads((REPO / "BENCH_wallclock.json").read_text())
+    faulted = report["serving_faulted"]
+    assert faulted["deadline_ms"] > 0
+    assert "serve_slow" in faulted["fault"]
+    assert faulted["fault_fraction"] == 0.1
+    run = faulted["run"]
+    assert run["completed"] > 0
+    # the fault really fired: some requests were answered by deadline
+    assert run["deadline_exceeded_client"] > 0
+    counters = run["server_counters"]
+    assert (
+        counters["shed_expired"] + counters["deadline_exceeded"]
+        >= run["deadline_exceeded_client"]
+    )
+    # the SLO: nobody waited past deadline * bound factor, faulted or not
+    assert run["reply_latency_s"]["p99"] <= faulted["p99_bound_s"]
+    assert faulted["p99_within_bound"] is True
+    assert "deadline_ms" in faulted["note"]
