@@ -337,6 +337,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_pending=args.max_pending,
         breaker_threshold=args.breaker_threshold,
         breaker_reset_s=args.breaker_reset,
+        dispatch_timeout_s=args.dispatch_timeout,
     )
 
     def on_ready(address) -> None:
@@ -674,6 +675,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--breaker-reset", dest="breaker_reset", type=float, default=2.0,
         help="seconds an open breaker waits before its half-open probe",
+    )
+    p_serve.add_argument(
+        "--dispatch-timeout", dest="dispatch_timeout", type=float,
+        default=300.0,
+        help="watchdog bound (seconds) over any single dispatch, even "
+             "one carrying deadline-less requests; a wedged inference "
+             "past it is abandoned and the generation healed (0 disables)",
     )
     p_serve.set_defaults(func=cmd_serve)
 

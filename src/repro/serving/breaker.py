@@ -16,7 +16,14 @@ already observes:
   elapses;
 - **half-open**: exactly one probe request is admitted; its dispatch
   succeeding closes the circuit (counters cleared), failing re-opens it
-  for another full ``reset_timeout_s``.
+  for another full ``reset_timeout_s``.  A probe that dies *before*
+  reaching a dispatch outcome (refused at validation, bounced busy,
+  shed by its own deadline while queued) proved nothing about the
+  inference path — the caller reports it via :meth:`probe_aborted`,
+  which reverts to open while keeping the original open timestamp, so
+  the very next request is admitted as a fresh probe instead of the
+  breaker waiting in half-open forever for an outcome that will never
+  arrive.
 
 Timestamps come from the caller (the serving event loop's clock), so the
 breaker itself is deterministic and trivially testable.
@@ -87,6 +94,23 @@ class CircuitBreaker:
         self.state = CLOSED
         self.consecutive_failures = 0
         self.opened_at = None
+
+    def probe_aborted(self, now: float) -> None:
+        """The half-open probe died without a dispatch outcome.
+
+        Neither a success nor a failure: the probe never exercised the
+        inference path (it was refused as invalid, bounced ``busy``, or
+        shed by its own deadline while queued).  Revert to open but keep
+        the original ``opened_at``, so :meth:`allow` admits the next
+        caller as a fresh probe immediately — without this, a single
+        lost probe would leave the breaker half-open (refusing everyone)
+        until restart.
+        """
+        if self.state != HALF_OPEN:
+            return
+        self.state = OPEN
+        if self.opened_at is None:  # defensive; half-open implies set
+            self.opened_at = now - self.reset_timeout_s
 
     def record_failure(self, now: float) -> None:
         """A dispatch failed or timed out: count it, maybe trip."""

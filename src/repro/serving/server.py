@@ -23,11 +23,13 @@ protocol of :mod:`repro.serving.protocol`:
   current generation keeps serving (last-good rollback);
 - requests may carry a ``deadline_ms``: entries whose deadline passes
   while queued are **shed** before wasting inference work, a dispatched
-  request is answered ``deadline_exceeded`` at its own deadline, and a
-  dispatch whose every waiter has a deadline runs under a watchdog —
-  if the inference call is still wedged when the last deadline passes,
-  the generation is retired and a fresh session (lazily rebuilt worker
-  pool) installed, so one hung worker cannot poison later requests;
+  request is answered ``deadline_exceeded`` at its own deadline, and
+  every dispatch runs under a watchdog bounded by the riders' latest
+  deadline and the server-level ``dispatch_timeout_s`` (so a batch
+  carrying deadline-less requests is still bounded) — if the inference
+  call is still wedged when the bound passes, the generation is retired
+  and a fresh session (lazily rebuilt worker pool) installed, so one
+  hung worker cannot poison later requests;
 - admission control bounds the queue (typed ``busy`` past
   ``max_pending``) and a :class:`~repro.serving.breaker.CircuitBreaker`
   bounds *failure*: consecutive dispatch failures/timeouts open the
@@ -54,6 +56,7 @@ from repro.model import InferenceSession, TopicModel
 from repro.serving.breaker import (
     DEFAULT_FAILURE_THRESHOLD,
     DEFAULT_RESET_TIMEOUT_S,
+    OPEN,
     CircuitBreaker,
 )
 from repro.serving.coalescer import (
@@ -76,6 +79,14 @@ __all__ = ["ModelGeneration", "ServingServer"]
 #: call, so the Gibbs schedule is a deployment knob, like the model.
 DEFAULT_SERVE_SWEEPS = 20
 DEFAULT_SERVE_BURN_IN = 8
+
+#: Server-level bound on one coalesced dispatch (seconds).  Applies to
+#: every batch — including ones carrying deadline-less requests, which
+#: per-request deadlines alone would leave unbounded: without it, one
+#: wedged executor thread under a no-deadline request blocks the drain
+#: loop forever.  Generous next to real fold-in times (well under a
+#: second); 0 disables the bound.
+DEFAULT_DISPATCH_TIMEOUT_S = 300.0
 
 
 @dataclass
@@ -122,6 +133,10 @@ class ServingServer:
     breaker_threshold / breaker_reset_s:
         Circuit-breaker knobs: consecutive dispatch failures that open
         the circuit (0 disables) and seconds before the half-open probe.
+    dispatch_timeout_s:
+        Watchdog bound over any single coalesced dispatch, whether or
+        not its riders carry deadlines (0 disables; requests with
+        deadlines are always bounded by them regardless).
     """
 
     def __init__(
@@ -138,7 +153,10 @@ class ServingServer:
         max_pending: int = DEFAULT_MAX_PENDING,
         breaker_threshold: int = DEFAULT_FAILURE_THRESHOLD,
         breaker_reset_s: float = DEFAULT_RESET_TIMEOUT_S,
+        dispatch_timeout_s: float | None = DEFAULT_DISPATCH_TIMEOUT_S,
     ):
+        if dispatch_timeout_s is not None and dispatch_timeout_s < 0:
+            raise ValueError("dispatch_timeout_s must be >= 0")
         self._host = host
         self._port = port
         self._session_kwargs: dict[str, Any] = {
@@ -149,6 +167,9 @@ class ServingServer:
         }
         if batch_docs is not None:
             self._session_kwargs["batch_docs"] = batch_docs
+        self._dispatch_timeout_s = (
+            float(dispatch_timeout_s) if dispatch_timeout_s else None
+        )
         self._gen_counter = 0
         self._retired: list[ModelGeneration] = []
         self._gen = self._make_generation(*self._load_session(model))
@@ -390,7 +411,18 @@ class ServingServer:
         rid = msg.get("id")
         loop = asyncio.get_running_loop()
 
+        # Fail fast while the circuit is open: a round-trip refusal, not
+        # an inference attempt against a path that keeps failing.  A
+        # request admitted out of the open state IS the half-open probe;
+        # every path on which it can die before reaching a dispatch
+        # outcome must hand it back (probe_aborted), or the breaker
+        # waits in half-open — refusing all traffic — forever.
+        now = loop.time()
+        is_probe = self._breaker.state == OPEN
+
         def refuse(error: str, message: str) -> tuple[dict, None]:
+            if is_probe:
+                self._breaker.probe_aborted(now)
             self._stats.record_error()
             return (
                 {"type": "error", "id": rid, "error": error,
@@ -398,9 +430,6 @@ class ServingServer:
                 None,
             )
 
-        # Fail fast while the circuit is open: a round-trip refusal, not
-        # an inference attempt against a path that keeps failing.
-        now = loop.time()
         if not self._breaker.allow(now):
             self._stats.record_circuit_rejected()
             return (
@@ -472,11 +501,17 @@ class ServingServer:
             request_id=rid,
             deadline_at=deadline_at,
         )
+        if is_probe:
+            # Queued as the probe: if it is shed before dispatch, the
+            # shed path hands it back to the breaker (_probe_lost).
+            request.meta["breaker_probe"] = True
         try:
             accepted = self._coalescer.submit(request)
         except RuntimeError:
             return refuse("shutting_down", "server is shutting down")
         if not accepted:
+            if is_probe:
+                self._breaker.probe_aborted(now)
             self._stats.record_busy()
             return (
                 {"type": "busy", "id": rid,
@@ -519,10 +554,26 @@ class ServingServer:
             ),
         }
 
+    def _probe_lost(self, req: PendingRequest) -> None:
+        """Hand a half-open probe that died pre-dispatch back to the breaker.
+
+        A probe answered before it reached a dispatch outcome (shed by
+        its deadline while queued, or bounced at dispatch admission)
+        proved nothing; reverting the breaker to open re-arms the next
+        request as a fresh probe.  Once dispatched, the dispatch itself
+        records success or failure, so the mark is left alone.
+        """
+        if req.meta.get("dispatched"):
+            return
+        if req.meta.pop("breaker_probe", None):
+            loop = self._loop or asyncio.get_event_loop()
+            self._breaker.probe_aborted(loop.time())
+
     def _shed_request(self, req: PendingRequest) -> None:
         """Coalescer shed hook: answer an expired *queued* request."""
         if req.future.done():
             return
+        self._probe_lost(req)
         self._stats.record_shed()
         loop = self._loop or asyncio.get_event_loop()
         req.future.set_result(self._expire_reply(req, loop.time()))
@@ -538,6 +589,7 @@ class ServingServer:
         if req.meta.get("dispatched"):
             self._stats.record_deadline_exceeded()
         else:
+            self._probe_lost(req)
             self._stats.record_shed()
         loop = self._loop or asyncio.get_event_loop()
         req.future.set_result(self._expire_reply(req, loop.time()))
@@ -584,12 +636,15 @@ class ServingServer:
         Deadline handling: each deadlined request was given a timer at
         admission that answers it (typed ``deadline_exceeded``) the
         moment its deadline passes — queued, riding this dispatch, or
-        mid-compute, no client ever blocks past its deadline.  When
-        *every* rider has a deadline the executor call
-        runs under ``asyncio.wait_for`` bounded by the latest one; the
-        watchdog firing means the inference thread is wedged, so the
-        generation is retired and healed (:meth:`_heal_generation`) and
-        the thread's eventual result discarded.
+        mid-compute, no client ever blocks past its deadline.  The
+        executor call runs under ``asyncio.wait_for`` bounded by the
+        riders' latest deadline (when every rider has one) and by the
+        server-level ``dispatch_timeout_s`` — so a batch carrying
+        deadline-less requests is still bounded and one wedged thread
+        cannot stall the drain loop forever.  The watchdog firing means
+        the inference thread is wedged, so the generation is retired and
+        healed (:meth:`_heal_generation`) and the thread's eventual
+        result discarded.
         """
         loop = self._loop if self._loop is not None else (
             asyncio.get_running_loop()
@@ -610,6 +665,7 @@ class ServingServer:
                 d.size and int(d.max()) >= gen.model.num_words
                 for d in req.docs
             ):
+                self._probe_lost(req)
                 self._stats.record_error()
                 req.future.set_result({
                     "type": "error", "id": req.request_id,
@@ -669,11 +725,24 @@ class ServingServer:
                 req.deadline_at for req in valid
                 if req.deadline_at is not None
             ]
-            hang_guard = (
-                max(0.0, max(deadlines) - loop.time())
-                if len(deadlines) == len(valid)
-                else None
-            )
+            guards = []
+            if deadlines and len(deadlines) == len(valid):
+                guards.append(max(deadlines) - loop.time())
+            if self._dispatch_timeout_s is not None:
+                guards.append(self._dispatch_timeout_s)
+            hang_guard = min(guards) if guards else None
+            if hang_guard is not None and hang_guard <= 0.0:
+                # Every rider's deadline lapsed while the batch was
+                # being assembled (no await ran, so the admission timers
+                # haven't fired yet).  Answer them and skip the dispatch
+                # entirely: arming a ~0 watchdog here would retire a
+                # perfectly healthy generation.  Still a timeout against
+                # the breaker — the server was too slow for its clients.
+                self._breaker.record_failure(loop.time())
+                for req in valid:
+                    if not req.future.done():
+                        self._expire_request(req)
+                return
             dispatched_at = loop.time()
             fut = loop.run_in_executor(
                 None, partial(self._compute, gen, requests)
@@ -687,14 +756,33 @@ class ServingServer:
                 raise
             service_s = loop.time() - dispatched_at
         except asyncio.TimeoutError:
-            # Watchdog: the inference thread is wedged past every
-            # rider's deadline.  The timers answered the clients; tear
-            # the generation down so the next dispatch gets a clean one.
+            # Watchdog: the inference thread is wedged past the dispatch
+            # bound.  Deadlined riders were answered by their admission
+            # timers; anyone left (no deadline, or a deadline beyond the
+            # server bound) fails typed rather than waiting on a wedged
+            # thread.  Tear the generation down so the next dispatch
+            # gets a clean one.
             self._stats.record_watchdog()
-            self._breaker.record_failure(loop.time())
+            now_wd = loop.time()
+            self._breaker.record_failure(now_wd)
             for req in valid:
-                if not req.future.done():
+                if req.future.done():
+                    continue
+                if req.expired(now_wd):
                     self._expire_request(req)
+                else:
+                    self._stats.record_error()
+                    req.future.set_result({
+                        "type": "error", "id": req.request_id,
+                        "error": "inference_failed",
+                        "message": (
+                            f"dispatch watchdog fired after "
+                            f"{hang_guard:.1f}s: inference is wedged; "
+                            f"the generation was retired and a fresh "
+                            f"session installed"
+                        ),
+                        "generation": gen.generation,
+                    })
             self._heal_generation(gen)
         except Exception as exc:
             self._breaker.record_failure(loop.time())

@@ -770,6 +770,26 @@ class TestCircuitBreakerUnit:
         assert not b.allow(1.9)
         assert b.allow(2.3)
 
+    def test_aborted_probe_rearms_the_next_request(self):
+        """A probe lost pre-dispatch reverts to open with the original
+        open time kept, so the next caller probes immediately — the
+        breaker can never be stranded half-open."""
+        from repro.serving import CircuitBreaker
+
+        b = CircuitBreaker(failure_threshold=1, reset_timeout_s=1.0)
+        b.record_failure(0.0)
+        assert b.allow(1.5)  # the probe
+        assert b.state == "half_open"
+        b.probe_aborted(1.6)  # probe died without a dispatch outcome
+        assert b.state == "open"
+        assert b.times_opened == 1  # not counted as a re-open
+        assert b.allow(1.7)  # immediately re-armed as a fresh probe
+        assert b.state == "half_open"
+        b.record_success()
+        assert b.state == "closed"
+        b.probe_aborted(2.0)  # no-op outside half-open
+        assert b.state == "closed"
+
     def test_threshold_zero_disables(self):
         from repro.serving import CircuitBreaker
 
@@ -897,6 +917,77 @@ class TestDeadlinesAndWatchdog:
         run(scenario())
 
 
+    def test_dispatch_bound_heals_deadline_less_requests(self, stack):
+        """A batch with deadline-less riders is still watchdog-bounded:
+        the server-level ``dispatch_timeout_s`` abandons a wedged
+        dispatch, answers the riders with a typed ``inference_failed``,
+        and heals — one no-deadline request cannot stall the drain loop
+        for all later traffic."""
+        from repro import faults
+
+        async def scenario():
+            async with make_server(
+                stack, dispatch_timeout_s=0.3
+            ) as server:
+                host, port = server.address
+                async with await ServingClient.connect(host, port) as c:
+                    faults.install("serve_hang@op=infer,delay_ms=2000")
+                    loop = asyncio.get_running_loop()
+                    t0 = loop.time()
+                    with pytest.raises(
+                        ServingError, match="inference_failed"
+                    ):
+                        await c.infer(stack["docs"][:1], seed=3)
+                    # answered at the dispatch bound, not the 2s hang
+                    assert loop.time() - t0 < 1.5
+                    # healed: the next request runs on a fresh session
+                    # and is still bit-exact.
+                    r = await c.infer(stack["docs"][:2], seed=4)
+                    assert np.array_equal(
+                        r.theta,
+                        stack["ref1"].transform(stack["docs"][:2], seed=4),
+                    )
+                    stats = await c.stats()
+                    assert stats["latency"]["watchdog_fired"] == 1
+
+        run(scenario())
+
+    def test_all_riders_expired_pre_dispatch_skips_the_heal(self, stack):
+        """Deadlines that lapse between batch assembly and the watchdog
+        arming must expire the riders and skip the dispatch — not arm a
+        ~0 watchdog that retires a perfectly healthy generation."""
+        from repro.serving import PendingRequest
+
+        from repro import faults
+
+        async def scenario():
+            async with make_server(stack) as server:
+                loop = asyncio.get_running_loop()
+                # The slow-dispatch fault delays past the rider's
+                # deadline; the request is injected directly (no
+                # admission timer armed), so its future is still
+                # unresolved when the watchdog guard is computed.
+                faults.install("serve_slow@op=infer,delay_ms=150")
+                req = PendingRequest(
+                    docs=[np.asarray(stack["docs"][0], dtype=np.int64)],
+                    seed=0,
+                    future=loop.create_future(),
+                    enqueued_at=loop.time(),
+                    request_id=1,
+                    deadline_at=loop.time() + 0.05,
+                )
+                gen_before = server._gen
+                await server._dispatch([req])
+                assert req.future.done()
+                assert req.future.result()["error"] == "deadline_exceeded"
+                # No spurious heal: same generation, no watchdog fire.
+                assert server._gen is gen_before
+                assert not gen_before.retired
+                assert server._stats.snapshot()["watchdog_fired"] == 0
+
+        run(scenario())
+
+
 class TestCircuitBreakerServing:
     """Overload protection: failing dispatches open the circuit."""
 
@@ -966,6 +1057,82 @@ class TestCircuitBreakerServing:
                     stats = await c.stats()
                     assert stats["breaker"]["state"] == "closed"
                     assert stats["breaker"]["consecutive_failures"] == 0
+
+        run(scenario())
+
+    def test_lost_probe_does_not_wedge_the_breaker(self, stack):
+        """Regression: the half-open probe admission can be spent on a
+        request that is then refused as invalid — it never reaches a
+        dispatch outcome.  The breaker must hand the probe back so the
+        next request probes (and closes the circuit), instead of
+        refusing everything with ``circuit_open`` until restart."""
+        from repro.serving import CircuitOpen
+
+        from repro import faults
+
+        async def scenario():
+            async with make_server(
+                stack, breaker_threshold=1, breaker_reset_s=0.2
+            ) as server:
+                host, port = server.address
+                async with await ServingClient.connect(host, port) as c:
+                    faults.install("serve_error@op=infer")
+                    with pytest.raises(
+                        ServingError, match="inference_failed"
+                    ):
+                        await c.infer(stack["docs"][:1], seed=0)
+                    with pytest.raises(CircuitOpen):
+                        await c.infer(stack["docs"][:1], seed=0)
+                    await asyncio.sleep(0.25)
+                    # This request is admitted as the probe but dies at
+                    # validation — no dispatch outcome ever arrives.
+                    with pytest.raises(
+                        ServingError, match="invalid_request"
+                    ):
+                        await c.infer(
+                            stack["docs"][:1], seed=0, deadline_ms=-1.0
+                        )
+                    # The very next request must be admitted as a fresh
+                    # probe and close the circuit — not circuit_open.
+                    r = await c.infer(stack["docs"][:1], seed=5)
+                    assert np.array_equal(
+                        r.theta,
+                        stack["ref1"].transform(stack["docs"][:1], seed=5),
+                    )
+                    stats = await c.stats()
+                    assert stats["breaker"]["state"] == "closed"
+
+        run(scenario())
+
+    def test_probe_shed_while_queued_rearms_the_breaker(self, stack):
+        """A probe shed by its own deadline while still queued is handed
+        back: the breaker reverts to open and admits the next request
+        as a fresh probe instead of waiting half-open forever."""
+
+        async def scenario():
+            async with make_server(
+                stack, breaker_threshold=1, breaker_reset_s=0.2
+            ) as server:
+                loop = asyncio.get_running_loop()
+                # Open the breaker with the reset window already elapsed.
+                server._breaker.record_failure(loop.time() - 10.0)
+                assert server._breaker.state == "open"
+                reply, req = server._admit({
+                    "op": "infer", "id": 1,
+                    "docs": [stack["docs"][0].tolist()],
+                    "seed": 0, "deadline_ms": 50.0,
+                })
+                assert reply is None
+                assert req.meta.get("breaker_probe")
+                assert server._breaker.state == "half_open"
+                # Shed before any dispatch touches it (no await between
+                # the admit above and this call, so the race is closed).
+                server._shed_request(req)
+                assert req.future.done()
+                assert server._breaker.state == "open"
+                # The next caller is immediately admitted as a new probe.
+                assert server._breaker.allow(loop.time())
+                assert server._breaker.state == "half_open"
 
         run(scenario())
 
