@@ -1,0 +1,33 @@
+"""repro.checks — repo-aware static analysis for the reproduction's invariants.
+
+``repro check`` (CLI) / :func:`run_checks` (API) enforce the conventions
+that the test suite cannot see: seeded RNG everywhere (RPR1xx), one writer
+per shared-arena region (RPR2xx), a never-blocking serving event loop
+(RPR3xx), fault-point name consistency across code/registry/docs (RPR4xx),
+and atomic artifact writes (RPR5xx).  Configuration lives in ``checks.toml``
+at the repo root; see docs/STATIC_ANALYSIS.md for the rule catalog and the
+guide to writing new rules.
+"""
+
+from __future__ import annotations
+
+from .base import Finding, NoqaPragma, Project, Rule, SourceFile, UsageError
+from .config import ArenaRegion, ArenaScope, CheckConfig, load_config
+from .runner import CheckReport, known_codes, render_text, run_checks
+
+__all__ = [
+    "ArenaRegion",
+    "ArenaScope",
+    "CheckConfig",
+    "CheckReport",
+    "Finding",
+    "NoqaPragma",
+    "Project",
+    "Rule",
+    "SourceFile",
+    "UsageError",
+    "known_codes",
+    "load_config",
+    "render_text",
+    "run_checks",
+]

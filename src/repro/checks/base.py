@@ -1,0 +1,175 @@
+"""Core datatypes for the ``repro check`` static-analysis framework.
+
+The framework is deliberately small: a :class:`Rule` walks pre-parsed ASTs
+and yields :class:`Finding` objects.  Everything repo-specific (which paths
+are hot, who owns which arena region, which fault points exist) lives in
+``checks.toml`` and is handed to rules via :class:`Project`.
+
+Suppression uses a repo-specific comment grammar so it can never collide
+with ruff/flake8 ``# noqa`` pragmas::
+
+    risky_call()  # repro: noqa[RPR101] seeded upstream by RngPool
+
+Multiple codes separate with commas: ``# repro: noqa[RPR101,RPR103] reason``.
+The reason string is required when ``run.require_noqa_reason`` is true
+(meta-code RPR002), and unknown codes are themselves findings (RPR001) so a
+typo cannot silently disable a check.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "Finding",
+    "NoqaPragma",
+    "Project",
+    "Rule",
+    "SourceFile",
+    "UsageError",
+]
+
+#: ``# repro: noqa[CODE,...]  optional reason``
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\[(?P<codes>[A-Za-z0-9_,\s]+)\]\s*(?:[-:–—]\s*)?(?P<reason>.*)$"
+)
+
+
+class UsageError(Exception):
+    """Raised for operator mistakes (bad path, bad --select, bad config).
+
+    The CLI maps this to exit code 2, distinct from exit code 1 which means
+    "the checker ran and found problems".
+    """
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic emitted by a rule.
+
+    ``file`` is a root-relative POSIX path so output is stable regardless of
+    the directory ``repro check`` was invoked from.
+    """
+
+    file: str
+    line: int
+    code: str
+    message: str
+    severity: str = "error"
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: {self.code} {self.message}"
+
+
+@dataclass(frozen=True)
+class NoqaPragma:
+    """A parsed ``# repro: noqa[...]`` comment on one physical line."""
+
+    line: int
+    codes: tuple[str, ...]
+    reason: str
+
+    def suppresses(self, code: str) -> bool:
+        return code in self.codes
+
+
+@dataclass
+class SourceFile:
+    """A parsed Python file plus its suppression pragmas.
+
+    ``tree`` is ``None`` when the file does not parse; the runner reports
+    that as RPR000 and rules simply skip the file.
+    """
+
+    path: Path
+    rel: str
+    text: str
+    tree: ast.AST | None = None
+    parse_error: str | None = None
+    parse_error_line: int = 1
+    noqa: dict[int, NoqaPragma] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path, rel: str) -> "SourceFile":
+        text = path.read_text(encoding="utf-8")
+        sf = cls(path=path, rel=rel, text=text)
+        try:
+            sf.tree = ast.parse(text, filename=rel)
+        except SyntaxError as exc:
+            sf.parse_error = exc.msg or "syntax error"
+            sf.parse_error_line = exc.lineno or 1
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            m = _NOQA_RE.search(line)
+            if m is None:
+                continue
+            codes = tuple(
+                c.strip() for c in m.group("codes").split(",") if c.strip()
+            )
+            sf.noqa[lineno] = NoqaPragma(
+                line=lineno, codes=codes, reason=m.group("reason").strip()
+            )
+        return sf
+
+
+@dataclass
+class Project:
+    """Everything a rule may look at: parsed files, config, repo root."""
+
+    root: Path
+    files: list[SourceFile]
+    config: "CheckConfig"
+
+    def files_under(self, entries: list[str]) -> Iterator[SourceFile]:
+        """Yield files whose root-relative path matches ``entries``.
+
+        An entry matches a file when it equals the path, is a directory
+        prefix of it, or (if it contains glob characters) fnmatch-es it.
+        """
+        from fnmatch import fnmatch
+
+        for sf in self.files:
+            for entry in entries:
+                entry = entry.rstrip("/")
+                if (
+                    sf.rel == entry
+                    or sf.rel.startswith(entry + "/")
+                    or (any(ch in entry for ch in "*?[") and fnmatch(sf.rel, entry))
+                ):
+                    yield sf
+                    break
+
+
+class Rule:
+    """Base class for check rules.
+
+    Subclasses set :attr:`name` and :attr:`codes` (code -> one-line summary)
+    and implement :meth:`run`.  A rule sees the whole project at once so it
+    can do cross-file work (e.g. RPR4xx compares call sites, the registry,
+    and the docs table).
+    """
+
+    name: str = "rule"
+    codes: dict[str, str] = {}
+
+    def run(self, project: Project) -> Iterable[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+
+def dotted_name(node: ast.AST) -> tuple[str, ...] | None:
+    """Return the dotted-name chain of a Name/Attribute node, or None.
+
+    ``np.random.rand`` -> ("np", "random", "rand").  Chains rooted in
+    anything other than a bare name (calls, subscripts) return None.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None

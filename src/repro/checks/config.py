@@ -1,0 +1,259 @@
+"""``checks.toml`` loading for ``repro check``.
+
+Uses :mod:`tomllib` where available (Python >= 3.11).  The CI matrix still
+includes 3.10 and the repo cannot add dependencies, so a minimal TOML-subset
+parser backs it up.  The subset covers exactly what ``checks.toml`` uses:
+``[table]`` / ``[[array-of-tables]]`` headers, ``key = value`` with string,
+bool, int, and flat array values, and ``#`` comments.  It is NOT a general
+TOML parser and raises :class:`UsageError` on anything it does not
+understand rather than guessing.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from .base import UsageError
+
+try:  # Python >= 3.11
+    import tomllib
+except ImportError:  # pragma: no cover - exercised only on 3.10
+    tomllib = None
+
+__all__ = ["ArenaRegion", "ArenaScope", "CheckConfig", "load_config"]
+
+_KEY_RE = re.compile(r"^[A-Za-z0-9_-]+$")
+
+
+def _parse_scalar(tok: str, where: str) -> Any:
+    tok = tok.strip()
+    if tok.startswith('"') and tok.endswith('"') and len(tok) >= 2:
+        body = tok[1:-1]
+        if '"' in body or "\\" in body:
+            raise UsageError(f"{where}: escapes in strings are not supported: {tok}")
+        return body
+    if tok == "true":
+        return True
+    if tok == "false":
+        return False
+    if re.fullmatch(r"-?\d+", tok):
+        return int(tok)
+    raise UsageError(f"{where}: unsupported TOML value: {tok!r}")
+
+
+def _split_array(body: str, where: str) -> list[str]:
+    """Split a flat ``[...]`` body on commas outside quotes."""
+    items: list[str] = []
+    cur: list[str] = []
+    in_str = False
+    for ch in body:
+        if ch == '"':
+            in_str = not in_str
+            cur.append(ch)
+        elif ch == "," and not in_str:
+            items.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    if in_str:
+        raise UsageError(f"{where}: unterminated string in array")
+    if "".join(cur).strip():
+        items.append("".join(cur))
+    return [i for i in (s.strip() for s in items) if i]
+
+
+def _mini_toml(text: str, where: str) -> dict[str, Any]:
+    root: dict[str, Any] = {}
+    current: dict[str, Any] = root
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        loc = f"{where}:{lineno}"
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("[[") and line.endswith("]]"):
+            name = line[2:-2].strip()
+            table: dict[str, Any] = {}
+            _descend(root, name, loc).setdefault(name.split(".")[-1], [])
+            target = _descend(root, name, loc)[name.split(".")[-1]]
+            if not isinstance(target, list):
+                raise UsageError(f"{loc}: {name} is not an array of tables")
+            target.append(table)
+            current = table
+        elif line.startswith("[") and line.endswith("]"):
+            name = line[1:-1].strip()
+            parent = _descend(root, name, loc)
+            current = parent.setdefault(name.split(".")[-1], {})
+            if not isinstance(current, dict):
+                raise UsageError(f"{loc}: {name} is not a table")
+        elif "=" in line:
+            key, _, value = line.partition("=")
+            key = key.strip()
+            if not _KEY_RE.match(key):
+                raise UsageError(f"{loc}: unsupported key {key!r}")
+            value = value.strip()
+            # Strip trailing comments outside strings.
+            value = _strip_comment(value)
+            if value.startswith("[") and value.endswith("]"):
+                current[key] = [
+                    _parse_scalar(tok, loc) for tok in _split_array(value[1:-1], loc)
+                ]
+            else:
+                current[key] = _parse_scalar(value, loc)
+        else:
+            raise UsageError(f"{loc}: cannot parse line: {raw.strip()!r}")
+    return root
+
+
+def _strip_comment(value: str) -> str:
+    in_str = False
+    for i, ch in enumerate(value):
+        if ch == '"':
+            in_str = not in_str
+        elif ch == "#" and not in_str:
+            return value[:i].rstrip()
+    return value
+
+
+def _descend(root: dict[str, Any], dotted: str, loc: str) -> dict[str, Any]:
+    """Return the parent table for the last segment of ``dotted``."""
+    node = root
+    parts = dotted.split(".")
+    for part in parts[:-1]:
+        nxt = node.setdefault(part, {})
+        if isinstance(nxt, list):
+            nxt = nxt[-1]
+        if not isinstance(nxt, dict):
+            raise UsageError(f"{loc}: {part} is not a table")
+        node = nxt
+    return node
+
+
+@dataclass(frozen=True)
+class ArenaScope:
+    """Maps a file (and optionally one function in it) to an arena role."""
+
+    file: str
+    role: str
+    function: str | None = None
+
+
+@dataclass(frozen=True)
+class ArenaRegion:
+    """Ownership declaration for one arena region pattern.
+
+    ``pattern`` is an fnmatch glob over region names (f-string region names
+    in code are normalised so ``f"chunk{cid}/topics"`` becomes
+    ``chunk*/topics`` before matching).  ``writers`` lists the roles allowed
+    to write; ``escapes`` says whether a view of this region may legally be
+    returned out of its owning scope.
+    """
+
+    pattern: str
+    writers: tuple[str, ...]
+    escapes: bool = False
+
+
+@dataclass
+class CheckConfig:
+    """Typed view over ``checks.toml``."""
+
+    root: Path
+    path: Path
+    run_paths: list[str] = field(default_factory=list)
+    exclude: list[str] = field(default_factory=list)
+    require_noqa_reason: bool = True
+
+    rng_paths: list[str] = field(default_factory=list)
+    hot_paths: list[str] = field(default_factory=list)
+
+    async_paths: list[str] = field(default_factory=list)
+    blocking_calls: list[str] = field(default_factory=list)
+    inference_calls: list[str] = field(default_factory=list)
+
+    arena_receivers: list[str] = field(default_factory=list)
+    arena_scopes: list[ArenaScope] = field(default_factory=list)
+    arena_regions: list[ArenaRegion] = field(default_factory=list)
+
+    fault_call_paths: list[str] = field(default_factory=list)
+    fault_registry: str = ""
+    fault_docs: str = ""
+
+    atomic_paths: list[str] = field(default_factory=list)
+    write_calls: list[str] = field(default_factory=list)
+    atomic_allowed_in: list[str] = field(default_factory=list)
+
+
+def _str_list(table: dict[str, Any], key: str, where: str) -> list[str]:
+    value = table.get(key, [])
+    if not isinstance(value, list) or not all(isinstance(v, str) for v in value):
+        raise UsageError(f"{where}: {key} must be an array of strings")
+    return list(value)
+
+
+def load_config(path: Path) -> CheckConfig:
+    """Parse ``checks.toml`` into a :class:`CheckConfig`."""
+    if not path.is_file():
+        raise UsageError(f"config file not found: {path}")
+    text = path.read_text(encoding="utf-8")
+    where = str(path)
+    if tomllib is not None:
+        try:
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise UsageError(f"{where}: invalid TOML: {exc}") from exc
+    else:  # pragma: no cover - Python 3.10 fallback
+        data = _mini_toml(text, where)
+
+    cfg = CheckConfig(root=path.parent.resolve(), path=path)
+
+    run = data.get("run", {})
+    cfg.run_paths = _str_list(run, "paths", where)
+    cfg.exclude = _str_list(run, "exclude", where)
+    cfg.require_noqa_reason = bool(run.get("require_noqa_reason", True))
+
+    det = data.get("determinism", {})
+    cfg.rng_paths = _str_list(det, "rng_paths", where)
+    cfg.hot_paths = _str_list(det, "hot_paths", where)
+
+    asy = data.get("asyncio", {})
+    cfg.async_paths = _str_list(asy, "paths", where)
+    cfg.blocking_calls = _str_list(asy, "blocking_calls", where)
+    cfg.inference_calls = _str_list(asy, "inference_calls", where)
+
+    arena = data.get("arena", {})
+    cfg.arena_receivers = _str_list(arena, "receivers", where)
+    for entry in arena.get("scopes", []):
+        if not isinstance(entry, dict) or "file" not in entry or "role" not in entry:
+            raise UsageError(f"{where}: arena.scopes entries need file= and role=")
+        cfg.arena_scopes.append(
+            ArenaScope(
+                file=str(entry["file"]),
+                role=str(entry["role"]),
+                function=str(entry["function"]) if "function" in entry else None,
+            )
+        )
+    for entry in arena.get("regions", []):
+        if not isinstance(entry, dict) or "pattern" not in entry:
+            raise UsageError(f"{where}: arena.regions entries need pattern=")
+        cfg.arena_regions.append(
+            ArenaRegion(
+                pattern=str(entry["pattern"]),
+                writers=tuple(entry.get("writers", [])),
+                escapes=bool(entry.get("escapes", False)),
+            )
+        )
+
+    faults = data.get("faults", {})
+    cfg.fault_call_paths = _str_list(faults, "call_paths", where)
+    cfg.fault_registry = str(faults.get("registry", ""))
+    cfg.fault_docs = str(faults.get("docs", ""))
+
+    atomic = data.get("atomic", {})
+    cfg.atomic_paths = _str_list(atomic, "paths", where)
+    cfg.write_calls = _str_list(atomic, "write_calls", where)
+    cfg.atomic_allowed_in = _str_list(atomic, "allowed_in", where)
+
+    return cfg

@@ -1,0 +1,32 @@
+"""Built-in rule families for ``repro check``.
+
+Each module exports one :class:`~repro.checks.base.Rule` subclass; the
+registry below is what the runner instantiates.  Third parties (or future
+PRs) add a rule by dropping a module here and appending to ``ALL_RULES`` —
+see docs/STATIC_ANALYSIS.md, "Writing a new rule".
+"""
+
+from __future__ import annotations
+
+from .arena import ArenaWriteRule
+from .asyncblock import AsyncBlockingRule
+from .atomicwrite import AtomicWriteRule
+from .determinism import DeterminismRule
+from .faultpoints import FaultPointRule
+
+ALL_RULES = [
+    DeterminismRule,
+    ArenaWriteRule,
+    AsyncBlockingRule,
+    FaultPointRule,
+    AtomicWriteRule,
+]
+
+__all__ = [
+    "ALL_RULES",
+    "ArenaWriteRule",
+    "AsyncBlockingRule",
+    "AtomicWriteRule",
+    "DeterminismRule",
+    "FaultPointRule",
+]

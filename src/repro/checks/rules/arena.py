@@ -1,0 +1,277 @@
+"""RPR2xx — shared-arena write discipline.
+
+The ShmArena (PR 5) is one shared-memory block whose named regions each
+have exactly one writing role at any point in the protocol: the master
+writes token layouts and the published model, workers write their private
+delta/accumulator replicas, and both sides take turns on chunk topic state.
+A write from the wrong role is a data race that the tests cannot reliably
+catch — it corrupts bit-identity only under particular interleavings.
+
+The ownership map lives in ``checks.toml`` (``[[arena.regions]]``): each
+region *pattern* declares its allowed ``writers`` roles and whether views
+of it may ``escape`` (be returned out of the owning function).  Files (or
+single functions, for mixed-role modules) are mapped to roles via
+``[[arena.scopes]]``.
+
+RPR201  write to an arena region by a role not in its writers list
+RPR202  reference to a region name not declared in the ownership map
+RPR203  view of a non-escaping region returned out of its owning scope
+
+Detection is intentionally syntactic: a "view" is any
+``<receiver>.view("name")`` call where the receiver's last dotted segment
+is in ``arena.receivers`` (e.g. ``arena``, ``self._arena``).  Views bound
+to local names or ``self.<attr>`` are tracked; subscript stores, augmented
+assigns, and ``np.copyto(view, ...)`` count as writes.  F-string region
+names are normalised to globs (``f"chunk{cid}/topics"`` -> ``chunk*/topics``)
+before matching against patterns.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatch
+from typing import Iterable
+
+from ..base import Finding, Project, Rule, SourceFile, dotted_name
+from ..config import ArenaRegion, ArenaScope
+
+
+def _region_name(arg: ast.AST) -> str | None:
+    """Extract a (possibly glob-normalised) region name from a view() arg."""
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        return arg.value
+    if isinstance(arg, ast.JoinedStr):
+        parts: list[str] = []
+        for value in arg.values:
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                parts.append(value.value)
+            else:
+                parts.append("*")
+        return "".join(parts)
+    return None
+
+
+class _ArenaVisitor(ast.NodeVisitor):
+    """Per-file visitor tracking view bindings and writes.
+
+    Local-name bindings are flow-insensitive in the simplest useful way:
+    binding is sequential within a function body (source order), and a
+    rebind to a non-view value clears the name.  ``self.<attr>`` bindings
+    are collected per class and apply to the whole class body.
+    """
+
+    def __init__(
+        self,
+        rule: "ArenaWriteRule",
+        sf: SourceFile,
+        receivers: list[str],
+        regions: list[ArenaRegion],
+        role_of: "dict[str | None, str]",
+    ) -> None:
+        self.rule = rule
+        self.sf = sf
+        self.receivers = receivers
+        self.regions = regions
+        self.role_of = role_of  # function name (or None = module) -> role
+        self.findings: list[Finding] = []
+        self.func_stack: list[str] = []
+        #: local name -> region, per innermost function frame
+        self.local_frames: list[dict[str, str]] = [{}]
+        #: "self.attr" -> region, per innermost class
+        self.attr_frames: list[dict[str, str]] = []
+
+    # -- helpers -----------------------------------------------------------
+    def _emit(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(
+            Finding(file=self.sf.rel, line=node.lineno, code=code, message=message)
+        )
+
+    def _current_role(self) -> str:
+        for fname in reversed(self.func_stack):
+            if fname in self.role_of:
+                return self.role_of[fname]
+        return self.role_of.get(None, "unknown")
+
+    def _match_region(self, name: str) -> ArenaRegion | None:
+        for region in self.regions:
+            if fnmatch(name, region.pattern) or name == region.pattern:
+                return region
+        return None
+
+    def _view_region(self, node: ast.AST) -> str | None:
+        """If ``node`` is ``<receiver>.view("name")``, return the region name."""
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            return None
+        if node.func.attr != "view" or not node.args:
+            return None
+        chain = dotted_name(node.func.value)
+        if chain is None or chain[-1] not in self.receivers:
+            return None
+        return _region_name(node.args[0])
+
+    def _resolve_expr_region(self, node: ast.AST) -> str | None:
+        """Region for a view-call, a bound local name, or a bound self-attr."""
+        direct = self._view_region(node)
+        if direct is not None:
+            return direct
+        if isinstance(node, ast.Name):
+            return self.local_frames[-1].get(node.id)
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and self.attr_frames
+        ):
+            return self.attr_frames[-1].get(node.attr)
+        return None
+
+    def _check_write(self, target_region: str | None, node: ast.AST) -> None:
+        if target_region is None:
+            return
+        region = self._match_region(target_region)
+        if region is None:
+            return  # RPR202 already reported at the view() site
+        role = self._current_role()
+        if role not in region.writers:
+            allowed = ", ".join(region.writers) or "nobody"
+            self._emit(
+                node,
+                "RPR201",
+                f"role {role!r} writes arena region {target_region!r}; ownership "
+                f"map allows only: {allowed}",
+            )
+
+    # -- scope bookkeeping -------------------------------------------------
+    def _visit_func(self, node: ast.AST) -> None:
+        self.func_stack.append(node.name)  # type: ignore[attr-defined]
+        self.local_frames.append({})
+        self.generic_visit(node)
+        self.local_frames.pop()
+        self.func_stack.pop()
+
+    visit_FunctionDef = _visit_func
+    visit_AsyncFunctionDef = _visit_func
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        # Pre-scan the class for ``self.X = <view>`` so writes in earlier
+        # methods still see bindings made in __init__ or any other method.
+        attrs: dict[str, str] = {}
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Assign) or len(sub.targets) != 1:
+                continue
+            target = sub.targets[0]
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                region = self._view_region(sub.value)
+                if region is not None:
+                    attrs[target.attr] = region
+        self.attr_frames.append(attrs)
+        self.generic_visit(node)
+        self.attr_frames.pop()
+
+    # -- bindings and writes ----------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        region = self._view_region(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if region is not None:
+                    self.local_frames[-1][target.id] = region
+                else:
+                    self.local_frames[-1].pop(target.id, None)
+            elif isinstance(target, ast.Subscript):
+                self._check_write(self._resolve_expr_region(target.value), node)
+                self.visit(target)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for elt in target.elts:
+                    if isinstance(elt, ast.Name):
+                        self.local_frames[-1].pop(elt.id, None)
+        self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        target = node.target
+        if isinstance(target, ast.Subscript):
+            self._check_write(self._resolve_expr_region(target.value), node)
+        else:
+            self._check_write(self._resolve_expr_region(target), node)
+        self.visit(target)
+        self.visit(node.value)
+
+    def visit_For(self, node: ast.For) -> None:
+        targets = [node.target]
+        if isinstance(node.target, (ast.Tuple, ast.List)):
+            targets = list(node.target.elts)
+        for target in targets:
+            if isinstance(target, ast.Name):
+                self.local_frames[-1].pop(target.id, None)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = dotted_name(node.func)
+        # np.copyto(dst, src) and ndarray .fill()/.sort() mutate in place.
+        if chain is not None and chain[-1] == "copyto" and node.args:
+            self._check_write(self._resolve_expr_region(node.args[0]), node)
+        if isinstance(node.func, ast.Attribute) and node.func.attr in ("fill", "sort"):
+            self._check_write(self._resolve_expr_region(node.func.value), node)
+        # RPR202 is reported here — exactly once per view() call node.
+        name = self._view_region(node)
+        if name is not None and self._match_region(name) is None:
+            self._emit(
+                node,
+                "RPR202",
+                f"arena region {name!r} is not declared in the ownership map "
+                "(checks.toml [[arena.regions]]); declare its writers first",
+            )
+        self.generic_visit(node)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        values: list[ast.AST] = []
+        if node.value is not None:
+            if isinstance(node.value, (ast.Tuple, ast.List)):
+                values.extend(node.value.elts)
+            else:
+                values.append(node.value)
+        for value in values:
+            region_name = self._resolve_expr_region(value)
+            if region_name is None:
+                continue
+            region = self._match_region(region_name)
+            if region is not None and not region.escapes:
+                self._emit(
+                    node,
+                    "RPR203",
+                    f"view of arena region {region_name!r} escapes its owning "
+                    "scope via return; region is declared non-escaping",
+                )
+        self.generic_visit(node)
+
+
+class ArenaWriteRule(Rule):
+    name = "arena"
+    codes = {
+        "RPR201": "arena write by a role outside the region's writers list",
+        "RPR202": "arena region not declared in the ownership map",
+        "RPR203": "non-escaping arena view returned out of its owning scope",
+    }
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        cfg = project.config
+        if not cfg.arena_scopes or not cfg.arena_regions:
+            return
+        scopes_by_file: dict[str, list[ArenaScope]] = {}
+        for scope in cfg.arena_scopes:
+            scopes_by_file.setdefault(scope.file, []).append(scope)
+        for sf in project.files:
+            scopes = scopes_by_file.get(sf.rel)
+            if not scopes or sf.tree is None:
+                continue
+            role_of: dict[str | None, str] = {}
+            for scope in scopes:
+                role_of[scope.function] = scope.role
+            visitor = _ArenaVisitor(
+                self, sf, cfg.arena_receivers, cfg.arena_regions, role_of
+            )
+            visitor.visit(sf.tree)
+            yield from visitor.findings

@@ -1,0 +1,72 @@
+"""RPR5xx — atomic-write lint.
+
+PR 7 introduced crash-safe artifact persistence: write to a tmp sibling,
+fsync, then ``os.replace`` into place (``repro.core.snapshot.atomic_savez``).
+A direct ``np.savez_compressed(path)`` anywhere else can leave a torn file
+behind on crash, which the serving tier would then refuse (integrity digest
+mismatch) or, worse, load partially.
+
+RPR501  direct artifact write (``np.savez*`` et al.) outside the atomic
+        helper — route through ``atomic_savez`` instead
+
+``atomic.allowed_in`` entries in checks.toml are ``path::function`` pairs
+naming the helper implementation(s) themselves.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..base import Finding, Project, Rule, dotted_name
+
+
+class AtomicWriteRule(Rule):
+    name = "atomicwrite"
+    codes = {
+        "RPR501": "direct artifact write outside the atomic tmp+os.replace helper",
+    }
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        cfg = project.config
+        write_calls = set(cfg.write_calls)
+        if not write_calls:
+            return
+        allowed: set[tuple[str, str]] = set()
+        for entry in cfg.atomic_allowed_in:
+            path, _, func = entry.partition("::")
+            allowed.add((path, func))
+        for sf in project.files_under(cfg.atomic_paths):
+            if sf.tree is None:
+                continue
+            yield from self._check_file(sf, write_calls, allowed)
+
+    def _check_file(self, sf, write_calls, allowed):
+        func_stack: list[str] = []
+
+        def walk(node: ast.AST) -> Iterable[Finding]:
+            is_func = isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            if is_func:
+                func_stack.append(node.name)
+            if isinstance(node, ast.Call):
+                chain = dotted_name(node.func)
+                dotted = ".".join(chain) if chain else ""
+                if dotted in write_calls:
+                    in_allowed = any(
+                        (sf.rel, fn) in allowed for fn in func_stack
+                    )
+                    if not in_allowed:
+                        yield Finding(
+                            file=sf.rel,
+                            line=node.lineno,
+                            code="RPR501",
+                            message=f"direct {dotted}() can leave a torn file on "
+                            "crash; route through "
+                            "repro.core.snapshot.atomic_savez",
+                        )
+            for child in ast.iter_child_nodes(node):
+                yield from walk(child)
+            if is_func:
+                func_stack.pop()
+
+        yield from walk(sf.tree)

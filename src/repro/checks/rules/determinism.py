@@ -1,0 +1,232 @@
+"""RPR1xx — determinism lint.
+
+The repo's reproducibility contract (docs/DETERMINISM.md) requires every
+random draw to flow from an explicitly seeded generator keyed
+``(seed, iteration, chunk)`` via :class:`repro.core.rng.RngPool`, and the
+hot training/inference path to be free of wall-clock reads and
+unordered-container iteration.  These rules catch the common ways that
+contract erodes:
+
+RPR101  unseeded numpy RNG (legacy ``np.random.*`` module functions, or
+        ``default_rng()`` with no seed argument)
+RPR102  stdlib ``random`` module calls (module-level functions share hidden
+        global state; use an ``RngPool`` stream instead)
+RPR103  wall-clock read on a hot path (``time.time``, ``datetime.now``, ...)
+        — timing belongs in benchmarks, not in code that feeds results
+RPR104  iterating a ``set``/``frozenset`` on a hot path without ``sorted()``
+        — iteration order is salted per process and breaks bit-identity
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..base import Finding, Project, Rule, SourceFile, dotted_name
+
+# Legacy numpy global-state RNG functions (np.random.<fn>).
+_NP_LEGACY = {
+    "rand", "randn", "randint", "random", "random_sample", "ranf", "sample",
+    "choice", "shuffle", "permutation", "uniform", "normal", "standard_normal",
+    "beta", "binomial", "dirichlet", "exponential", "gamma", "geometric",
+    "multinomial", "poisson", "seed",
+}
+
+# Stdlib random module-level functions backed by a hidden global Random().
+_STDLIB_RANDOM = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "betavariate",
+    "expovariate", "gammavariate", "lognormvariate", "triangular",
+    "vonmisesvariate", "paretovariate", "weibullvariate", "getrandbits",
+    "seed",
+}
+
+# Dotted chains that read the wall clock.
+_WALL_CLOCK = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "process_time"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+    ("datetime", "datetime", "now"),
+    ("datetime", "datetime", "utcnow"),
+    ("datetime", "date", "today"),
+}
+
+
+def _call_has_seed(call: ast.Call) -> bool:
+    """True when a default_rng()-style call passes a non-None seed."""
+    if call.args:
+        first = call.args[0]
+        return not (isinstance(first, ast.Constant) and first.value is None)
+    for kw in call.keywords:
+        if kw.arg == "seed":
+            return not (isinstance(kw.value, ast.Constant) and kw.value.value is None)
+    return False
+
+
+class _FileVisitor(ast.NodeVisitor):
+    def __init__(self, sf: SourceFile, check_rng: bool, check_hot: bool) -> None:
+        self.sf = sf
+        self.check_rng = check_rng
+        self.check_hot = check_hot
+        self.findings: list[Finding] = []
+        #: local name -> original, from ``from random import shuffle [as s]``
+        self.random_imports: dict[str, str] = {}
+        #: names bound by ``from numpy.random import default_rng``
+        self.default_rng_imports: set[str] = set()
+
+    def _emit(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(
+            Finding(file=self.sf.rel, line=node.lineno, code=code, message=message)
+        )
+
+    # -- imports -----------------------------------------------------------
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            for alias in node.names:
+                self.random_imports[alias.asname or alias.name] = alias.name
+        elif node.module in ("numpy.random", "numpy.random._generator"):
+            for alias in node.names:
+                if alias.name == "default_rng":
+                    self.default_rng_imports.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    # -- calls -------------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.check_rng:
+            self._check_rng_call(node)
+        if self.check_hot:
+            self._check_clock_call(node)
+        self.generic_visit(node)
+
+    def _check_rng_call(self, node: ast.Call) -> None:
+        chain = dotted_name(node.func)
+        if chain is None:
+            return
+        if len(chain) == 3 and chain[0] in ("np", "numpy") and chain[1] == "random":
+            fn = chain[2]
+            if fn in _NP_LEGACY:
+                self._emit(
+                    node,
+                    "RPR101",
+                    f"unseeded global numpy RNG: {'.'.join(chain)}() shares hidden "
+                    "state across call sites; draw from an RngPool stream instead",
+                )
+            elif fn == "default_rng" and not _call_has_seed(node):
+                self._emit(
+                    node,
+                    "RPR101",
+                    "default_rng() without a seed is entropy-seeded and "
+                    "irreproducible; pass a seed derived from RngPool",
+                )
+        elif len(chain) == 1 and chain[0] in self.default_rng_imports:
+            if not _call_has_seed(node):
+                self._emit(
+                    node,
+                    "RPR101",
+                    "default_rng() without a seed is entropy-seeded and "
+                    "irreproducible; pass a seed derived from RngPool",
+                )
+        elif len(chain) == 2 and chain[0] == "random" and chain[1] in _STDLIB_RANDOM:
+            self._emit(
+                node,
+                "RPR102",
+                f"stdlib random.{chain[1]}() uses hidden global state; use an "
+                "RngPool stream (or random.Random(seed)) instead",
+            )
+        elif len(chain) == 1 and chain[0] in self.random_imports:
+            orig = self.random_imports[chain[0]]
+            if orig in _STDLIB_RANDOM:
+                self._emit(
+                    node,
+                    "RPR102",
+                    f"stdlib random.{orig}() (imported bare) uses hidden global "
+                    "state; use an RngPool stream instead",
+                )
+
+    def _check_clock_call(self, node: ast.Call) -> None:
+        chain = dotted_name(node.func)
+        if chain is None:
+            return
+        if chain in _WALL_CLOCK or (len(chain) > 3 and chain[-3:] in _WALL_CLOCK):
+            self._emit(
+                node,
+                "RPR103",
+                f"wall-clock read {'.'.join(chain)}() on a hot path; results must "
+                "not depend on timing — measure in benchmarks/ instead",
+            )
+
+    # -- unordered iteration ----------------------------------------------
+    def _iter_is_unordered(self, node: ast.AST) -> str | None:
+        """Return a description when ``node`` is an unordered-set expression."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return "set literal/comprehension"
+        if isinstance(node, ast.Call):
+            chain = dotted_name(node.func)
+            if chain in (("set",), ("frozenset",)):
+                return f"{chain[0]}(...)"
+            if chain is not None and len(chain) >= 2 and chain[-1] in (
+                "intersection", "union", "difference", "symmetric_difference",
+            ):
+                return f"set.{chain[-1]}(...)"
+        return None
+
+    def _check_iter(self, iter_node: ast.AST, at: ast.AST) -> None:
+        if not self.check_hot:
+            return
+        desc = self._iter_is_unordered(iter_node)
+        if desc is not None:
+            self._emit(
+                at,
+                "RPR104",
+                f"iteration over unordered {desc} on a hot path; set iteration "
+                "order is per-process — wrap in sorted(...)",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter, node)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iter(node.iter, node)
+        self.generic_visit(node)
+
+    def _visit_comp(self, node: ast.AST) -> None:
+        for gen in node.generators:  # type: ignore[attr-defined]
+            self._check_iter(gen.iter, gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_DictComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+
+
+class DeterminismRule(Rule):
+    name = "determinism"
+    codes = {
+        "RPR101": "unseeded numpy RNG (np.random.* / bare default_rng())",
+        "RPR102": "stdlib random module call (hidden global state)",
+        "RPR103": "wall-clock read on a hot path",
+        "RPR104": "unordered set iteration on a hot path",
+    }
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        cfg = project.config
+        rng_files = {id(sf) for sf in project.files_under(cfg.rng_paths)}
+        hot_files = {id(sf) for sf in project.files_under(cfg.hot_paths)}
+        for sf in project.files:
+            check_rng = id(sf) in rng_files
+            check_hot = id(sf) in hot_files
+            if sf.tree is None or not (check_rng or check_hot):
+                continue
+            visitor = _FileVisitor(sf, check_rng=check_rng, check_hot=check_hot)
+            visitor.visit(sf.tree)
+            yield from visitor.findings

@@ -1,0 +1,174 @@
+"""RPR4xx — fault-point consistency.
+
+The chaos-testing machinery (PR 7/8) addresses injection points by string
+name: ``faults.crash_if("worker_crash", ...)``.  A typo'd name silently
+never fires — the chaos suite then "passes" while testing nothing.  These
+rules keep three sources in lock-step:
+
+1. call sites (``faults.check/crash_if/raise_if/delay_if/sleep_if``),
+2. the canonical registry (``repro.faults.POINTS``),
+3. the operator docs table in docs/ROBUSTNESS.md.
+
+RPR401  call site uses a point name missing from ``faults.POINTS``
+RPR402  registry point missing from the docs table (docs drift)
+RPR403  docs table lists a point missing from the registry (stale docs)
+
+The registry is read by AST (not import) so the check works on any
+checkout without needing ``repro`` importable; the docs table is located by
+its ``| Point |`` header row and rows are matched as ``| `name` | ...``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable
+
+from ..base import Finding, Project, Rule, dotted_name
+
+_FAULT_FNS = {"check", "crash_if", "raise_if", "delay_if", "sleep_if"}
+
+_DOC_ROW_RE = re.compile(r"^\|\s*`(?P<point>[A-Za-z0-9_]+)`\s*\|")
+_DOC_HEADER_RE = re.compile(r"^\|\s*Point\s*\|", re.IGNORECASE)
+
+
+def _load_registry(path: Path) -> dict[str, int] | None:
+    """Parse ``POINTS = {...}`` out of the registry module. name -> lineno."""
+    if not path.is_file():
+        return None
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+    except SyntaxError:
+        return None
+    for node in ast.walk(tree):
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "POINTS":
+                try:
+                    literal = ast.literal_eval(value)
+                except (ValueError, TypeError):
+                    return None
+                if isinstance(literal, dict):
+                    return {str(k): node.lineno for k in literal}
+                if isinstance(literal, (set, frozenset, list, tuple)):
+                    return {str(k): node.lineno for k in literal}
+                return None
+    return None
+
+
+def _load_docs_points(path: Path) -> dict[str, int] | None:
+    """Point names from the docs table (header ``| Point |``). name -> lineno."""
+    if not path.is_file():
+        return None
+    points: dict[str, int] = {}
+    in_table = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if _DOC_HEADER_RE.match(line.strip()):
+            in_table = True
+            continue
+        if in_table:
+            stripped = line.strip()
+            if not stripped.startswith("|"):
+                in_table = False
+                continue
+            m = _DOC_ROW_RE.match(stripped)
+            if m:
+                points[m.group("point")] = lineno
+    return points
+
+
+class FaultPointRule(Rule):
+    name = "faultpoints"
+    codes = {
+        "RPR401": "fault call site names a point missing from faults.POINTS",
+        "RPR402": "registry point missing from the docs table",
+        "RPR403": "docs table lists a point missing from the registry",
+    }
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        cfg = project.config
+        if not cfg.fault_registry:
+            return
+        registry_path = project.root / cfg.fault_registry
+        registry = _load_registry(registry_path)
+        if registry is None:
+            yield Finding(
+                file=cfg.fault_registry,
+                line=1,
+                code="RPR401",
+                message="fault registry has no parseable POINTS mapping; "
+                "declare `POINTS = {\"name\": \"description\", ...}`",
+            )
+            return
+
+        # 1. call sites vs registry
+        for sf in project.files_under(cfg.fault_call_paths):
+            if sf.tree is None:
+                continue
+            for node in ast.walk(sf.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                chain = dotted_name(node.func)
+                if (
+                    chain is None
+                    or len(chain) < 2
+                    or chain[-2] != "faults"
+                    or chain[-1] not in _FAULT_FNS
+                ):
+                    continue
+                if not node.args:
+                    continue
+                first = node.args[0]
+                if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+                    continue
+                point = first.value
+                if point not in registry:
+                    known = ", ".join(sorted(registry))
+                    yield Finding(
+                        file=sf.rel,
+                        line=node.lineno,
+                        code="RPR401",
+                        message=f"fault point {point!r} is not in faults.POINTS "
+                        f"(known: {known}); a typo here never fires",
+                    )
+
+        # 2/3. registry vs docs table
+        if not cfg.fault_docs:
+            return
+        docs_path = project.root / cfg.fault_docs
+        docs = _load_docs_points(docs_path)
+        if docs is None:
+            yield Finding(
+                file=cfg.fault_docs,
+                line=1,
+                code="RPR402",
+                message="fault-point docs file not found; every faults.POINTS "
+                "entry must be documented in the points table",
+            )
+            return
+        for point, lineno in sorted(registry.items()):
+            if point not in docs:
+                yield Finding(
+                    file=cfg.fault_registry,
+                    line=lineno,
+                    code="RPR402",
+                    message=f"registry point {point!r} is missing from the "
+                    f"points table in {cfg.fault_docs}",
+                )
+        for point, lineno in sorted(docs.items()):
+            if point not in registry:
+                yield Finding(
+                    file=cfg.fault_docs,
+                    line=lineno,
+                    code="RPR403",
+                    message=f"documented point {point!r} does not exist in "
+                    "faults.POINTS; remove the row or add the point",
+                )

@@ -1,0 +1,223 @@
+"""File collection, rule dispatch, suppression, and reporting.
+
+This is the engine behind ``repro check``: it loads ``checks.toml``,
+collects ``.py`` files under the requested paths, parses them once, runs
+every (selected) rule over the shared :class:`Project`, applies per-line
+``repro: noqa`` suppression, and appends the meta findings:
+
+RPR000  file does not parse
+RPR001  noqa pragma names an unknown code (typos must not disable checks)
+RPR002  noqa pragma without a reason string (when run.require_noqa_reason)
+
+Meta codes are not themselves suppressible.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Sequence
+
+from .base import Finding, Project, SourceFile, UsageError
+from .config import CheckConfig, load_config
+from .rules import ALL_RULES
+
+__all__ = ["CheckReport", "known_codes", "render_text", "run_checks"]
+
+_META_CODES = {
+    "RPR000": "file does not parse",
+    "RPR001": "noqa pragma names an unknown code",
+    "RPR002": "noqa pragma without a reason string",
+}
+
+
+@dataclass
+class CheckReport:
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "files_checked": self.files_checked,
+                "findings": [
+                    {
+                        "file": f.file,
+                        "line": f.line,
+                        "code": f.code,
+                        "severity": f.severity,
+                        "message": f.message,
+                    }
+                    for f in self.findings
+                ],
+            },
+            indent=2,
+        )
+
+
+def known_codes() -> dict[str, str]:
+    """All valid finding codes: meta codes plus every registered rule's."""
+    codes = dict(_META_CODES)
+    for rule_cls in ALL_RULES:
+        codes.update(rule_cls.codes)
+    return codes
+
+
+def _excluded(rel: str, excludes: list[str]) -> bool:
+    for entry in excludes:
+        entry = entry.rstrip("/")
+        if rel == entry or rel.startswith(entry + "/"):
+            return True
+        if any(ch in entry for ch in "*?[") and fnmatch(rel, entry):
+            return True
+        if f"/{entry}/" in f"/{rel}/":  # bare dir names like __pycache__
+            return True
+    return False
+
+
+def _collect(paths: Sequence[str], cfg: CheckConfig) -> list[SourceFile]:
+    root = cfg.root
+    seen: set[Path] = set()
+    files: list[SourceFile] = []
+    for raw in paths:
+        p = Path(raw)
+        if not p.is_absolute():
+            # Interpret relative to the config root first (stable no matter
+            # where the CLI is invoked from), falling back to the cwd.
+            candidate = root / p
+            p = candidate if candidate.exists() else p.resolve()
+        p = p.resolve()
+        if not p.exists():
+            raise UsageError(f"path does not exist: {raw}")
+        if p.is_file():
+            candidates = [p] if p.suffix == ".py" else []
+        else:
+            candidates = sorted(p.rglob("*.py"))
+        for f in candidates:
+            if f in seen:
+                continue
+            seen.add(f)
+            try:
+                rel = f.relative_to(root).as_posix()
+            except ValueError:
+                rel = f.as_posix()
+            if _excluded(rel, cfg.exclude):
+                continue
+            files.append(SourceFile.load(f, rel))
+    files.sort(key=lambda sf: sf.rel)
+    return files
+
+
+def _select_codes(select: Sequence[str] | None) -> set[str] | None:
+    """Expand ``--select`` prefixes (RPR2, RPR203) to concrete codes."""
+    if not select:
+        return None
+    codes = known_codes()
+    out: set[str] = set()
+    for token in select:
+        token = token.strip()
+        if not token:
+            continue
+        matched = {c for c in codes if c.startswith(token)}
+        if not matched:
+            raise UsageError(
+                f"--select {token!r} matches no known codes "
+                f"(known: {', '.join(sorted(codes))})"
+            )
+        out |= matched
+    return out
+
+
+def run_checks(
+    paths: Sequence[str],
+    config_path: Path,
+    select: Sequence[str] | None = None,
+) -> CheckReport:
+    """Run all (selected) rules over ``paths`` and return the report."""
+    cfg = load_config(config_path)
+    use_paths = list(paths) if paths else list(cfg.run_paths)
+    if not use_paths:
+        raise UsageError("no paths given and checks.toml [run].paths is empty")
+    selected = _select_codes(select)
+
+    files = _collect(use_paths, cfg)
+    project = Project(root=cfg.root, files=files, config=cfg)
+
+    findings: list[Finding] = []
+    for sf in files:
+        if sf.parse_error is not None:
+            findings.append(
+                Finding(
+                    file=sf.rel,
+                    line=sf.parse_error_line,
+                    code="RPR000",
+                    message=f"cannot parse file: {sf.parse_error}",
+                )
+            )
+    for rule_cls in ALL_RULES:
+        if selected is not None and not (set(rule_cls.codes) & selected):
+            continue
+        for finding in rule_cls().run(project):
+            findings.append(finding)
+
+    if selected is not None:
+        findings = [f for f in findings if f.code in selected or f.code == "RPR000"]
+
+    # Apply suppression, then audit the pragmas themselves.
+    codes = known_codes()
+    kept: list[Finding] = []
+    for finding in findings:
+        pragma = next(
+            (sf.noqa.get(finding.line) for sf in files if sf.rel == finding.file),
+            None,
+        )
+        if (
+            pragma is not None
+            and finding.code not in _META_CODES
+            and pragma.suppresses(finding.code)
+        ):
+            continue
+        kept.append(finding)
+    for sf in files:
+        for pragma in sf.noqa.values():
+            for code in pragma.codes:
+                if code not in codes:
+                    kept.append(
+                        Finding(
+                            file=sf.rel,
+                            line=pragma.line,
+                            code="RPR001",
+                            message=f"noqa pragma names unknown code {code!r}; "
+                            "a typo here would silently disable nothing",
+                        )
+                    )
+            if cfg.require_noqa_reason and not pragma.reason:
+                kept.append(
+                    Finding(
+                        file=sf.rel,
+                        line=pragma.line,
+                        code="RPR002",
+                        message="noqa pragma without a reason string; state why "
+                        "the exception is deliberate",
+                    )
+                )
+
+    kept.sort(key=lambda f: (f.file, f.line, f.code))
+    return CheckReport(findings=kept, files_checked=len(files))
+
+
+def render_text(report: CheckReport) -> str:
+    lines = [f.render() for f in report.findings]
+    n = len(report.findings)
+    if n:
+        lines.append(f"{n} finding{'s' if n != 1 else ''} "
+                     f"({report.files_checked} files checked)")
+    else:
+        lines.append(f"clean ({report.files_checked} files checked)")
+    return "\n".join(lines)

@@ -11,6 +11,7 @@
     python -m repro verify-artifact model.npz checkpoint.npz
     python -m repro benchmark --algo lightlda --topics 256
     python -m repro algorithms
+    python -m repro check src benchmarks examples
 
 Every trainer is constructed through the unified registry
 (:func:`repro.api.create_trainer`), so ``--algo`` accepts any registered
@@ -508,6 +509,43 @@ def cmd_algorithms(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    # Imported lazily: the checks framework is tooling, not a runtime
+    # dependency of training/serving.
+    from repro.checks import UsageError, known_codes, render_text, run_checks
+
+    try:
+        if args.list_rules:
+            for code, summary in sorted(known_codes().items()):
+                print(f"{code}  {summary}")
+            return 0
+        config = Path(args.config) if args.config else _find_checks_config()
+        select = None
+        if args.select:
+            select = [tok for part in args.select for tok in part.split(",")]
+        report = run_checks(args.paths, config, select=select)
+    except UsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(render_text(report))
+    return report.exit_code
+
+
+def _find_checks_config() -> Path:
+    """Walk up from the cwd looking for checks.toml (like ruff/pytest do)."""
+    here = Path.cwd().resolve()
+    for candidate in [here, *here.parents]:
+        config = candidate / "checks.toml"
+        if config.is_file():
+            return config
+    # Fall back to the repo the package itself lives in (src/repro -> root).
+    packaged = Path(__file__).resolve().parents[2] / "checks.toml"
+    return packaged
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -774,6 +812,33 @@ def build_parser() -> argparse.ArgumentParser:
         "algorithms", help="list registered algorithms and their options"
     )
     p_algos.set_defaults(func=cmd_algorithms)
+
+    p_check = sub.add_parser(
+        "check",
+        help="run the repo-aware static-analysis suite (see "
+             "docs/STATIC_ANALYSIS.md)",
+    )
+    p_check.add_argument(
+        "paths", nargs="*",
+        help="files/directories to check (default: [run].paths in checks.toml)",
+    )
+    p_check.add_argument(
+        "--config", help="path to checks.toml (default: search upward from cwd)"
+    )
+    p_check.add_argument(
+        "--select", action="append", default=[],
+        help="only run codes matching these prefixes, e.g. RPR4 or "
+             "RPR101,RPR203 (repeatable)",
+    )
+    p_check.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default text)",
+    )
+    p_check.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    p_check.set_defaults(func=cmd_check)
 
     return parser
 

@@ -77,6 +77,7 @@ __all__ = [
     "CRASH_EXIT_CODE",
     "DEFAULT_HANG_SECONDS",
     "ENV_VAR",
+    "POINTS",
     "Fault",
     "FaultInjected",
     "active_spec",
@@ -93,6 +94,24 @@ __all__ = [
 
 #: Exit code of an injected process crash — distinctive in worker logs.
 CRASH_EXIT_CODE = 173
+
+#: Canonical registry of injection points wired in the codebase.
+#:
+#: This is the single source of truth that the RPR4xx static checks keep in
+#: sync with both the call sites (``faults.crash_if("worker_crash", ...)``)
+#: and the operator docs table in docs/ROBUSTNESS.md — a point name that is
+#: missing here is almost certainly a typo that would silently never fire.
+#: Arming an unknown point is still allowed at runtime (tests arm synthetic
+#: points freely); the registry constrains the *shipped* call sites.
+POINTS = {
+    "worker_crash": "training worker os._exit at phase=sample/merge/broadcast",
+    "shm_attach": "worker dies before attaching the shared arena",
+    "merge_fail": "transient exception in the master's phi reconciliation",
+    "serve_error": "serving dispatch raises -> typed inference_failed response",
+    "serve_slow": "serving dispatch sleeps delay_ms before answering",
+    "serve_hang": "serving dispatch wedges on the executor thread for delay_ms",
+    "artifact_corrupt": "flips one phi count after an artifact read (op=load)",
+}
 
 ENV_VAR = "REPRO_FAULTS"
 
