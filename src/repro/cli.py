@@ -38,7 +38,12 @@ from repro.analysis.heldout import document_completion
 from repro.analysis.reporting import render_table
 from repro.api import algorithm_names, create_trainer, get_algorithm
 from repro.core.model import LdaState
-from repro.core.snapshot import load_checkpoint_full, run_info, save_checkpoint
+from repro.core.snapshot import (
+    atomic_savez,
+    load_checkpoint_full,
+    run_info,
+    save_checkpoint,
+)
 from repro.corpus.document import Corpus
 from repro.corpus.io import read_uci_bow
 from repro.corpus.stats import corpus_stats
@@ -270,7 +275,7 @@ def cmd_infer(args: argparse.Namespace) -> int:
             f"({corpus.num_tokens} tokens, K={model.num_topics})"
         )
         if args.output:
-            np.savez_compressed(Path(args.output), theta=theta)
+            atomic_savez(Path(args.output), {"theta": theta})
             print(f"theta written to {args.output}")
         ids, weights = session.top_topics(corpus, n=args.top, theta=theta)
     show = min(corpus.num_docs, args.show_docs)

@@ -38,6 +38,7 @@ from pathlib import Path
 import numpy as np
 
 from repro import faults
+from repro.core.snapshot import atomic_savez
 from repro.corpus.vocab import Vocabulary
 from repro.integrity import integrity_record, verify_payload
 from repro.model.artifact import TopicModel
@@ -85,7 +86,9 @@ def save_topic_model(model: TopicModel, path: str | Path) -> None:
     payload["metadata_json"] = json.dumps(
         metadata, default=str, sort_keys=True
     )
-    np.savez_compressed(Path(path), **payload)
+    # RPR501: stage + os.replace, so a crash mid-save can never leave a
+    # torn artifact for the serving tier to trip over.
+    atomic_savez(Path(path), payload)
 
 
 def load_topic_model(path: str | Path) -> TopicModel:
