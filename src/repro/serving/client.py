@@ -223,7 +223,7 @@ class ServingClient:
                     raise
                 backoff = min(
                     RETRY_BACKOFF_BASE * (2 ** attempt), RETRY_BACKOFF_MAX
-                ) * (0.5 + random.random() / 2)
+                ) * (0.5 + random.random() / 2)  # repro: noqa[RPR102] retry jitter must differ across client processes; determinism here would re-synchronise the thundering herd
                 attempt += 1
                 await asyncio.sleep(backoff)
                 if not isinstance(exc, ServerBusy):
