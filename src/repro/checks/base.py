@@ -135,7 +135,8 @@ class Project:
             for entry in entries:
                 entry = entry.rstrip("/")
                 if (
-                    sf.rel == entry
+                    entry in ("", ".")
+                    or sf.rel == entry
                     or sf.rel.startswith(entry + "/")
                     or (any(ch in entry for ch in "*?[") and fnmatch(sf.rel, entry))
                 ):

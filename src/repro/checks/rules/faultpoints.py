@@ -97,6 +97,11 @@ class FaultPointRule(Rule):
         cfg = project.config
         if not cfg.fault_registry:
             return
+        # The registry/docs sync check is global, but only meaningful when
+        # this run actually covers fault-injection code — a single-file run
+        # over an unrelated module should not carry repo-wide findings.
+        if not any(True for _ in project.files_under(cfg.fault_call_paths)):
+            return
         registry_path = project.root / cfg.fault_registry
         registry = _load_registry(registry_path)
         if registry is None:

@@ -1,0 +1,26 @@
+"""Arena fixture, master role: RPR201/202/203 positives and negatives."""
+
+
+def publish(arena, phi):
+    arena.view("model/phi")[...] = phi  # fine: master writes model/*
+    arena.view("scratch/undeclared")  # RPR202: not in the ownership map
+    view = arena.view("chunk3/topics")
+    view[...] = 0  # fine: master may write chunk topics
+    return view  # RPR203: chunk*/topics is non-escaping
+
+
+def merge(arena):
+    arena.view("wdelta0/phi")[...] = 0  # RPR201: wdelta is worker-owned
+    delta = arena.view("wdelta1/phi")
+    delta += 1  # RPR201: augmented assign through a bound name
+    return arena.view("model/phi")  # fine: model/* escapes
+
+
+class Holder:
+    def __init__(self, arena):
+        self._arena = arena
+        self.phi = arena.view("model/phi")
+
+    def refresh(self):
+        self.phi[...] = 1  # fine: master writes model/* via self-attr
+        self._arena.view("wdelta0/phi").fill(0)  # RPR201: in-place fill

@@ -1,0 +1,16 @@
+"""Arena fixture, worker role (with one master-scoped function)."""
+
+
+def sample(arena, cid):
+    topics = arena.view(f"chunk{cid}/topics")
+    topics[...] = 7  # fine: workers write chunk topics (f-string -> glob)
+    arena.view("model/phi")[...] = 0  # RPR201: model/* is master-only
+    delta = arena.view(f"wdelta{cid}/phi")
+    delta[...] = 0  # fine: workers own their delta slice
+    return delta  # fine: wdelta*/phi escapes
+
+
+def master_side_merge(arena):
+    # Function-scoped override: this one function runs on the master.
+    arena.view("model/phi")[...] = 3  # fine: master role here
+    arena.view("wdelta0/phi")[...] = 0  # RPR201: master touching worker slice

@@ -1,0 +1,14 @@
+"""Async fixture: RPR301/302/303 fire inside async def."""
+
+import subprocess
+import time
+
+
+async def handle(session, corpus, path):
+    time.sleep(0.1)  # RPR301: blocks the event loop
+    subprocess.run(["true"])  # RPR302: blocking subprocess
+    data = open(path).read()  # RPR302: blocking file open
+    text = path.read_text()  # RPR302: blocking Path I/O
+    theta = session.transform(corpus)  # RPR303: direct inference call
+    rows = session.transform_many([corpus])  # RPR303
+    return data, text, theta, rows

@@ -1,0 +1,24 @@
+"""Clean async fixture: executor offload and sync helpers are fine."""
+
+import asyncio
+import time
+
+
+async def handle(loop, session, corpus):
+    await asyncio.sleep(0.1)  # the async way to wait
+    return await loop.run_in_executor(None, _compute, session, corpus)
+
+
+def _compute(session, corpus):
+    # Sync helper: runs on the executor thread, so blocking is fine here —
+    # including the direct inference call and a real sleep.
+    time.sleep(0.01)
+    return session.transform(corpus)
+
+
+async def outer(loop, session, corpus):
+    def blocking_closure():
+        return session.transform_many([corpus])
+
+    # A nested sync def resets the async context: no findings inside it.
+    return await loop.run_in_executor(None, blocking_closure)

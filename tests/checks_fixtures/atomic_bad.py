@@ -1,0 +1,11 @@
+"""Atomic-write fixture: direct np.savez* outside the helper fires."""
+
+import numpy as np
+
+
+def save_results(path, theta):
+    np.savez_compressed(path, theta=theta)  # RPR501
+
+
+def save_raw(path, phi):
+    np.savez(path, phi=phi)  # RPR501

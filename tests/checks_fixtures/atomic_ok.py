@@ -1,0 +1,17 @@
+"""Clean atomic-write fixture: the helper itself may call np.savez*."""
+
+import os
+
+import numpy as np
+
+
+def atomic_savez(path, payload):
+    tmp = f"{path}.tmp{os.getpid()}"
+    with open(tmp, "wb") as fh:
+        np.savez_compressed(fh, **payload)  # fine: inside the allowed helper
+    os.replace(tmp, path)
+    return path
+
+
+def save_model(path, payload):
+    return atomic_savez(path, payload)  # fine: routed through the helper

@@ -1,0 +1,29 @@
+"""Seeded-violation fixture: every RPR1xx code fires in this file."""
+
+import random
+import time
+from random import shuffle
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def draw():
+    a = np.random.rand(3)  # line 12: RPR101 legacy global RNG
+    rng = np.random.default_rng()  # line 13: RPR101 unseeded default_rng
+    rng2 = default_rng()  # line 14: RPR101 bare unseeded default_rng
+    b = random.random()  # line 15: RPR102 stdlib global RNG
+    items = [3, 1, 2]
+    shuffle(items)  # line 17: RPR102 bare-imported stdlib RNG
+    return a, rng, rng2, b, items
+
+
+def hot_loop(names):
+    started = time.time()  # line 22: RPR103 wall-clock read
+    total = 0
+    for name in {n for n in names}:  # line 24: RPR104 set comprehension
+        total += len(name)
+    for tag in set(names):  # line 26: RPR104 set(...) call
+        total += len(tag)
+    ordered = [n for n in names.intersection(names)]  # line 28: RPR104
+    return started, total, ordered

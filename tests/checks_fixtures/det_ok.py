@@ -1,0 +1,23 @@
+"""Clean variant of det_bad.py: same shapes, zero findings."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def draw(seed):
+    rng = np.random.default_rng(seed)  # seeded: fine
+    rng2 = default_rng(seed=seed)  # seeded via keyword: fine
+    local = random.Random(seed)  # instance, not the module globals: fine
+    a = rng.random(3)
+    return a, rng2, local.random()
+
+
+def hot_loop(names):
+    total = 0
+    for name in sorted({n for n in names}):  # sorted() wraps the set: fine
+        total += len(name)
+    for tag in sorted(set(names)):
+        total += len(tag)
+    return total

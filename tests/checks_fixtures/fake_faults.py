@@ -1,0 +1,7 @@
+"""Fixture registry for the RPR4xx tests: three canonical points."""
+
+POINTS = {
+    "alpha": "documented and used: the clean case",
+    "beta": "documented but never called: still fine statically",
+    "gamma": "missing from the docs table: RPR402 at this assignment",
+}

@@ -1,0 +1,23 @@
+"""Fixture call sites for RPR401."""
+
+from repro import faults
+
+
+def run(iteration):
+    faults.crash_if("alpha", iteration=iteration)  # fine: registered point
+    if faults.check("zeta", op="merge"):  # RPR401: unknown point
+        raise RuntimeError("injected")
+    faults.raise_if(some_dynamic_point(), op="x")  # non-literal: skipped
+    other.crash_if("zeta")  # receiver is not `faults`: skipped
+
+
+def some_dynamic_point():
+    return "alpha"
+
+
+class _Other:
+    def crash_if(self, point):
+        return point
+
+
+other = _Other()

@@ -1,0 +1,15 @@
+"""Suppression fixture: pragmas with and without reasons, unknown codes."""
+
+import numpy as np
+
+
+def suppressed():
+    return np.random.rand(2)  # repro: noqa[RPR101] deliberate: fixture proves suppression works
+
+
+def suppressed_no_reason():
+    return np.random.rand(2)  # repro: noqa[RPR101]
+
+
+def wrong_code_suppression():
+    return np.random.rand(2)  # repro: noqa[RPR999] wrong code: RPR101 must still fire

@@ -1,0 +1,238 @@
+"""Tests for the ``repro check`` static-analysis suite.
+
+Every rule family gets a fixture pair under ``tests/checks_fixtures/``: a
+seeded-violation file the rule must fire on, and a clean variant it must
+stay silent on.  The fixture directory has its own ``checks.toml`` so the
+expected findings are exact, plus suppression/meta-rule cases and CLI
+exit-code coverage.  The final test self-applies the real configuration to
+the shipped tree — the same gate CI runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.checks import UsageError, known_codes, load_config, run_checks
+from repro.cli import main
+
+FIXTURES = Path(__file__).resolve().parent / "checks_fixtures"
+FIXTURE_CONFIG = FIXTURES / "checks.toml"
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def run_fixture(*names: str, select=None):
+    paths = [str(FIXTURES / name) for name in names] if names else [str(FIXTURES)]
+    return run_checks(paths, FIXTURE_CONFIG, select=select)
+
+
+def codes_at(report, filename):
+    return [(f.line, f.code) for f in report.findings if f.file == filename]
+
+
+# ---------------------------------------------------------------- RPR1xx
+
+def test_determinism_fires_on_seeded_violations():
+    report = run_fixture("det_bad.py")
+    assert codes_at(report, "det_bad.py") == [
+        (12, "RPR101"),
+        (13, "RPR101"),
+        (14, "RPR101"),
+        (15, "RPR102"),
+        (17, "RPR102"),
+        (22, "RPR103"),
+        (24, "RPR104"),
+        (26, "RPR104"),
+        (28, "RPR104"),
+    ]
+
+
+def test_determinism_silent_on_clean_variant():
+    report = run_fixture("det_ok.py")
+    assert report.findings == []
+    assert report.exit_code == 0
+
+
+# ---------------------------------------------------------------- RPR2xx
+
+def test_arena_flags_master_violations():
+    report = run_fixture("arena_master.py")
+    codes = codes_at(report, "arena_master.py")
+    assert ("RPR202" in [c for _, c in codes])
+    # wrong-role writes: direct subscript, bound-name augassign, .fill()
+    assert [c for _, c in codes].count("RPR201") == 3
+    # the chunk view return escapes a non-escaping region
+    assert [c for _, c in codes].count("RPR203") == 1
+    # model/phi return and model writes are clean: no other findings
+    assert len(codes) == 5
+
+
+def test_arena_worker_and_function_scope_override():
+    report = run_fixture("arena_worker.py")
+    codes = codes_at(report, "arena_worker.py")
+    # one worker->model write, plus one master->wdelta write inside the
+    # function-scoped master override
+    assert [c for _, c in codes] == ["RPR201", "RPR201"]
+    lines = [ln for ln, _ in codes]
+    assert lines == sorted(lines)
+
+
+# ---------------------------------------------------------------- RPR3xx
+
+def test_async_blocking_fires():
+    report = run_fixture("async_bad.py")
+    got = [c for _, c in codes_at(report, "async_bad.py")]
+    assert got == [
+        "RPR301", "RPR302", "RPR302", "RPR302", "RPR303", "RPR303",
+    ]
+
+
+def test_async_clean_variant_silent():
+    report = run_fixture("async_ok.py")
+    assert report.findings == []
+
+
+# ---------------------------------------------------------------- RPR4xx
+
+def test_fault_points_consistency():
+    report = run_fixture("faults_use.py")
+    by_code = {}
+    for f in report.findings:
+        by_code.setdefault(f.code, []).append(f)
+    # unknown call-site point
+    assert len(by_code["RPR401"]) == 1
+    assert "'zeta'" in by_code["RPR401"][0].message
+    assert by_code["RPR401"][0].file == "faults_use.py"
+    # registry point gamma missing from the docs table
+    assert len(by_code["RPR402"]) == 1
+    assert "'gamma'" in by_code["RPR402"][0].message
+    assert by_code["RPR402"][0].file == "fake_faults.py"
+    # docs row delta names a point the registry lacks
+    assert len(by_code["RPR403"]) == 1
+    assert "'delta'" in by_code["RPR403"][0].message
+    assert by_code["RPR403"][0].file == "fake_robustness.md"
+    assert set(by_code) == {"RPR401", "RPR402", "RPR403"}
+
+
+def test_fault_points_select_prefix():
+    report = run_fixture("faults_use.py", select=["RPR401"])
+    assert {f.code for f in report.findings} == {"RPR401"}
+
+
+# ---------------------------------------------------------------- RPR5xx
+
+def test_atomic_write_fires_outside_helper():
+    report = run_fixture("atomic_bad.py")
+    assert [c for _, c in codes_at(report, "atomic_bad.py")] == [
+        "RPR501", "RPR501",
+    ]
+
+
+def test_atomic_write_allows_the_helper():
+    report = run_fixture("atomic_ok.py")
+    assert report.findings == []
+
+
+# ------------------------------------------------------------ suppression
+
+def test_noqa_suppression_reason_audit_and_unknown_code():
+    report = run_fixture("noqa_cases.py")
+    codes = codes_at(report, "noqa_cases.py")
+    # line 7: suppressed with reason -> nothing
+    # line 11: suppressed, but the pragma lacks a reason -> RPR002
+    # line 15: pragma names RPR999 -> RPR001, and RPR101 still fires
+    assert codes == [
+        (11, "RPR002"),
+        (15, "RPR001"),
+        (15, "RPR101"),
+    ]
+
+
+def test_unknown_select_is_usage_error():
+    with pytest.raises(UsageError):
+        run_fixture("det_bad.py", select=["RPRX"])
+
+
+def test_missing_path_is_usage_error():
+    with pytest.raises(UsageError):
+        run_checks([str(FIXTURES / "no_such_file.py")], FIXTURE_CONFIG)
+
+
+def test_missing_config_is_usage_error():
+    with pytest.raises(UsageError):
+        run_checks(["."], FIXTURES / "no_such_config.toml")
+
+
+# ------------------------------------------------------------------- CLI
+
+def test_cli_exit_zero_on_clean(capsys):
+    rc = main([
+        "check", "--config", str(FIXTURE_CONFIG), str(FIXTURES / "det_ok.py"),
+    ])
+    assert rc == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_exit_one_on_findings(capsys):
+    rc = main([
+        "check", "--config", str(FIXTURE_CONFIG), str(FIXTURES / "det_bad.py"),
+    ])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "RPR101" in out and "det_bad.py:12" in out
+
+
+def test_cli_exit_two_on_usage_error(capsys):
+    rc = main([
+        "check", "--config", str(FIXTURE_CONFIG), "--select", "NOPE",
+        str(FIXTURES / "det_ok.py"),
+    ])
+    assert rc == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_cli_json_format(capsys):
+    import json
+
+    rc = main([
+        "check", "--config", str(FIXTURE_CONFIG), "--format", "json",
+        str(FIXTURES / "atomic_bad.py"),
+    ])
+    assert rc == 1
+    data = json.loads(capsys.readouterr().out)
+    assert data["files_checked"] == 1
+    assert {f["code"] for f in data["findings"]} == {"RPR501"}
+
+
+def test_cli_list_rules(capsys):
+    rc = main(["check", "--list-rules"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    for family in ("RPR101", "RPR201", "RPR301", "RPR401", "RPR501"):
+        assert family in out
+
+
+# ----------------------------------------------------------- integration
+
+def test_config_loads_real_checks_toml():
+    cfg = load_config(REPO_ROOT / "checks.toml")
+    assert cfg.run_paths
+    assert cfg.arena_regions and cfg.arena_scopes
+    assert cfg.fault_registry == "src/repro/faults.py"
+
+
+def test_known_codes_cover_all_five_families():
+    codes = known_codes()
+    for prefix in ("RPR1", "RPR2", "RPR3", "RPR4", "RPR5"):
+        assert any(c.startswith(prefix) for c in codes)
+
+
+def test_self_application_is_clean():
+    """The acceptance gate: the shipped tree passes its own checker."""
+    report = run_checks(
+        ["src", "benchmarks", "examples", "tests"],
+        REPO_ROOT / "checks.toml",
+    )
+    assert [f.render() for f in report.findings] == []
+    assert report.files_checked > 100
