@@ -47,10 +47,10 @@ class Callback:
     def on_train_begin(self, trainer: Any, num_iterations: int) -> None:
         pass
 
-    def on_iteration_end(self, trainer: Any, record: "IterationRecord"):
+    def on_iteration_end(self, trainer: Any, record: IterationRecord):
         return None
 
-    def on_train_end(self, trainer: Any, result: "TrainResult") -> None:
+    def on_train_end(self, trainer: Any, result: TrainResult) -> None:
         pass
 
 
@@ -97,7 +97,7 @@ class EarlyStopping(Callback):
         self.stale = 0
         self.stopped_iteration: int | None = None
 
-    def on_iteration_end(self, trainer: Any, record: "IterationRecord"):
+    def on_iteration_end(self, trainer: Any, record: IterationRecord):
         ll = record.log_likelihood_per_token
         if ll is None:
             return None
@@ -177,7 +177,7 @@ class Checkpointer(Callback):
         self._recoveries_seen = seen
         return grew
 
-    def on_iteration_end(self, trainer: Any, record: "IterationRecord"):
+    def on_iteration_end(self, trainer: Any, record: IterationRecord):
         due = (record.iteration + 1) % self.every == 0
         if self.save_on_recovery and self._recovered(trainer):
             due = True
@@ -247,7 +247,7 @@ class ProgressLogger(Callback):
             file=self._out(),
         )
 
-    def on_iteration_end(self, trainer: Any, record: "IterationRecord"):
+    def on_iteration_end(self, trainer: Any, record: IterationRecord):
         if (record.iteration + 1) % self.every != 0:
             return None
         ll = record.log_likelihood_per_token
@@ -259,7 +259,7 @@ class ProgressLogger(Callback):
         )
         return None
 
-    def on_train_end(self, trainer: Any, result: "TrainResult") -> None:
+    def on_train_end(self, trainer: Any, result: TrainResult) -> None:
         tail = " (early stop)" if result.early_stopped else ""
         print(
             f"[{self._tag(trainer)}] done: "

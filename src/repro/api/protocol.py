@@ -158,7 +158,7 @@ class LdaTrainer(abc.ABC):
         """
         return {"algorithm": self.name, "iterations": self.iterations_done}
 
-    def export_model(self, parent: str | None = None) -> "TopicModel":
+    def export_model(self, parent: str | None = None) -> TopicModel:
         """Freeze the current model into a :class:`~repro.model.TopicModel`.
 
         Works for every algorithm: the artifact needs only ``phi``,

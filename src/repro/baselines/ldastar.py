@@ -218,7 +218,7 @@ class LdaStarTrainer:
                    casting="unsafe")
             self.state.topic_totals += dtot
 
-    def __enter__(self) -> "LdaStarTrainer":
+    def __enter__(self) -> LdaStarTrainer:
         return self
 
     def __exit__(self, *exc) -> None:

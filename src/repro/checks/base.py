@@ -22,7 +22,11 @@ import ast
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # import cycle: config.py imports UsageError from here
+    from .config import CheckConfig
 
 __all__ = [
     "Finding",
@@ -94,7 +98,7 @@ class SourceFile:
     noqa: dict[int, NoqaPragma] = field(default_factory=dict)
 
     @classmethod
-    def load(cls, path: Path, rel: str) -> "SourceFile":
+    def load(cls, path: Path, rel: str) -> SourceFile:
         text = path.read_text(encoding="utf-8")
         sf = cls(path=path, rel=rel, text=text)
         try:
@@ -121,7 +125,7 @@ class Project:
 
     root: Path
     files: list[SourceFile]
-    config: "CheckConfig"
+    config: CheckConfig
 
     def files_under(self, entries: list[str]) -> Iterator[SourceFile]:
         """Yield files whose root-relative path matches ``entries``.

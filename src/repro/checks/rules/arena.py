@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import ast
 from fnmatch import fnmatch
-from typing import Iterable
+from collections.abc import Iterable
 
 from ..base import Finding, Project, Rule, SourceFile, dotted_name
 from ..config import ArenaRegion, ArenaScope
@@ -62,11 +62,11 @@ class _ArenaVisitor(ast.NodeVisitor):
 
     def __init__(
         self,
-        rule: "ArenaWriteRule",
+        rule: ArenaWriteRule,
         sf: SourceFile,
         receivers: list[str],
         regions: list[ArenaRegion],
-        role_of: "dict[str | None, str]",
+        role_of: dict[str | None, str],
     ) -> None:
         self.rule = rule
         self.sf = sf

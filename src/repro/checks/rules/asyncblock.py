@@ -18,7 +18,7 @@ Only code lexically inside an ``async def`` is flagged; a nested synchronous
 from __future__ import annotations
 
 import ast
-from typing import Iterable
+from collections.abc import Iterable
 
 from ..base import Finding, Project, Rule, SourceFile, dotted_name
 

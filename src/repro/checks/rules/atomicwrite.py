@@ -16,7 +16,7 @@ naming the helper implementation(s) themselves.
 from __future__ import annotations
 
 import ast
-from typing import Iterable
+from collections.abc import Iterable
 
 from ..base import Finding, Project, Rule, dotted_name
 

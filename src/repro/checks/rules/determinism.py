@@ -20,7 +20,7 @@ RPR104  iterating a ``set``/``frozenset`` on a hot path without ``sorted()``
 from __future__ import annotations
 
 import ast
-from typing import Iterable
+from collections.abc import Iterable
 
 from ..base import Finding, Project, Rule, SourceFile, dotted_name
 

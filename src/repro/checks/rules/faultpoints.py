@@ -23,7 +23,7 @@ from __future__ import annotations
 import ast
 import re
 from pathlib import Path
-from typing import Iterable
+from collections.abc import Iterable
 
 from ..base import Finding, Project, Rule, dotted_name
 

@@ -18,7 +18,7 @@ import json
 from dataclasses import dataclass, field
 from fnmatch import fnmatch
 from pathlib import Path
-from typing import Sequence
+from collections.abc import Sequence
 
 from .base import Finding, Project, SourceFile, UsageError
 from .config import CheckConfig, load_config

@@ -56,7 +56,7 @@ class FoldInSampler:
         self._p_star = (self.phi + beta) / denom[:, None]
 
     @classmethod
-    def from_state(cls, state: LdaState) -> "FoldInSampler":
+    def from_state(cls, state: LdaState) -> FoldInSampler:
         """Build from a trained :class:`LdaState`."""
         return cls(state.phi, state.topic_totals, state.alpha, state.beta)
 

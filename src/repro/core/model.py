@@ -94,7 +94,7 @@ class LdaState:
         corpus: Corpus,
         config: TrainerConfig,
         chunk_specs: list[ChunkSpec] | None = None,
-    ) -> "LdaState":
+    ) -> LdaState:
         """Random-topic initialisation over a chunked corpus.
 
         Each token receives a uniform random topic ("Initially, each token

@@ -69,7 +69,7 @@ class ChunkRecord:
     Table 4 benches).
     """
 
-    stats: "object"  # SamplingStats (kept loose to avoid import cycle)
+    stats: object  # SamplingStats (kept loose to avoid import cycle)
     num_local_docs: int
     theta_nnz_pre: int  # nnz when the sampling kernel ran (L1 model input)
     theta_nnz_post: int  # nnz after update-theta (its compaction cost)

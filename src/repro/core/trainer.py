@@ -269,7 +269,7 @@ class CuLdaTrainer:
         self.state.phi[...] = phi_new
         self.state.topic_totals[...] = totals_new
 
-    def __enter__(self) -> "CuLdaTrainer":
+    def __enter__(self) -> CuLdaTrainer:
         return self
 
     def __exit__(self, *exc) -> None:

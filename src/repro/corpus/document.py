@@ -81,7 +81,7 @@ class Corpus:
         docs: Sequence[Sequence[int]],
         num_words: int,
         vocabulary: Vocabulary | None = None,
-    ) -> "Corpus":
+    ) -> Corpus:
         """Build a corpus from per-document lists of word ids."""
         lengths = np.fromiter((len(d) for d in docs), dtype=np.int64, count=len(docs))
         offsets = np.zeros(len(docs) + 1, dtype=np.int64)
@@ -101,7 +101,7 @@ class Corpus:
         num_docs: int,
         num_words: int,
         vocabulary: Vocabulary | None = None,
-    ) -> "Corpus":
+    ) -> Corpus:
         """Build a corpus from ``(doc_id, word_id, count)`` triples.
 
         This is the UCI bag-of-words shape; each triple expands into
@@ -165,7 +165,7 @@ class Corpus:
             np.arange(self.num_docs, dtype=np.int32), self.doc_lengths()
         )
 
-    def subset(self, doc_lo: int, doc_hi: int) -> "Corpus":
+    def subset(self, doc_lo: int, doc_hi: int) -> Corpus:
         """Corpus restricted to documents ``[doc_lo, doc_hi)`` (ids rebased)."""
         if not (0 <= doc_lo <= doc_hi <= self.num_docs):
             raise ValueError(f"invalid document range [{doc_lo}, {doc_hi})")

@@ -50,7 +50,7 @@ def read_uci_bow(
     """
     close = False
     if isinstance(docword_path, (str, Path)):
-        fh: io.TextIOBase = open(docword_path, "r", encoding="utf-8")
+        fh: io.TextIOBase = open(docword_path, encoding="utf-8")
         close = True
     else:
         fh = docword_path

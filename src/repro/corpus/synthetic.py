@@ -72,7 +72,7 @@ class SyntheticSpec:
         if self.topic_alpha <= 0 or self.word_beta <= 0:
             raise ValueError("Dirichlet concentrations must be positive")
 
-    def scaled(self, factor: float) -> "SyntheticSpec":
+    def scaled(self, factor: float) -> SyntheticSpec:
         """Return a spec with D and V scaled by ``factor`` (ratios preserved).
 
         Mean document length is kept fixed: it is an intensive property of

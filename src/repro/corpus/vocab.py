@@ -40,7 +40,7 @@ class Vocabulary:
         self._index: dict[str, int] = index
 
     @classmethod
-    def synthetic(cls, size: int, prefix: str = "w") -> "Vocabulary":
+    def synthetic(cls, size: int, prefix: str = "w") -> Vocabulary:
         """Build a vocabulary of ``size`` synthetic terms ``w0, w1, ...``."""
         if size < 0:
             raise ValueError(f"vocabulary size must be non-negative, got {size}")

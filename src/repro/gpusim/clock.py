@@ -50,7 +50,7 @@ class KernelCost:
             return float("inf")
         return self.flops / self.bytes_total
 
-    def __add__(self, other: "KernelCost") -> "KernelCost":
+    def __add__(self, other: KernelCost) -> KernelCost:
         return KernelCost(
             self.bytes_read + other.bytes_read,
             self.bytes_written + other.bytes_written,
@@ -58,7 +58,7 @@ class KernelCost:
             self.atomic_ops + other.atomic_ops,
         )
 
-    def scaled(self, factor: float) -> "KernelCost":
+    def scaled(self, factor: float) -> KernelCost:
         if factor < 0:
             raise ValueError("scale factor must be non-negative")
         return KernelCost(
@@ -128,7 +128,7 @@ class CostLedger:
             return {k: 0.0 for k in self.seconds}
         return {k: v / total for k, v in self.seconds.items()}
 
-    def merge(self, other: "CostLedger") -> None:
+    def merge(self, other: CostLedger) -> None:
         for k in other.seconds:
             self.charge(k, other.costs[k], other.seconds[k])
             # charge() bumps launches by 1; fix up to the true count.

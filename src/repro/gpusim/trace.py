@@ -29,7 +29,7 @@ class TraceEvent:
     def duration(self) -> float:
         return self.end - self.start
 
-    def overlaps(self, other: "TraceEvent") -> bool:
+    def overlaps(self, other: TraceEvent) -> bool:
         """True if the two events share any wall-clock interval."""
         return self.start < other.end and other.start < self.end
 

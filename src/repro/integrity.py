@@ -52,7 +52,7 @@ def digest_arrays(arrays: Mapping[str, object]) -> str:
         if name in EXCLUDED_KEYS:
             continue
         arr = np.asarray(arrays[name])
-        h.update(name.encode("utf-8"))
+        h.update(name.encode())
         h.update(b"\0")
         h.update(arr.dtype.str.encode("ascii"))
         h.update(b"\0")

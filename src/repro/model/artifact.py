@@ -118,7 +118,7 @@ class TopicModel:
         state: Any,
         vocabulary: Vocabulary | None = None,
         metadata: Mapping[str, Any] | None = None,
-    ) -> "TopicModel":
+    ) -> TopicModel:
         """Build from any training state exposing the shared surface.
 
         Works for the chunked :class:`~repro.core.model.LdaState` and the
@@ -301,7 +301,7 @@ class TopicModel:
         save_topic_model(self, path)
 
     @classmethod
-    def load(cls, path: str | Path) -> "TopicModel":
+    def load(cls, path: str | Path) -> TopicModel:
         """Read a saved artifact; v1 (``repro train --output`` before the
         model redesign) and v2 files both load."""
         from repro.model.serialize import load_topic_model

@@ -145,7 +145,7 @@ class InferenceSession:
         num_sweeps: int = 30,
         burn_in: int = 10,
         batch_docs: int = DEFAULT_BATCH_DOCS,
-    ) -> "InferenceSession":
+    ) -> InferenceSession:
         """Adopt a sequential :class:`~repro.core.inference.FoldInSampler`.
 
         Compat path for callers holding a sampler instead of a
@@ -172,7 +172,7 @@ class InferenceSession:
         num_sweeps: int = 30,
         burn_in: int = 10,
         batch_docs: int = DEFAULT_BATCH_DOCS,
-    ) -> "InferenceSession":
+    ) -> InferenceSession:
         """Session over an externally owned ``p*`` transpose (no copy).
 
         Used by the parallel-inference workers, whose matrix is a view
@@ -215,7 +215,7 @@ class InferenceSession:
             self._pool.close()
             self._pool = None
 
-    def __enter__(self) -> "InferenceSession":
+    def __enter__(self) -> InferenceSession:
         return self
 
     def __exit__(self, *exc) -> None:

@@ -343,7 +343,7 @@ class ProcessEngine:
         if not self.started:
             return
         self.drain()
-        for cid, cs in self._chunks.items():
+        for cs in self._chunks.values():
             cs.topics = np.array(cs.topics)
             cs.theta = CsrCounts(
                 indptr=np.array(cs.theta.indptr),
@@ -359,7 +359,7 @@ class ProcessEngine:
         self._procs = []
         self._conns = []
 
-    def __enter__(self) -> "ProcessEngine":
+    def __enter__(self) -> ProcessEngine:
         self.start()
         return self
 

@@ -112,7 +112,7 @@ class ShmArena:
     @classmethod
     def create(
         cls, specs: dict[str, tuple[tuple[int, ...], np.dtype]]
-    ) -> "ShmArena":
+    ) -> ShmArena:
         """Allocate a fresh block sized for ``specs`` (master side)."""
         arrays, total = _plan_layout(specs)
         shm = shared_memory.SharedMemory(create=True, size=total)
@@ -122,7 +122,7 @@ class ShmArena:
         return cls(shm, layout, owner=True)
 
     @classmethod
-    def attach(cls, layout: ArenaLayout) -> "ShmArena":
+    def attach(cls, layout: ArenaLayout) -> ShmArena:
         """Map an existing block created elsewhere (worker side).
 
         Workers are always children of the creating process, so they

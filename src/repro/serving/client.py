@@ -152,7 +152,7 @@ class ServingClient:
         *,
         timeout: float | None = None,
         retries: int = 0,
-    ) -> "ServingClient":
+    ) -> ServingClient:
         reader, writer = await asyncio.wait_for(
             asyncio.open_connection(host, port), timeout
         )
@@ -168,7 +168,7 @@ class ServingClient:
         except (ConnectionResetError, BrokenPipeError):
             pass
 
-    async def __aenter__(self) -> "ServingClient":
+    async def __aenter__(self) -> ServingClient:
         return self
 
     async def __aexit__(self, *exc) -> None:

@@ -51,7 +51,7 @@ def encode_frame(message: dict) -> bytes:
     """Serialize one message to its on-wire bytes (header + JSON)."""
     payload = json.dumps(
         message, separators=(",", ":"), allow_nan=False
-    ).encode("utf-8")
+    ).encode()
     if len(payload) > MAX_FRAME_BYTES:
         raise FrameError(
             f"frame of {len(payload)} bytes exceeds the "

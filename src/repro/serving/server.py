@@ -291,7 +291,7 @@ class ServingServer:
         finally:
             await self.stop()
 
-    async def __aenter__(self) -> "ServingServer":
+    async def __aenter__(self) -> ServingServer:
         await self.start()
         return self
 

@@ -22,7 +22,7 @@ __all__ = ["LatencyStats", "quantiles"]
 DEFAULT_WINDOW = 4096
 
 
-def quantiles(samples: "deque[float] | list[float]") -> dict[str, float] | None:
+def quantiles(samples: deque[float] | list[float]) -> dict[str, float] | None:
     """p50/p99/mean/max of a sample window (None when empty)."""
     if not samples:
         return None

@@ -1,5 +1,7 @@
 """Tests for TrainerConfig (paper hyper-parameter policy)."""
 
+import dataclasses
+
 import pytest
 
 from repro.core import TrainerConfig
@@ -54,5 +56,5 @@ class TestValidation:
 
     def test_frozen(self):
         cfg = TrainerConfig(num_topics=8)
-        with pytest.raises(Exception):
+        with pytest.raises(dataclasses.FrozenInstanceError):
             cfg.num_topics = 9  # type: ignore[misc]

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import warnings
 
+import pytest
+
 import repro
 import repro.baselines
 
@@ -37,12 +39,8 @@ class TestTopLevelShim:
         assert "create_trainer" in str(deprecations[0].message)
 
     def test_unknown_attribute_still_raises(self):
-        try:
-            repro.NoSuchThing
-        except AttributeError as exc:
-            assert "NoSuchThing" in str(exc)
-        else:
-            raise AssertionError("expected AttributeError")
+        with pytest.raises(AttributeError, match="NoSuchThing"):
+            _ = repro.NoSuchThing
 
     def test_new_api_imports_do_not_warn(self):
         with warnings.catch_warnings(record=True) as caught:

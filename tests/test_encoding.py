@@ -78,7 +78,7 @@ class TestBlockPlan:
         # contiguous, disjoint cover of [0, n)
         assert covered[0][0] == 0
         assert covered[-1][1] == dc.num_tokens
-        for (a, b), (c2, _) in zip(covered, covered[1:]):
+        for (_a, b), (c2, _) in zip(covered, covered[1:]):
             assert b == c2
 
     def test_blocks_respect_word_boundaries(self, encoded):
