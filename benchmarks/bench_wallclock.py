@@ -19,6 +19,7 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_wallclock.py \
         --preset medium --execution process --num-workers 4
     PYTHONPATH=src python benchmarks/bench_wallclock.py --scaling-sweep
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --store
 
 Protocol: per algorithm, construct through the registry (the same path
 ``repro train --algo <name>`` takes), run ``--warmup`` untimed
@@ -794,6 +795,103 @@ def run_faulted_serving_bench(
     }
 
 
+#: Corpus-store bench shape: shard granularity and streaming window size.
+STORE_DOCS_PER_SHARD = 256
+STORE_WINDOW_DOCS = 256
+
+
+def run_store_bench(
+    scale: float = 1.0,
+    docs_per_shard: int = STORE_DOCS_PER_SHARD,
+    window_docs: int = STORE_WINDOW_DOCS,
+) -> dict:
+    """Durable corpus-store throughput: ingest + streaming window reads.
+
+    Writes the medium-preset corpus to a UCI bag-of-words file, times
+    :func:`repro.corpus.ingest_uci_bow` streaming it into digest-verified
+    shards, then times reading it back two ways: the verified open (one
+    full pass that materialises ``doc_offsets`` and digest-checks every
+    shard) and a sequential sweep of ``window_docs``-document training
+    windows through the shard cache.  Training from the store is
+    bit-identical to in-RAM (tests/test_corpus_store.py), so these
+    numbers price durability, not a different computation.
+    """
+    import shutil
+    import tempfile
+
+    from repro.corpus import CorpusStore, ingest_uci_bow
+    from repro.corpus.io import write_uci_bow
+
+    corpus, spec = make_corpus(scale, preset="medium")
+    tmp = Path(tempfile.mkdtemp(prefix="bench-store-"))
+    try:
+        docword = tmp / "docword.txt"
+        write_uci_bow(corpus, docword)
+        store_dir = tmp / "store"
+        t0 = time.perf_counter()
+        manifest = ingest_uci_bow(
+            docword, store_dir, docs_per_shard=docs_per_shard
+        )
+        ingest_s = time.perf_counter() - t0
+
+        store = CorpusStore.open(store_dir)
+        t0 = time.perf_counter()
+        _ = store.doc_offsets  # timed verified materialisation
+        open_s = time.perf_counter() - t0
+        num_docs, num_tokens = store.num_docs, store.num_tokens
+
+        t0 = time.perf_counter()
+        read_tokens = 0
+        for lo in range(0, num_docs, window_docs):
+            window = store.subset(lo, min(lo + window_docs, num_docs))
+            read_tokens += window.num_tokens
+        window_s = time.perf_counter() - t0
+        if read_tokens != num_tokens:
+            raise AssertionError("window sweep lost tokens")
+        shard_bytes = sum(
+            (store_dir / entry["name"]).stat().st_size
+            for entry in manifest["shards"]
+        )
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    result = {
+        "preset": "medium",
+        "corpus": {"spec": spec, "seed": CORPUS_SEED},
+        "num_docs": num_docs,
+        "num_tokens": num_tokens,
+        "num_shards": len(manifest["shards"]),
+        "docs_per_shard": docs_per_shard,
+        "shard_bytes": shard_bytes,
+        "ingest": {
+            "seconds": ingest_s,
+            "docs_per_sec": num_docs / ingest_s,
+            "tokens_per_sec": num_tokens / ingest_s,
+        },
+        "verified_open": {
+            "seconds": open_s,
+            "tokens_per_sec": num_tokens / open_s,
+        },
+        "window_read": {
+            "window_docs": window_docs,
+            "seconds": window_s,
+            "tokens_per_sec": num_tokens / window_s,
+        },
+        "note": (
+            "ingest streams UCI bow into sha256-verified shards; window "
+            "reads stream training windows through the shard cache; "
+            "training from the store is bit-identical to in-RAM "
+            "(tests/test_corpus_store.py)"
+        ),
+    }
+    print(
+        f"store  ingest {num_tokens / ingest_s / 1e3:8.1f}k tok/s   "
+        f"verified open {num_tokens / open_s / 1e3:8.1f}k tok/s   "
+        f"window read {num_tokens / window_s / 1e3:8.1f}k tok/s   "
+        f"({len(manifest['shards'])} shards, {shard_bytes / 1024:.0f} KiB)"
+    )
+    return result
+
+
 def run_scaling_sweep(
     topics: int,
     warmup: int,
@@ -860,6 +958,7 @@ def run(
     inference: bool = True,
     inference_workers: int | None = None,
     serving: bool = False,
+    store: bool = False,
 ) -> dict:
     corpus, spec = make_corpus(scale, preset=preset)
     names = algos or algorithm_names()
@@ -990,6 +1089,10 @@ def run(
             topics=topics, scale=scale
         )
 
+    store_report = None
+    if store:
+        store_report = run_store_bench(scale=scale)
+
     report = {
         "protocol": {
             "corpus": {"spec": spec, "seed": CORPUS_SEED},
@@ -1049,6 +1152,8 @@ def run(
         report["serving"] = serving_report
     if faulted_serving_report is not None:
         report["serving_faulted"] = faulted_serving_report
+    if store_report is not None:
+        report["store"] = store_report
     out_path = Path(out_path)
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"report written to {out_path}")
@@ -1097,6 +1202,10 @@ def main(argv: list[str] | None = None) -> int:
                          "tier: saturating arrivals from 8 concurrent "
                          "clients, throughput + p50/p99 latency at "
                          "{1,2} inference workers")
+    ap.add_argument("--store", action="store_true",
+                    help="measure the durable corpus store: ingest "
+                         "throughput plus verified-open and streaming "
+                         "window-read rates on the medium preset")
     ap.add_argument("--algos", nargs="*", default=None,
                     help="subset of registry names (default: all)")
     ap.add_argument("--baseline", default=str(DEFAULT_BASELINE),
@@ -1119,6 +1228,7 @@ def main(argv: list[str] | None = None) -> int:
         inference=args.inference,
         inference_workers=args.inference_workers,
         serving=args.serving,
+        store=args.store,
     )
     return 0
 

@@ -41,7 +41,7 @@ from repro.api import (
 from repro.core import LdaState, TrainerConfig, log_likelihood_per_token
 from repro.model import InferenceSession, TopicModel
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     # unified API

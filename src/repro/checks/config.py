@@ -183,6 +183,10 @@ class CheckConfig:
 
     atomic_paths: list[str] = field(default_factory=list)
     write_calls: list[str] = field(default_factory=list)
+    #: attribute names (e.g. ``write_text``) matched on ANY receiver —
+    #: catches ``path.write_text(...)`` where the receiver's dotted name
+    #: cannot be enumerated up front.
+    write_attrs: list[str] = field(default_factory=list)
     atomic_allowed_in: list[str] = field(default_factory=list)
 
 
@@ -254,6 +258,7 @@ def load_config(path: Path) -> CheckConfig:
     atomic = data.get("atomic", {})
     cfg.atomic_paths = _str_list(atomic, "paths", where)
     cfg.write_calls = _str_list(atomic, "write_calls", where)
+    cfg.write_attrs = _str_list(atomic, "write_attrs", where)
     cfg.atomic_allowed_in = _str_list(atomic, "allowed_in", where)
 
     return cfg

@@ -8,7 +8,10 @@
     python -m repro evaluate --model model.npz --docword test_docs.txt
     python -m repro serve --model model.npz --port 7070
     python -m repro query --host 127.0.0.1 --port 7070 --docword new_docs.txt
-    python -m repro verify-artifact model.npz checkpoint.npz
+    python -m repro ingest --docword docword.txt --store corpus_store/
+    python -m repro corpus verify corpus_store/ --quarantine
+    python -m repro train --algo culda --corpus-store corpus_store/
+    python -m repro verify-artifact model.npz checkpoint.npz store/manifest.json
     python -m repro benchmark --algo lightlda --topics 256
     python -m repro algorithms
     python -m repro check src benchmarks examples
@@ -125,9 +128,29 @@ def _close_trainer(trainer) -> None:
 
 
 def cmd_train(args: argparse.Namespace) -> int:
-    corpus = _load_corpus(args)
-    st = corpus_stats(corpus)
-    print(f"corpus: D={st.num_docs} V={st.num_words} T={st.num_tokens}")
+    if getattr(args, "corpus_store", None):
+        if args.algo != "culda":
+            # The store view feeds the chunked culda window loader; dense
+            # trainers materialise the whole token array and would defeat
+            # the point silently.
+            print(
+                f"error: --corpus-store streams per-iteration windows and "
+                f"requires --algo culda; algorithm {args.algo!r} needs an "
+                f"in-RAM corpus (--docword/--preset)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.corpus.store import CorpusStore
+
+        corpus = CorpusStore.open(args.corpus_store)
+        print(
+            f"corpus store: D={corpus.num_docs} V={corpus.num_words} "
+            f"T={corpus.num_tokens} shards={corpus.num_shards}"
+        )
+    else:
+        corpus = _load_corpus(args)
+        st = corpus_stats(corpus)
+        print(f"corpus: D={st.num_docs} V={st.num_words} T={st.num_tokens}")
     likelihood_every = args.likelihood_every
     if args.resume:
         bundle = load_checkpoint_full(args.resume, corpus)
@@ -448,6 +471,61 @@ def cmd_query(args: argparse.Namespace) -> int:
         return 2
 
 
+def cmd_ingest(args: argparse.Namespace) -> int:
+    """Ingest a UCI bag-of-words file into a durable sharded store.
+
+    Crash-safe and resumable: rerunning the same command against the
+    same store directory picks up from the first missing or damaged
+    shard; a complete store is a no-op.
+    """
+    from repro.corpus.store import ingest_uci_bow
+
+    kwargs: dict = {}
+    if args.docs_per_shard is not None:
+        kwargs["docs_per_shard"] = args.docs_per_shard
+    manifest = ingest_uci_bow(
+        args.docword, args.store, vocab_path=args.vocab, **kwargs
+    )
+    print(
+        f"ingested {manifest['num_docs']} documents "
+        f"({manifest['num_tokens']} tokens) into {args.store} "
+        f"[{len(manifest['shards'])} shard(s) of "
+        f"{manifest['docs_per_shard']} docs]"
+    )
+    return 0
+
+
+def cmd_corpus_verify(args: argparse.Namespace) -> int:
+    """Offline integrity check of a corpus store (exit 1 on corruption)."""
+    from repro.corpus.store import verify_store
+
+    report = verify_store(args.store, quarantine=args.quarantine)
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        rows = [
+            [s["name"], s["status"], s.get("detail", "")]
+            for s in report["shards"]
+        ]
+        if rows:
+            print(render_table(["shard", "status", "detail"], rows))
+        print(f"store {report['path']}: {report['status']}")
+        if report.get("detail"):
+            print(f"  {report['detail']}")
+        if report["quarantined"]:
+            print(f"  quarantined: {', '.join(report['quarantined'])}")
+        if "resume_from_shard" in report:
+            print(
+                f"  manifest rolled back; `repro ingest` resumes at shard "
+                f"{report['resume_from_shard']}"
+            )
+    if report["status"] == "corrupt":
+        return 1
+    if report["status"] == "incomplete":
+        return 3
+    return 0
+
+
 def cmd_verify_artifact(args: argparse.Namespace) -> int:
     """Offline integrity check of a model artifact or checkpoint."""
     from repro.integrity import verify_artifact
@@ -620,6 +698,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="LL/token cadence (default 5; a resumed run inherits the "
              "checkpoint's cadence unless overridden)",
     )
+    p_train.add_argument(
+        "--corpus-store", dest="corpus_store",
+        help="train from a durable sharded corpus store directory (from "
+             "'repro ingest') instead of --docword/--preset; windows are "
+             "streamed from digest-verified shards, bit-identical to the "
+             "in-RAM run (culda only)",
+    )
     p_train.add_argument("--output", help="write model .npz here")
     p_train.add_argument("--checkpoint", help="write resumable checkpoint here")
     p_train.add_argument(
@@ -765,14 +850,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_query.set_defaults(func=cmd_query)
 
+    p_ingest = sub.add_parser(
+        "ingest",
+        help="ingest a UCI bag-of-words file into a durable sharded corpus "
+             "store (crash-safe; rerun to resume)",
+    )
+    p_ingest.add_argument("--docword", required=True,
+                          help="UCI bag-of-words file")
+    p_ingest.add_argument("--vocab",
+                          help="vocabulary file (one term per line)")
+    p_ingest.add_argument("--store", required=True,
+                          help="store directory (created if missing)")
+    p_ingest.add_argument(
+        "--docs-per-shard", dest="docs_per_shard", type=int, default=None,
+        help="documents per shard (default 4096; fixed per store — resume "
+             "must cut identical shards)",
+    )
+    p_ingest.set_defaults(func=cmd_ingest)
+
+    p_corpus = sub.add_parser(
+        "corpus", help="corpus store maintenance"
+    )
+    corpus_sub = p_corpus.add_subparsers(dest="corpus_command", required=True)
+    p_cverify = corpus_sub.add_parser(
+        "verify",
+        help="verify the manifest digest and every shard of a corpus store",
+    )
+    p_cverify.add_argument("store", help="corpus store directory")
+    p_cverify.add_argument(
+        "--quarantine", action="store_true",
+        help="move corrupt files into <store>/quarantine/ and roll the "
+             "manifest back so 'repro ingest' re-ingests the damaged "
+             "suffix",
+    )
+    p_cverify.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default text)",
+    )
+    p_cverify.set_defaults(func=cmd_corpus_verify)
+
     p_verify = sub.add_parser(
         "verify-artifact",
-        help="offline integrity check (payload sha256) of model artifacts "
-             "and checkpoints",
+        help="offline integrity check (payload sha256) of model artifacts, "
+             "checkpoints, corpus shards and store manifests",
     )
     p_verify.add_argument(
         "paths", nargs="+",
-        help="artifact .npz files to verify (exit 1 if any is corrupt)",
+        help="artifact files to verify — .npz payloads or store "
+             "manifest.json (exit 1 if any is corrupt)",
     )
     p_verify.set_defaults(func=cmd_verify_artifact)
 

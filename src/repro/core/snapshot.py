@@ -181,6 +181,42 @@ def atomic_savez(path: str | Path, payload: dict) -> Path:
     return path
 
 
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Write a text file with crash-safe replace semantics.
+
+    The content is staged in a sibling temp file and published with
+    ``os.replace``, exactly like :func:`atomic_savez` — readers only ever
+    see the previous complete file or the new complete file, never a
+    torn one.  This is the sanctioned way to write any text/JSON
+    artifact the repo persists (corpus-store manifests, vocabulary
+    files, trace exports); the RPR501 static check flags direct
+    ``Path.write_text`` calls elsewhere under ``src/repro``.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return path
+
+
+def atomic_write_json(path: str | Path, obj: dict, *, indent: int = 2) -> Path:
+    """Serialise ``obj`` as JSON and publish it atomically.
+
+    Thin convenience over :func:`atomic_write_text`; ``sort_keys`` keeps
+    the byte layout a pure function of the content, so two writes of the
+    same logical object are byte-identical files (what the corpus-store
+    resume tests assert).
+    """
+    return atomic_write_text(
+        path, json.dumps(obj, indent=indent, sort_keys=True) + "\n"
+    )
+
+
 def save_checkpoint(
     state: LdaState,
     path: str | Path,

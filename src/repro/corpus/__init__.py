@@ -6,8 +6,11 @@ This subpackage provides everything the trainer needs on the *data* side:
 - :class:`~repro.corpus.document.Corpus` — validated bag-of-tokens container.
 - :mod:`~repro.corpus.synthetic` — LDA-generative corpus generation with
   presets that mirror the NYTimes / PubMed statistics of Table 3.
-- :mod:`~repro.corpus.io` — UCI bag-of-words format reader/writer, so real
-  datasets can be substituted when available.
+- :mod:`~repro.corpus.io` — UCI bag-of-words format reader/writer (chunked,
+  bounded-memory), so real datasets can be substituted when available.
+- :mod:`~repro.corpus.store` — durable sharded on-disk corpus store:
+  integrity-checked shards, crash-safe resumable ingestion, streaming
+  training windows (``repro ingest`` / ``repro train --corpus-store``).
 - :mod:`~repro.corpus.stats` — corpus statistics (Table 3 columns).
 - :mod:`~repro.corpus.partition` — token-balanced partition-by-document
   (Section 4 of the paper).
@@ -18,10 +21,24 @@ This subpackage provides everything the trainer needs on the *data* side:
 
 from repro.corpus.document import Corpus, Document
 from repro.corpus.encoding import DeviceChunk, encode_chunk
-from repro.corpus.io import read_uci_bow, write_uci_bow
+from repro.corpus.io import (
+    corpus_from_triples,
+    iter_uci_bow,
+    read_uci_bow,
+    write_uci_bow,
+)
 from repro.corpus.partition import ChunkSpec, partition_by_tokens
 from repro.corpus.preprocess import build_corpus_from_texts, tokenize
 from repro.corpus.stats import CorpusStats, corpus_stats
+from repro.corpus.store import (
+    CorpusStore,
+    CorpusStoreError,
+    ManifestCorrupt,
+    ShardCorrupt,
+    StoreIncomplete,
+    ingest_uci_bow,
+    verify_store,
+)
 from repro.corpus.synthetic import (
     NYTIMES_LIKE,
     PUBMED_LIKE,
@@ -48,4 +65,13 @@ __all__ = [
     "encode_chunk",
     "read_uci_bow",
     "write_uci_bow",
+    "iter_uci_bow",
+    "corpus_from_triples",
+    "CorpusStore",
+    "CorpusStoreError",
+    "ShardCorrupt",
+    "ManifestCorrupt",
+    "StoreIncomplete",
+    "ingest_uci_bow",
+    "verify_store",
 ]

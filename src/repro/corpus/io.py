@@ -12,11 +12,21 @@ format::
 plus a companion ``vocab.*.txt`` file with one term per line.  This module
 reads/writes that format so the reproduction can be pointed at the real
 datasets when they are available, and round-trips our synthetic corpora.
+
+Parsing is **chunked**: :func:`iter_uci_bow` yields the triples in
+bounded-size array blocks (never materialising the whole triple list),
+which is what lets ``repro ingest`` shard a web-scale docword file into a
+:mod:`~repro.corpus.store` without holding it in RAM.  :func:`read_uci_bow`
+is built on the same path — it still returns a full in-memory
+:class:`Corpus`, but its parser working set is one chunk, not the file.
 """
 
 from __future__ import annotations
 
 import io
+from collections.abc import Iterator
+from dataclasses import dataclass
+from itertools import islice
 from pathlib import Path
 
 import numpy as np
@@ -24,11 +34,124 @@ import numpy as np
 from repro.corpus.document import Corpus
 from repro.corpus.vocab import Vocabulary
 
+#: Triples parsed per chunk by the streaming reader.  The parser working
+#: set is ``3 * 8 bytes * this`` (~1.5 MB) regardless of file size.
+DEFAULT_CHUNK_TRIPLES = 65536
+
+
+@dataclass(frozen=True)
+class UciBowHeader:
+    """The three-line UCI header: declared corpus dimensions."""
+
+    num_docs: int
+    num_words: int
+    nnz: int
+
+
+def _open_docword(
+    docword_path: str | Path | io.TextIOBase,
+) -> tuple[io.TextIOBase, bool]:
+    if isinstance(docword_path, (str, Path)):
+        return open(docword_path, encoding="utf-8"), True
+    return docword_path, False
+
+
+def _read_header(fh: io.TextIOBase) -> UciBowHeader:
+    header = [fh.readline() for _ in range(3)]
+    try:
+        num_docs = int(header[0])
+        num_words = int(header[1])
+        nnz = int(header[2])
+    except (ValueError, IndexError) as exc:
+        raise ValueError("malformed UCI bag-of-words header") from exc
+    if num_docs < 0 or num_words <= 0 or nnz < 0:
+        raise ValueError(
+            f"invalid header values D={num_docs} W={num_words} NNZ={nnz}"
+        )
+    return UciBowHeader(num_docs, num_words, nnz)
+
+
+def _parse_chunk(lines: list[str], seen: int) -> np.ndarray:
+    """Parse one block of ``docID wordID count`` lines to an int64 array."""
+    try:
+        data = np.loadtxt(lines, dtype=np.int64, ndmin=2)
+    except ValueError as exc:
+        raise ValueError(
+            f"malformed UCI bag-of-words entry near triple {seen + 1}: {exc}"
+        ) from exc
+    if data.size and data.shape[1] != 3:
+        raise ValueError(f"expected 3 columns per entry, got {data.shape[1]}")
+    return data
+
+
+def iter_uci_bow(
+    docword_path: str | Path | io.TextIOBase,
+    chunk_triples: int = DEFAULT_CHUNK_TRIPLES,
+) -> Iterator[UciBowHeader | np.ndarray]:
+    """Stream a UCI bag-of-words file in bounded-memory chunks.
+
+    Yields the :class:`UciBowHeader` first, then ``int64[n, 3]`` arrays of
+    **0-based** ``(doc, word, count)`` triples, each holding at most
+    ``chunk_triples`` rows.  Range/count validation is per chunk, so a
+    malformed or out-of-range entry fails at the chunk that contains it
+    — never after buffering the whole file.
+
+    Raises
+    ------
+    ValueError
+        On malformed headers/entries, out-of-range ids, non-positive
+        counts, or a triple count that disagrees with the header.
+    """
+    if chunk_triples < 1:
+        raise ValueError(f"chunk_triples must be >= 1, got {chunk_triples}")
+    fh, close = _open_docword(docword_path)
+    try:
+        header = _read_header(fh)
+        yield header
+        seen = 0
+        while True:
+            want = min(chunk_triples, header.nnz - seen)
+            if want <= 0:
+                break
+            lines = [
+                line for line in islice(fh, want) if line.strip()
+            ]
+            if not lines:
+                break
+            data = _parse_chunk(lines, seen)
+            seen += data.shape[0]
+            if seen > header.nnz:
+                raise ValueError(
+                    f"header claims {header.nnz} entries, file has more"
+                )
+            docs = data[:, 0] - 1  # UCI ids are 1-based
+            words = data[:, 1] - 1
+            counts = data[:, 2]
+            if docs.min() < 0 or docs.max() >= header.num_docs:
+                raise ValueError("document id out of declared range")
+            if words.min() < 0 or words.max() >= header.num_words:
+                raise ValueError("word id out of declared range")
+            if counts.min() <= 0:
+                raise ValueError("counts must be positive")
+            out = np.empty_like(data)
+            out[:, 0] = docs
+            out[:, 1] = words
+            out[:, 2] = counts
+            yield out
+        if seen != header.nnz:
+            raise ValueError(
+                f"header claims {header.nnz} entries, file has {seen}"
+            )
+    finally:
+        if close:
+            fh.close()
+
 
 def read_uci_bow(
     docword_path: str | Path | io.TextIOBase,
     vocab_path: str | Path | None = None,
     max_docs: int | None = None,
+    chunk_triples: int = DEFAULT_CHUNK_TRIPLES,
 ) -> Corpus:
     """Read a UCI bag-of-words file into a :class:`Corpus`.
 
@@ -42,73 +165,79 @@ def read_uci_bow(
     max_docs:
         If given, keep only documents with id < ``max_docs`` (the UCI files
         are sorted by document id, so this is a cheap prefix load).
+    chunk_triples:
+        Triples parsed per chunk (memory knob; the result is identical
+        for any value).
 
     Raises
     ------
     ValueError
         On malformed headers or out-of-range ids.
     """
-    close = False
-    if isinstance(docword_path, (str, Path)):
-        fh: io.TextIOBase = open(docword_path, encoding="utf-8")
-        close = True
-    else:
-        fh = docword_path
-    try:
-        header = [fh.readline() for _ in range(3)]
-        try:
-            num_docs = int(header[0])
-            num_words = int(header[1])
-            nnz = int(header[2])
-        except (ValueError, IndexError) as exc:
-            raise ValueError("malformed UCI bag-of-words header") from exc
-        if num_docs < 0 or num_words <= 0 or nnz < 0:
-            raise ValueError(
-                f"invalid header values D={num_docs} W={num_words} NNZ={nnz}"
-            )
-        if nnz == 0:
-            data = np.zeros((0, 3), dtype=np.int64)
-        else:
-            data = np.loadtxt(fh, dtype=np.int64, ndmin=2, max_rows=nnz)
-        if data.shape[1] != 3:
-            raise ValueError(f"expected 3 columns per entry, got {data.shape[1]}")
-        if data.shape[0] != nnz:
-            raise ValueError(f"header claims {nnz} entries, file has {data.shape[0]}")
-    finally:
-        if close:
-            fh.close()
-
-    docs = data[:, 0] - 1  # UCI ids are 1-based
-    words = data[:, 1] - 1
-    counts = data[:, 2]
-    if data.shape[0]:
-        if docs.min() < 0 or docs.max() >= num_docs:
-            raise ValueError("document id out of declared range")
-        if words.min() < 0 or words.max() >= num_words:
-            raise ValueError("word id out of declared range")
-        if counts.min() <= 0:
-            raise ValueError("counts must be positive")
+    stream = iter_uci_bow(docword_path, chunk_triples)
+    header = next(stream)
+    assert isinstance(header, UciBowHeader)
+    num_docs = header.num_docs
+    chunks: list[np.ndarray] = []
+    for data in stream:
+        if max_docs is not None:
+            data = data[data[:, 0] < max_docs]
+        if data.shape[0]:
+            chunks.append(data)
     if max_docs is not None:
-        keep = docs < max_docs
-        docs, words, counts = docs[keep], words[keep], counts[keep]
         num_docs = min(num_docs, max_docs)
 
     vocab = None
     if vocab_path is not None:
         terms = Path(vocab_path).read_text(encoding="utf-8").splitlines()
         terms = [t for t in terms if t]
-        if len(terms) != num_words:
+        if len(terms) != header.num_words:
             raise ValueError(
-                f"vocab file has {len(terms)} terms but header declares {num_words}"
+                f"vocab file has {len(terms)} terms but header declares "
+                f"{header.num_words}"
             )
         vocab = Vocabulary(terms)
 
-    return Corpus.from_bow(
-        zip(docs.tolist(), words.tolist(), counts.tolist()),
-        num_docs=num_docs,
-        num_words=num_words,
-        vocabulary=vocab,
+    if chunks:
+        data = np.concatenate(chunks)
+    else:
+        data = np.zeros((0, 3), dtype=np.int64)
+    return corpus_from_triples(
+        data, num_docs=num_docs, num_words=header.num_words, vocabulary=vocab
     )
+
+
+def corpus_from_triples(
+    triples: np.ndarray,
+    num_docs: int,
+    num_words: int,
+    vocabulary: Vocabulary | None = None,
+) -> Corpus:
+    """Build a :class:`Corpus` from an ``int64[n, 3]`` 0-based triple array.
+
+    Exactly :meth:`Corpus.from_bow` (counts expand to tokens; a stable
+    sort groups tokens by document preserving file order within each
+    document) without the python-list round trip — the array path the
+    chunked reader and the store ingestion share, so both produce
+    bit-identical token layouts.
+    """
+    d = triples[:, 0].astype(np.int64)
+    w = triples[:, 1].astype(np.int32)
+    c = triples[:, 2].astype(np.int64)
+    if d.size:
+        if d.min() < 0 or d.max() >= num_docs:
+            raise ValueError(f"doc ids must lie in [0, {num_docs})")
+        if np.any(c <= 0):
+            raise ValueError("counts must be positive")
+    rep_docs = np.repeat(d, c)
+    rep_words = np.repeat(w, c)
+    order = np.argsort(rep_docs, kind="stable")
+    rep_docs = rep_docs[order]
+    rep_words = rep_words[order]
+    lengths = np.bincount(rep_docs, minlength=num_docs).astype(np.int64)
+    offsets = np.zeros(num_docs + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    return Corpus(offsets, rep_words.astype(np.int32), num_words, vocabulary)
 
 
 def write_uci_bow(
@@ -130,6 +259,8 @@ def write_uci_bow(
     if vocab_path is not None:
         if corpus.vocabulary is None:
             raise ValueError("corpus has no vocabulary to write")
-        Path(vocab_path).write_text(
-            "\n".join(corpus.vocabulary) + "\n", encoding="utf-8"
+        from repro.core.snapshot import atomic_write_text
+
+        atomic_write_text(
+            Path(vocab_path), "\n".join(corpus.vocabulary) + "\n"
         )

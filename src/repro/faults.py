@@ -64,6 +64,15 @@ Points currently wired (see docs/ROBUSTNESS.md):
 ``artifact_corrupt``  flips one phi count after an artifact read so the
                     digest verification sees a genuinely corrupted
                     payload (matches ``op=load`` and ``path=<name>``)
+``shard_read_error``  corpus store shard read raises before the bytes
+                    are touched (matches ``shard=<name>``, ``op=load``)
+``shard_corrupt``   flips one token id after a shard read so the shard
+                    digest verification sees genuine bit rot (matches
+                    ``shard=<name>``, ``op=load``)
+``ingest_crash``    ``os._exit`` mid-ingestion, either before a shard
+                    is written (``phase=shard``) or between the shard
+                    write and its manifest update (``phase=manifest``);
+                    matches ``shard=<index>``
 ==================  ====================================================
 """
 
@@ -111,6 +120,9 @@ POINTS = {
     "serve_slow": "serving dispatch sleeps delay_ms before answering",
     "serve_hang": "serving dispatch wedges on the executor thread for delay_ms",
     "artifact_corrupt": "flips one phi count after an artifact read (op=load)",
+    "shard_read_error": "corpus store shard read raises before touching bytes",
+    "shard_corrupt": "flips one token id after a shard read (digest catches it)",
+    "ingest_crash": "os._exit mid-ingestion at phase=shard or phase=manifest",
 }
 
 ENV_VAR = "REPRO_FAULTS"

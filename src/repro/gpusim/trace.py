@@ -97,7 +97,8 @@ def export_chrome_trace(events: list[TraceEvent], path: str | Path) -> None:
         }
         for e in events
     ]
-    Path(path).write_text(
-        json.dumps({"traceEvents": records, "displayTimeUnit": "ms"}),
-        encoding="utf-8",
+    from repro.core.snapshot import atomic_write_text
+
+    atomic_write_text(
+        path, json.dumps({"traceEvents": records, "displayTimeUnit": "ms"})
     )

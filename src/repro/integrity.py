@@ -25,6 +25,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import zipfile
+import zlib
 from collections.abc import Mapping
 from pathlib import Path
 
@@ -105,13 +107,23 @@ def verify_artifact(path: str | Path) -> dict:
     ``status`` is ``"verified"`` (digests match), ``"unverified"``
     (pre-digest file, nothing to compare) or ``"corrupt"`` (mismatch, or
     the file is not a readable repro artifact at all).
+
+    Covers every durable file the repo writes: model artifacts, v1/v2
+    checkpoints and corpus-store shards all go through the npz payload
+    digest; a ``.json`` path is treated as a corpus-store manifest and
+    checked against its own ``manifest_sha256``.
     """
     path = Path(path)
     report: dict = {"path": str(path), "kind": None, "version": None}
+    if path.suffix == ".json":
+        return _verify_manifest(path, report)
     try:
         with np.load(path, allow_pickle=False) as z:
             data = {k: z[k] for k in z.files}
-    except (OSError, ValueError) as exc:
+    except (OSError, ValueError, zipfile.BadZipFile, zlib.error) as exc:
+        # BadZipFile/zlib.error: a flipped byte often trips the npz
+        # container's own CRC or deflate stream before the payload
+        # digest gets a chance.
         report.update(status="corrupt", detail=f"unreadable: {exc}")
         return report
     if "version" in data:
@@ -139,4 +151,36 @@ def verify_artifact(path: str | Path) -> dict:
         report.update(status="corrupt", detail="payload digest mismatch")
     else:
         report.update(status="verified", detail="payload digest matches")
+    return report
+
+
+def _verify_manifest(path: Path, report: dict) -> dict:
+    """Offline check of a corpus-store ``manifest.json``.
+
+    Verifies only the manifest file itself (its self-digest); shard
+    payloads are separate artifacts with their own reports, and the
+    whole-store view (shards against manifest entries, quarantine) is
+    ``repro corpus verify``.
+    """
+    # Imported lazily: the store module depends on this one.
+    from repro.corpus.store import (
+        ManifestCorrupt,
+        StoreIncomplete,
+        load_manifest,
+        manifest_digest,
+    )
+
+    try:
+        manifest = load_manifest(path.parent, allow_incomplete=True)
+    except (FileNotFoundError, ManifestCorrupt, StoreIncomplete) as exc:
+        report.update(status="corrupt", detail=str(exc))
+        return report
+    report.update(
+        kind=str(manifest.get("kind")),
+        version=manifest.get("schema_version"),
+        digest=manifest_digest(manifest),
+        stored_digest=manifest.get("manifest_sha256"),
+        status="verified",
+        detail="manifest digest matches",
+    )
     return report

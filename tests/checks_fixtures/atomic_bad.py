@@ -9,3 +9,11 @@ def save_results(path, theta):
 
 def save_raw(path, phi):
     np.savez(path, phi=phi)  # RPR501
+
+
+def save_manifest(path, manifest):
+    path.write_text(str(manifest))  # RPR501: attr-matched on any receiver
+
+
+def save_blob(path, blob):
+    path.with_suffix(".bin").write_bytes(blob)  # RPR501: chained receiver

@@ -15,3 +15,15 @@ def atomic_savez(path, payload):
 
 def save_model(path, payload):
     return atomic_savez(path, payload)  # fine: routed through the helper
+
+
+def atomic_write_text(path, text):
+    tmp = f"{path}.tmp{os.getpid()}"
+    with open(tmp, "w") as fh:
+        fh.write(text)
+    os.replace(tmp, path)
+    return path
+
+
+def save_manifest(path, manifest):
+    return atomic_write_text(path, str(manifest))  # fine: routed through

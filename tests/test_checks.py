@@ -124,9 +124,17 @@ def test_fault_points_select_prefix():
 
 def test_atomic_write_fires_outside_helper():
     report = run_fixture("atomic_bad.py")
+    # Two dotted-name hits (np.savez*) plus two attribute-name hits
+    # (write_text / write_bytes on arbitrary receivers).
     assert [c for _, c in codes_at(report, "atomic_bad.py")] == [
-        "RPR501", "RPR501",
+        "RPR501", "RPR501", "RPR501", "RPR501",
     ]
+    attr_hits = [
+        f for f in report.findings if "write_text" in f.message
+        or "write_bytes" in f.message
+    ]
+    assert len(attr_hits) == 2
+    assert all("atomic_write_text" in f.message for f in attr_hits)
 
 
 def test_atomic_write_allows_the_helper():

@@ -87,3 +87,77 @@ class TestRoundTrip:
         (tmp_path / "vocab.txt").write_text("only_one_term\n")
         with pytest.raises(ValueError, match="vocab file"):
             read_uci_bow(tmp_path / "dw.txt", tmp_path / "vocab.txt")
+
+
+class TestChunkedParsing:
+    """The bounded-memory path must be invisible in the parsed result."""
+
+    def test_result_identical_for_any_chunk_size(self):
+        from repro.corpus.io import iter_uci_bow
+
+        entries = [(1, 1, 2), (1, 3, 1), (2, 2, 4), (3, 1, 1), (3, 3, 2)]
+        text = _bow_text(3, 3, 5, entries)
+        baseline = read_uci_bow(io.StringIO(text))
+        for chunk_triples in (1, 2, 3, 5, 1000):
+            c = read_uci_bow(io.StringIO(text), chunk_triples=chunk_triples)
+            assert np.array_equal(c.doc_offsets, baseline.doc_offsets)
+            assert np.array_equal(c.word_ids, baseline.word_ids)
+        # And the raw iterator covers every triple exactly once.
+        stream = iter_uci_bow(io.StringIO(text), chunk_triples=2)
+        header = next(stream)
+        assert (header.num_docs, header.num_words, header.nnz) == (3, 3, 5)
+        chunks = list(stream)
+        assert [len(ch) for ch in chunks] == [2, 2, 1]
+        got = np.concatenate(chunks)
+        want = np.array(entries, dtype=np.int64) - [1, 1, 0]
+        assert np.array_equal(got, want)
+
+    def test_validation_fails_at_the_offending_chunk(self):
+        from repro.corpus.io import iter_uci_bow
+
+        # Doc id out of range in the SECOND chunk: the first chunk must
+        # stream through before the error surfaces.
+        text = _bow_text(2, 2, 4, [(1, 1, 1), (1, 2, 1), (9, 1, 1), (2, 2, 1)])
+        stream = iter_uci_bow(io.StringIO(text), chunk_triples=2)
+        next(stream)  # header
+        first = next(stream)
+        assert len(first) == 2
+        with pytest.raises(ValueError, match="document id"):
+            next(stream)
+
+    def test_short_file_detected_in_chunked_mode(self):
+        text = _bow_text(2, 2, 5, [(1, 1, 1), (2, 2, 1)])
+        with pytest.raises(ValueError, match="claims"):
+            read_uci_bow(io.StringIO(text), chunk_triples=2)
+
+    def test_rejects_chunk_triples_below_one(self):
+        from repro.corpus.io import iter_uci_bow
+
+        with pytest.raises(ValueError, match="chunk_triples"):
+            list(iter_uci_bow(io.StringIO("1\n1\n1\n1 1 1\n"), chunk_triples=0))
+
+
+class TestCorpusFromTriples:
+    def test_matches_from_bow(self):
+        from repro.corpus.io import corpus_from_triples
+
+        # The array path must reproduce Corpus.from_bow exactly —
+        # including the stable within-document file order — because the
+        # chunked reader and the store ingestion both build on it.
+        entries = [(0, 4, 2), (0, 1, 1), (1, 3, 3), (2, 0, 1), (2, 2, 2)]
+        want = Corpus.from_bow(entries, num_docs=4, num_words=5)
+        got = corpus_from_triples(
+            np.array(entries, dtype=np.int64), num_docs=4, num_words=5
+        )
+        assert np.array_equal(got.doc_offsets, want.doc_offsets)
+        assert np.array_equal(got.word_ids, want.word_ids)
+
+    def test_rejects_bad_ids_and_counts(self):
+        from repro.corpus.io import corpus_from_triples
+
+        bad_doc = np.array([[5, 0, 1]], dtype=np.int64)
+        with pytest.raises(ValueError, match="doc ids"):
+            corpus_from_triples(bad_doc, num_docs=2, num_words=1)
+        bad_count = np.array([[0, 0, 0]], dtype=np.int64)
+        with pytest.raises(ValueError, match="positive"):
+            corpus_from_triples(bad_count, num_docs=2, num_words=1)

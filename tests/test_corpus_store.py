@@ -1,0 +1,421 @@
+"""Tests for the durable sharded corpus store (:mod:`repro.corpus.store`).
+
+The acceptance bar for the store is durability with receipts:
+
+- ingest -> load equals the in-RAM corpus, array for array;
+- a SIGKILL'd ingestion resumes to a manifest **byte-identical** to an
+  uninterrupted one;
+- a flipped byte in any shard or the manifest is a typed error naming
+  the damaged unit — never a silently wrong corpus;
+- training culda from the store is bit-identical to the in-RAM run
+  (draws, phi, log-likelihood trajectory).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.cli import main as cli_main
+from repro.corpus.document import Corpus
+from repro.corpus.io import read_uci_bow, write_uci_bow
+from repro.corpus.store import (
+    MANIFEST_NAME,
+    QUARANTINE_DIR,
+    CorpusStore,
+    ManifestCorrupt,
+    ShardCorrupt,
+    StoreIncomplete,
+    ingest_uci_bow,
+    load_manifest,
+    shard_name,
+    verify_store,
+)
+from repro.corpus.synthetic import generate_synthetic_corpus, small_spec
+from repro.corpus.vocab import Vocabulary
+from repro.integrity import verify_artifact
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    faults.reset()
+    yield
+    faults.reset()
+
+
+@pytest.fixture(scope="module")
+def bow_files(tmp_path_factory) -> dict:
+    """One UCI docword/vocab pair shared by the whole module (read-only)."""
+    base = generate_synthetic_corpus(
+        small_spec(num_docs=60, num_words=150, mean_doc_len=25, num_topics=6),
+        seed=11,
+    )
+    vocab = Vocabulary([f"term{i:04d}" for i in range(base.num_words)])
+    corpus = Corpus(base.doc_offsets, base.word_ids, base.num_words, vocab)
+    tmp = tmp_path_factory.mktemp("bow")
+    docword = tmp / "docword.txt"
+    vocab_path = tmp / "vocab.txt"
+    write_uci_bow(corpus, docword, vocab_path)
+    return {"docword": docword, "vocab": vocab_path, "corpus": corpus}
+
+
+def _flip_byte(path: Path, offset_frac: float = 0.5) -> None:
+    blob = bytearray(path.read_bytes())
+    blob[int(len(blob) * offset_frac)] ^= 0xFF
+    path.write_bytes(bytes(blob))
+
+
+def _cli_env() -> dict:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_FAULTS", None)
+    return env
+
+
+def _ingest_cli(bow_files, store: Path, fault_spec: str | None = None):
+    env = _cli_env()
+    if fault_spec:
+        env["REPRO_FAULTS"] = fault_spec
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "ingest",
+         "--docword", str(bow_files["docword"]),
+         "--vocab", str(bow_files["vocab"]),
+         "--store", str(store), "--docs-per-shard", "7"],
+        env=env, capture_output=True, text=True, timeout=120,
+    )
+
+
+class TestRoundTrip:
+    def test_store_equals_in_ram_corpus(self, bow_files, tmp_path):
+        ingest_uci_bow(
+            bow_files["docword"], tmp_path / "st", docs_per_shard=7
+        )
+        ram = read_uci_bow(bow_files["docword"])
+        store = CorpusStore.open(tmp_path / "st")
+        assert store.num_docs == ram.num_docs
+        assert store.num_words == ram.num_words
+        assert store.num_tokens == ram.num_tokens
+        assert np.array_equal(store.doc_offsets, ram.doc_offsets)
+        assert np.array_equal(
+            store.word_ids[0 : store.num_tokens], ram.word_ids
+        )
+        assert np.array_equal(store.doc_lengths(), ram.doc_lengths())
+
+    def test_subset_window_matches_corpus_subset(self, bow_files, tmp_path):
+        ingest_uci_bow(
+            bow_files["docword"], tmp_path / "st", docs_per_shard=7
+        )
+        ram = read_uci_bow(bow_files["docword"])
+        store = CorpusStore.open(tmp_path / "st")
+        # Windows within a shard, straddling seams, and the full span.
+        for lo, hi in [(0, 5), (5, 9), (6, 21), (13, 14), (0, 60)]:
+            want = ram.subset(lo, hi)
+            got = store.subset(lo, hi)
+            assert np.array_equal(got.doc_offsets, want.doc_offsets)
+            assert np.array_equal(got.word_ids, want.word_ids)
+
+    def test_load_materialises_with_vocabulary(self, bow_files, tmp_path):
+        ingest_uci_bow(
+            bow_files["docword"], tmp_path / "st",
+            vocab_path=bow_files["vocab"], docs_per_shard=7,
+        )
+        store = CorpusStore.open(tmp_path / "st")
+        full = store.load()
+        assert full.vocabulary is not None
+        assert list(full.vocabulary) == list(bow_files["corpus"].vocabulary)
+        # Baseline is the re-read file: write_uci_bow collapses counts,
+        # so within-document token order is the file's, not the
+        # original corpus's.
+        ram = read_uci_bow(bow_files["docword"])
+        assert np.array_equal(full.word_ids, ram.word_ids)
+
+    def test_chunked_reader_matches_unchunked(self, bow_files):
+        # The bounded-memory path must be invisible in the result.
+        a = read_uci_bow(bow_files["docword"])
+        b = read_uci_bow(bow_files["docword"], chunk_triples=17)
+        assert np.array_equal(a.doc_offsets, b.doc_offsets)
+        assert np.array_equal(a.word_ids, b.word_ids)
+
+    def test_empty_documents_survive_sharding(self, tmp_path):
+        # Doc 2 (1-based 3) never appears: zero tokens, but it still
+        # occupies a slot in its shard and in the global offsets.
+        docword = tmp_path / "docword.txt"
+        docword.write_text("4\n2\n3\n1 1 2\n2 2 1\n4 1 1\n")
+        ingest_uci_bow(docword, tmp_path / "st", docs_per_shard=2)
+        store = CorpusStore.open(tmp_path / "st")
+        assert store.num_docs == 4
+        assert list(store.doc_lengths()) == [2, 1, 0, 1]
+
+    def test_reingest_complete_store_is_noop(self, bow_files, tmp_path):
+        m1 = ingest_uci_bow(
+            bow_files["docword"], tmp_path / "st", docs_per_shard=7
+        )
+        before = (tmp_path / "st" / MANIFEST_NAME).read_bytes()
+        m2 = ingest_uci_bow(
+            bow_files["docword"], tmp_path / "st", docs_per_shard=7
+        )
+        assert m2 == m1
+        assert (tmp_path / "st" / MANIFEST_NAME).read_bytes() == before
+
+    def test_mismatched_reingest_refuses(self, bow_files, tmp_path):
+        ingest_uci_bow(
+            bow_files["docword"], tmp_path / "st", docs_per_shard=7
+        )
+        with pytest.raises(ValueError, match="different source"):
+            ingest_uci_bow(
+                bow_files["docword"], tmp_path / "st", docs_per_shard=9
+            )
+
+    def test_incomplete_store_refuses_to_open(self, bow_files, tmp_path):
+        ingest_uci_bow(
+            bow_files["docword"], tmp_path / "st", docs_per_shard=7
+        )
+        manifest = load_manifest(tmp_path / "st")
+        manifest["complete"] = False
+        from repro.corpus.store import write_manifest
+
+        write_manifest(tmp_path / "st", manifest)
+        with pytest.raises(StoreIncomplete, match="resume"):
+            CorpusStore.open(tmp_path / "st")
+
+
+class TestCrashResume:
+    """SIGKILL mid-ingest (both crash frontiers) -> byte-identical resume."""
+
+    @pytest.mark.parametrize("phase", ["shard", "manifest"])
+    def test_killed_ingest_resumes_byte_identical(
+        self, bow_files, tmp_path, phase
+    ):
+        clean = tmp_path / "clean"
+        crashy = tmp_path / "crashy"
+        assert _ingest_cli(bow_files, clean).returncode == 0
+        r = _ingest_cli(
+            bow_files, crashy, f"ingest_crash@shard=4,phase={phase}"
+        )
+        assert r.returncode == faults.CRASH_EXIT_CODE
+        # The partial store is detected as unfinished, not silently short.
+        with pytest.raises(StoreIncomplete):
+            CorpusStore.open(crashy)
+        r = _ingest_cli(bow_files, crashy)
+        assert r.returncode == 0, r.stderr
+        assert (crashy / MANIFEST_NAME).read_bytes() == (
+            clean / MANIFEST_NAME
+        ).read_bytes()
+        assert verify_store(crashy)["status"] == "verified"
+
+    def test_resumed_store_loads_identically(self, bow_files, tmp_path):
+        crashy = tmp_path / "crashy"
+        r = _ingest_cli(bow_files, crashy, "ingest_crash@shard=2")
+        assert r.returncode == faults.CRASH_EXIT_CODE
+        assert _ingest_cli(bow_files, crashy).returncode == 0
+        ram = read_uci_bow(bow_files["docword"])
+        store = CorpusStore.open(crashy)
+        assert np.array_equal(store.doc_offsets, ram.doc_offsets)
+        assert np.array_equal(
+            store.word_ids[0 : store.num_tokens], ram.word_ids
+        )
+
+
+class TestCorruption:
+    def _store(self, bow_files, tmp_path) -> Path:
+        ingest_uci_bow(
+            bow_files["docword"], tmp_path / "st",
+            vocab_path=bow_files["vocab"], docs_per_shard=7,
+        )
+        return tmp_path / "st"
+
+    def test_flipped_shard_byte_is_typed_and_named(self, bow_files, tmp_path):
+        root = self._store(bow_files, tmp_path)
+        _flip_byte(root / shard_name(3))
+        store = CorpusStore.open(root)
+        with pytest.raises(ShardCorrupt, match=shard_name(3)) as exc:
+            store.subset(0, store.num_docs)
+        assert exc.value.shard == shard_name(3)
+
+    def test_flipped_manifest_byte_is_typed(self, bow_files, tmp_path):
+        root = self._store(bow_files, tmp_path)
+        path = root / MANIFEST_NAME
+        text = path.read_text()
+        path.write_text(text.replace('"num_tokens"', '"num_tokenz"', 1))
+        with pytest.raises(ManifestCorrupt, match="digest mismatch"):
+            CorpusStore.open(root)
+
+    def test_missing_shard_is_shard_corrupt(self, bow_files, tmp_path):
+        root = self._store(bow_files, tmp_path)
+        (root / shard_name(1)).unlink()
+        with pytest.raises(ShardCorrupt, match="missing"):
+            CorpusStore.open(root).subset(0, 60)
+
+    def test_shard_swapped_between_stores_rejected(self, bow_files, tmp_path):
+        # Same format, valid digest — but not the shard the manifest
+        # recorded.  The manifest cross-check must catch the swap.
+        root = self._store(bow_files, tmp_path)
+        other = tmp_path / "other"
+        ingest_uci_bow(bow_files["docword"], other, docs_per_shard=9)
+        os.replace(other / shard_name(1), root / shard_name(1))
+        with pytest.raises(ShardCorrupt, match="manifest"):
+            CorpusStore.open(root).subset(0, 60)
+
+    def test_verify_store_quarantines_and_rolls_back(
+        self, bow_files, tmp_path
+    ):
+        root = self._store(bow_files, tmp_path)
+        clean_manifest = (root / MANIFEST_NAME).read_bytes()
+        _flip_byte(root / shard_name(5))
+        report = verify_store(root, quarantine=True)
+        assert report["status"] == "corrupt"
+        assert report["quarantined"] == [shard_name(5)]
+        assert report["resume_from_shard"] == 5
+        assert (root / QUARANTINE_DIR / shard_name(5)).exists()
+        # The rolled-back manifest resumes; re-ingest repairs the store
+        # to the exact bytes it had before the corruption.
+        ingest_uci_bow(
+            bow_files["docword"], root,
+            vocab_path=bow_files["vocab"], docs_per_shard=7,
+        )
+        assert (root / MANIFEST_NAME).read_bytes() == clean_manifest
+        assert verify_store(root)["status"] == "verified"
+
+    def test_corrupt_vocab_detected(self, bow_files, tmp_path):
+        root = self._store(bow_files, tmp_path)
+        _flip_byte(root / "vocab.txt")
+        assert verify_store(root)["status"] == "corrupt"
+        with pytest.raises(ManifestCorrupt, match="vocabulary"):
+            _ = CorpusStore.open(root).vocabulary
+
+    def test_verify_artifact_accepts_manifest_and_shards(
+        self, bow_files, tmp_path
+    ):
+        root = self._store(bow_files, tmp_path)
+        assert verify_artifact(root / MANIFEST_NAME)["status"] == "verified"
+        assert verify_artifact(root / shard_name(0))["status"] == "verified"
+        _flip_byte(root / shard_name(0))
+        assert verify_artifact(root / shard_name(0))["status"] == "corrupt"
+        _flip_byte(root / MANIFEST_NAME)
+        assert verify_artifact(root / MANIFEST_NAME)["status"] == "corrupt"
+
+
+class TestFaultPoints:
+    def _store(self, bow_files, tmp_path) -> Path:
+        ingest_uci_bow(
+            bow_files["docword"], tmp_path / "st", docs_per_shard=7
+        )
+        return tmp_path / "st"
+
+    def test_shard_read_error_fires_by_shard_name(self, bow_files, tmp_path):
+        root = self._store(bow_files, tmp_path)
+        faults.install(f"shard_read_error@shard={shard_name(2)}")
+        store = CorpusStore.open(root)
+        with pytest.raises(ShardCorrupt, match=shard_name(2)):
+            store.subset(0, store.num_docs)
+        # times=1 default: the next read succeeds (transient I/O error).
+        assert store.subset(0, store.num_docs).num_tokens == store.num_tokens
+
+    def test_shard_corrupt_is_caught_by_digest(self, bow_files, tmp_path):
+        root = self._store(bow_files, tmp_path)
+        faults.install(f"shard_corrupt@shard={shard_name(0)}")
+        with pytest.raises(ShardCorrupt, match="digest mismatch"):
+            CorpusStore.open(root).subset(0, 7)
+
+
+class TestTrainBitIdentity:
+    def test_culda_from_store_matches_in_ram(self, bow_files, tmp_path):
+        from repro.api import create_trainer
+
+        ingest_uci_bow(
+            bow_files["docword"], tmp_path / "st", docs_per_shard=7
+        )
+        ram = read_uci_bow(bow_files["docword"])
+        store = CorpusStore.open(tmp_path / "st")
+        kwargs = dict(topics=12, seed=5, gpus=2, chunks_per_gpu=2)
+        t_ram = create_trainer("culda", ram, **kwargs)
+        r_ram = t_ram.fit(5, likelihood_every=1)
+        t_st = create_trainer("culda", store, **kwargs)
+        r_st = t_st.fit(5, likelihood_every=1)
+        assert np.array_equal(t_ram.state.phi, t_st.state.phi)
+        assert np.array_equal(
+            t_ram.state.topic_totals, t_st.state.topic_totals
+        )
+        for c_ram, c_st in zip(t_ram.state.chunks, t_st.state.chunks):
+            assert np.array_equal(c_ram.topics, c_st.topics)
+        assert [
+            (rec.iteration, rec.log_likelihood_per_token)
+            for rec in r_ram.records
+        ] == [
+            (rec.iteration, rec.log_likelihood_per_token)
+            for rec in r_st.records
+        ]
+
+
+class TestCli:
+    def test_ingest_verify_train(self, bow_files, tmp_path, capsys):
+        store = tmp_path / "st"
+        rc = cli_main([
+            "ingest", "--docword", str(bow_files["docword"]),
+            "--store", str(store), "--docs-per-shard", "16",
+        ])
+        assert rc == 0
+        assert "ingested 60 documents" in capsys.readouterr().out
+        assert cli_main(["corpus", "verify", str(store)]) == 0
+        assert "verified" in capsys.readouterr().out
+        rc = cli_main([
+            "train", "--corpus-store", str(store),
+            "--topics", "8", "--iterations", "2",
+        ])
+        assert rc == 0
+        assert "corpus store: D=60" in capsys.readouterr().out
+
+    def test_train_store_requires_culda(self, bow_files, tmp_path, capsys):
+        store = tmp_path / "st"
+        ingest_uci_bow(bow_files["docword"], store, docs_per_shard=16)
+        rc = cli_main([
+            "train", "--corpus-store", str(store), "--algo", "warplda",
+            "--topics", "8", "--iterations", "2",
+        ])
+        assert rc == 2
+        assert "culda" in capsys.readouterr().err
+
+    def test_corpus_verify_exit_codes(self, bow_files, tmp_path, capsys):
+        store = tmp_path / "st"
+        ingest_uci_bow(bow_files["docword"], store, docs_per_shard=16)
+        _flip_byte(store / shard_name(0))
+        assert cli_main(["corpus", "verify", str(store)]) == 1
+        capsys.readouterr()
+        # --quarantine rolls back; the store is now incomplete, not corrupt.
+        assert cli_main(
+            ["corpus", "verify", str(store), "--quarantine"]
+        ) == 1
+        capsys.readouterr()
+        assert cli_main(["corpus", "verify", str(store)]) == 3
+
+    def test_corpus_verify_json_report(self, bow_files, tmp_path, capsys):
+        store = tmp_path / "st"
+        ingest_uci_bow(bow_files["docword"], store, docs_per_shard=16)
+        assert cli_main(
+            ["corpus", "verify", str(store), "--format", "json"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["status"] == "verified"
+        assert report["num_shards"] == 4
+
+    def test_verify_artifact_cli_exit_1_on_corrupt_manifest(
+        self, bow_files, tmp_path, capsys
+    ):
+        store = tmp_path / "st"
+        ingest_uci_bow(bow_files["docword"], store, docs_per_shard=16)
+        assert cli_main(
+            ["verify-artifact", str(store / MANIFEST_NAME)]
+        ) == 0
+        capsys.readouterr()
+        _flip_byte(store / MANIFEST_NAME)
+        assert cli_main(
+            ["verify-artifact", str(store / MANIFEST_NAME)]
+        ) == 1

@@ -186,6 +186,65 @@ class TestEveryKnob:
         with pytest.raises(ValueError, match="every"):
             faults.parse_spec("serve_slow@every=0")
 
+    # -- every=N x times=N interaction --------------------------------
+
+    def test_every_with_default_times_fires_exactly_once(self):
+        # times defaults to 1 even with a cadence: the 1st matching
+        # check fires, and the spent budget silences the 4th, 7th, ...
+        faults.install("serve_slow@op=infer,every=3")
+        fired = [
+            faults.check("serve_slow", op="infer") is not None
+            for _ in range(9)
+        ]
+        assert fired == [True] + [False] * 8
+
+    def test_every_three_times_two_fires_first_and_fourth(self):
+        faults.install("serve_slow@op=infer,every=3,times=2")
+        fired = [
+            faults.check("serve_slow", op="infer") is not None
+            for _ in range(9)
+        ]
+        # Cadence picks the 1st and 4th; the budget then silences the 7th.
+        assert fired == [True, False, False, True, False, False,
+                         False, False, False]
+
+    def test_spent_budget_freezes_the_cadence(self):
+        # Once times is exhausted, matches() bails before advancing
+        # `seen` — the cadence position is frozen, not drifting.
+        faults.install("p@every=2,times=1,attempt=any")
+        (fault,) = faults._faults
+        assert faults.check("p") is not None
+        seen_after_budget = fault.seen
+        for _ in range(5):
+            assert faults.check("p") is None
+        assert fault.seen == seen_after_budget
+
+    def test_reinstall_resets_both_cadence_and_budget(self):
+        # A respawned worker re-installs its spec: every-N phase and
+        # times budget must both restart from zero for determinism.
+        spec = "p@every=2,times=2,attempt=any"
+        faults.install(spec)
+        pattern = [faults.check("p") is not None for _ in range(4)]
+        assert pattern == [True, False, True, False]
+        faults.install(spec)
+        assert [faults.check("p") is not None for _ in range(4)] == pattern
+
+    def test_every_and_times_are_per_clause(self):
+        # Two clauses for the same point keep independent cadences and
+        # budgets; the first matching clause wins each check.
+        faults.install(
+            "serve_slow@op=infer,every=2,times=1;"
+            "serve_slow@op=infer,every=1,times=2"
+        )
+        # Check 1: clause A fires (its 1st match, budget -> 0).
+        # Checks 2-3: clause A is spent; clause B fires until ITS
+        # budget is spent.  Check 4: everything exhausted.
+        fired = [
+            faults.check("serve_slow", op="infer") is not None
+            for _ in range(4)
+        ]
+        assert fired == [True, True, True, False]
+
 
 class TestSleepIf:
     def test_sleeps_for_delay_ms(self):

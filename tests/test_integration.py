@@ -92,7 +92,7 @@ class TestPublicSurface:
     def test_version(self):
         import repro
 
-        assert repro.__version__ == "1.9.0"
+        assert repro.__version__ == "1.10.0"
 
 
 class TestDeterminismAcrossFeatures:

@@ -138,3 +138,57 @@ class TestCheckpoint:
         state.validate()
         after = log_likelihood_per_token(state)
         assert np.isfinite(after) and after != before
+
+
+class TestAtomicTextHelpers:
+    """atomic_write_text / atomic_write_json: tmp sibling + os.replace."""
+
+    def test_write_text_replaces_atomically(self, tmp_path):
+        from repro.core.snapshot import atomic_write_text
+
+        path = tmp_path / "note.txt"
+        path.write_text("old")
+        out = atomic_write_text(path, "new contents\n")
+        assert out == path
+        assert path.read_text() == "new contents\n"
+        # No tmp sibling left behind.
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_write_text_failure_leaves_target_untouched(self, tmp_path,
+                                                        monkeypatch):
+        import os as _os
+
+        from repro.core import snapshot
+
+        path = tmp_path / "note.txt"
+        path.write_text("precious")
+
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(snapshot.os, "replace", boom)
+        with pytest.raises(OSError, match="disk full"):
+            snapshot.atomic_write_text(path, "half-written")
+        monkeypatch.undo()
+        assert path.read_text() == "precious"
+        assert list(tmp_path.iterdir()) == [path]  # tmp cleaned up
+
+    def test_write_json_bytes_are_content_deterministic(self, tmp_path):
+        from repro.core.snapshot import atomic_write_json
+
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        # Same content, different key insertion order -> same bytes.
+        atomic_write_json(a, {"z": 1, "a": [1, 2], "m": {"y": 0, "x": 1}})
+        atomic_write_json(b, {"a": [1, 2], "m": {"x": 1, "y": 0}, "z": 1})
+        assert a.read_bytes() == b.read_bytes()
+        assert a.read_text().endswith("\n")
+
+    def test_write_json_round_trips(self, tmp_path):
+        import json as _json
+
+        from repro.core.snapshot import atomic_write_json
+
+        obj = {"kind": "corpus-store", "shards": [{"name": "s", "n": 3}]}
+        atomic_write_json(tmp_path / "m.json", obj)
+        assert _json.loads((tmp_path / "m.json").read_text()) == obj

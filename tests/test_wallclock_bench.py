@@ -134,6 +134,22 @@ def test_committed_report_has_serving_section():
     assert report["environment"]["cpu_count"] >= 1
 
 
+def test_committed_report_has_store_section():
+    """PR 10: the committed JSON prices the durable corpus store —
+    ingest, verified open, and streaming window reads."""
+    report = json.loads((REPO / "BENCH_wallclock.json").read_text())
+    store = report["store"]
+    assert store["num_shards"] >= 2
+    assert store["num_tokens"] > 0
+    assert store["shard_bytes"] > 0
+    assert store["ingest"]["docs_per_sec"] > 0
+    assert store["ingest"]["tokens_per_sec"] > 0
+    assert store["verified_open"]["tokens_per_sec"] > 0
+    assert store["window_read"]["tokens_per_sec"] > 0
+    # durability must not change the computation
+    assert "bit-identical" in store["note"]
+
+
 def test_committed_report_has_faulted_serving_section():
     """PR 8: deadlines under a 10% serve_slow fault — typed shedding is
     recorded and the reply p99 stays bounded by the deadline SLO."""
